@@ -1,0 +1,78 @@
+"""Ablation: multiple processes per node.
+
+Marmot has "128 nodes / 256 cores": the natural deployment runs 2 ranks
+per node.  Co-ranked processes share their node's disk, NIC and replica
+set, so the matching hands the node's chunks to either of its ranks while
+quotas stay per-process.  Opass's win survives: reads remain local and
+per-node serving stays at the ideal share (now consumed by two readers).
+"""
+
+from repro.core import (
+    ProcessPlacement,
+    graph_from_filesystem,
+    locality_fraction,
+    optimize_single_data,
+    rank_interval_assignment,
+    tasks_from_dataset,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem
+from repro.metrics import ServeMonitor, jains_fairness
+from repro.simulate import ParallelReadRun, StaticSource
+from repro.viz import format_table
+from repro.workloads import single_data_workload
+
+NODES = 16
+RANKS_PER_NODE = 2
+
+
+def run_comparison(seed: int = 0):
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(NODES), seed=seed)
+    # 10 chunks per PROCESS (= 20 per node).
+    data = single_data_workload(NODES * RANKS_PER_NODE, 10)
+    fs.put_dataset(data)
+    placement = ProcessPlacement.k_per_node(NODES, RANKS_PER_NODE)
+    tasks = tasks_from_dataset(data)
+    graph = graph_from_filesystem(fs, tasks, placement)
+    out = {}
+    for name, assignment in [
+        ("baseline", rank_interval_assignment(len(tasks), placement.num_processes)),
+        ("opass", optimize_single_data(graph, seed=seed).assignment),
+    ]:
+        monitor = ServeMonitor(fs)
+        monitor.start()
+        run = ParallelReadRun(
+            fs, placement, tasks, StaticSource(assignment), seed=seed
+        ).run()
+        out[name] = (locality_fraction(assignment, graph), run, monitor.served_mb_array())
+        fs.reset_counters()
+    return out
+
+
+def test_ablation_two_ranks_per_node(benchmark):
+    out = benchmark.pedantic(lambda: run_comparison(seed=0), rounds=1, iterations=1)
+
+    rows = []
+    for name, (loc, run, served) in out.items():
+        rows.append((
+            name, f"{loc:.0%}", run.io_stats()["avg"], run.io_stats()["max"],
+            f"{jains_fairness(served):.3f}", run.makespan,
+        ))
+    print("\n=== ablation: 2 ranks per node (16 nodes / 32 processes) ===")
+    print(format_table(
+        ["method", "locality", "avg io (s)", "max io (s)", "serve fairness",
+         "makespan (s)"],
+        rows,
+    ))
+
+    base_loc, base_run, base_served = out["baseline"]
+    opass_loc, opass_run, opass_served = out["opass"]
+
+    assert base_run.tasks_completed == opass_run.tasks_completed == 320
+    # Opass still achieves (nearly) full locality with co-ranked processes.
+    assert opass_loc > 0.95
+    assert opass_run.locality_fraction > 0.95
+    # Two local readers share one disk: ~2x the solo local read time, but
+    # flat — and still far better than the contended baseline.
+    assert opass_run.io_stats()["avg"] < base_run.io_stats()["avg"]
+    assert opass_run.io_stats()["max"] < base_run.io_stats()["max"]
+    assert jains_fairness(opass_served) > jains_fairness(base_served)

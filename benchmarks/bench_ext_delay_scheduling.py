@@ -1,0 +1,96 @@
+"""Extension bench: the dynamic-dispatch baseline ladder.
+
+§VI cites delay scheduling as a locality technique orthogonal to Opass.
+This bench lines up the full ladder of dynamic dispatchers on the Fig-11
+workload:
+
+1. random (the paper's default master),
+2. locality-greedy (take a local task if one remains),
+3. delay scheduling (greedy + bounded wait before conceding to remote),
+4. Opass guided lists.
+
+Greedy/delay recover most of the locality, but they race for replicas with
+no plan, so the run's tail is imbalanced and the makespan stays above
+Opass's — the matching's value is *which* local task each worker takes.
+"""
+
+from repro.core import (
+    DefaultDynamicPolicy,
+    DelaySchedulingPolicy,
+    LocalityGreedyPolicy,
+    ProcessPlacement,
+    graph_from_filesystem,
+    opass_dynamic_plan,
+    tasks_from_dataset,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem
+from repro.simulate import ParallelReadRun
+from repro.viz import format_table
+from repro.workloads import gene_database
+
+NODES = 32
+FRAGMENTS = 320
+
+
+def run_ladder(seed: int = 0):
+    out = {}
+    for name in ("random", "greedy", "delay", "opass"):
+        fs = DistributedFileSystem(ClusterSpec.homogeneous(NODES), seed=seed)
+        db = gene_database(FRAGMENTS)
+        fs.put_dataset(db)
+        placement = ProcessPlacement.one_per_node(NODES)
+        tasks = tasks_from_dataset(db)
+        graph = graph_from_filesystem(fs, tasks, placement)
+        if name == "random":
+            policy = DefaultDynamicPolicy(len(tasks), mode="random", seed=seed)
+        elif name == "greedy":
+            policy = LocalityGreedyPolicy(graph, seed=seed)
+        elif name == "delay":
+            policy = DelaySchedulingPolicy(
+                graph, max_delay=2.0, poll_interval=0.5, seed=seed
+            )
+        else:
+            policy, _, _ = opass_dynamic_plan(fs, "genedb", placement, seed=seed)
+        run = ParallelReadRun(fs, placement, tasks, policy, seed=seed)
+        result = run.run()
+        out[name] = (result, run.waits)
+    return out
+
+
+def test_ext_dispatch_policy_ladder(benchmark):
+    out = benchmark.pedantic(lambda: run_ladder(seed=0), rounds=1, iterations=1)
+
+    rows = []
+    for name in ("random", "greedy", "delay", "opass"):
+        result, waits = out[name]
+        s = result.io_stats()
+        rows.append((
+            name, f"{result.locality_fraction:.0%}",
+            s["avg"], s["max"], result.makespan, waits,
+        ))
+    print("\n=== dynamic dispatch ladder (32 nodes, 320 fragments) ===")
+    print(format_table(
+        ["policy", "locality", "avg io (s)", "max io (s)", "makespan (s)", "waits"],
+        rows,
+    ))
+
+    random_r = out["random"][0]
+    greedy_r = out["greedy"][0]
+    delay_r, delay_waits = out["delay"]
+    opass_r = out["opass"][0]
+
+    for result, _ in out.values():
+        assert result.tasks_completed == FRAGMENTS
+
+    # Locality ladder: random ≪ greedy ≈ delay ≤ opass.
+    assert random_r.locality_fraction < 0.2
+    assert greedy_r.locality_fraction > 0.6
+    assert delay_r.locality_fraction >= greedy_r.locality_fraction - 0.05
+    assert opass_r.locality_fraction > 0.9
+    # Delay scheduling actually waited.
+    assert delay_waits > 0
+    # End-to-end, Opass is the fastest of the four.
+    assert opass_r.makespan <= min(
+        random_r.makespan, greedy_r.makespan, delay_r.makespan
+    )
+    assert opass_r.io_stats()["avg"] <= greedy_r.io_stats()["avg"]

@@ -1,0 +1,123 @@
+"""Extension bench: the write path and where the read problem comes from.
+
+The paper's context: prior work (Garth, Sun) made MPI programs *write*
+into HDFS efficiently; Opass fixes the *read* side.  This bench connects
+the two:
+
+1. ingest cost vs replication factor (the pipeline's price for r copies);
+2. why the read problem exists at all: a reader aligned with the writers
+   (same ranks, same intervals, writer-local placement) reads 100 % local
+   for free — but the moment the reader fleet differs from the writer
+   fleet (different process count, the common analysis case), locality
+   collapses to ≈ r/m and Opass is needed.
+"""
+
+from repro.core import (
+    ProcessPlacement,
+    opass_single_data,
+    rank_interval_assignment,
+    tasks_from_dataset,
+)
+from repro.dfs import (
+    ClusterSpec,
+    DistributedFileSystem,
+    HdfsWriterLocalPlacement,
+    uniform_dataset,
+)
+from repro.simulate import DatasetIngest, ParallelReadRun, StaticSource
+from repro.viz import format_table
+
+NODES = 32
+CHUNKS = 320
+
+
+def run_ingest_sweep(seed: int = 0):
+    rows = []
+    for r in (1, 2, 3):
+        fs = DistributedFileSystem(
+            ClusterSpec.homogeneous(NODES),
+            replication=r,
+            placement=HdfsWriterLocalPlacement(),
+            seed=seed,
+        )
+        ds = uniform_dataset("w", CHUNKS)
+        writers = ProcessPlacement.one_per_node(NODES)
+        result = DatasetIngest(fs, writers, ds, seed=seed).run()
+        s = result.write_stats()
+        rows.append((r, s["avg"], s["max"], result.makespan))
+    return rows
+
+
+def run_reader_alignment(seed: int = 0):
+    fs = DistributedFileSystem(
+        ClusterSpec.homogeneous(NODES),
+        placement=HdfsWriterLocalPlacement(),
+        seed=seed,
+    )
+    ds = uniform_dataset("w", CHUNKS)
+    writers = ProcessPlacement.one_per_node(NODES)
+    DatasetIngest(fs, writers, ds, seed=seed).run()
+    tasks = tasks_from_dataset(fs.dataset("w"))
+
+    out = {}
+    # Aligned readers: same fleet, same intervals as the writers.
+    aligned = ParallelReadRun(
+        fs, writers, tasks,
+        StaticSource(rank_interval_assignment(CHUNKS, NODES)), seed=seed,
+    ).run()
+    out["aligned readers"] = aligned
+    fs.reset_counters()
+    # Misaligned: half the nodes run the analysis (different fleet).
+    half = ProcessPlacement(tuple(range(0, NODES, 2)))
+    misaligned = ParallelReadRun(
+        fs, half, tasks,
+        StaticSource(rank_interval_assignment(CHUNKS, half.num_processes)),
+        seed=seed,
+    ).run()
+    out["misaligned readers"] = misaligned
+    fs.reset_counters()
+    # Opass fixes the misaligned fleet without rewriting anything.
+    matched, _, _ = opass_single_data(fs, ds, half, seed=seed)
+    out["misaligned + Opass"] = ParallelReadRun(
+        fs, half, tasks, StaticSource(matched.assignment), seed=seed
+    ).run()
+    return out
+
+
+def test_ext_ingest_pipeline(benchmark):
+    rows = benchmark.pedantic(lambda: run_ingest_sweep(seed=0), rounds=1, iterations=1)
+    print("\n=== ingest cost vs replication (32 writers, 320 x 64 MB) ===")
+    print(format_table(
+        ["replication", "avg write (s)", "max write (s)", "ingest makespan (s)"],
+        rows,
+    ))
+    avgs = [r[1] for r in rows]
+    # Every extra replica lengthens the pipeline.
+    assert avgs == sorted(avgs)
+    # r=1 writer-local ingest is a pure local disk write.
+    assert rows[0][1] < 1.1
+
+
+def test_ext_reader_alignment(benchmark):
+    out = benchmark.pedantic(lambda: run_reader_alignment(seed=0), rounds=1, iterations=1)
+    rows = []
+    for name, run in out.items():
+        rows.append((
+            name, f"{run.locality_fraction:.0%}",
+            run.io_stats()["avg"], run.makespan,
+        ))
+    print("\n=== reader/writer alignment (writer-local placement) ===")
+    print(format_table(
+        ["reader fleet", "locality", "avg io (s)", "makespan (s)"], rows,
+    ))
+
+    aligned = out["aligned readers"]
+    misaligned = out["misaligned readers"]
+    opass = out["misaligned + Opass"]
+    # Aligned readers get locality for free.
+    assert aligned.locality_fraction == 1.0
+    # A different fleet loses most of it...
+    assert misaligned.locality_fraction < 0.7
+    # ...and Opass restores it without moving data.
+    assert opass.locality_fraction > misaligned.locality_fraction + 0.2
+    assert opass.io_stats()["avg"] < misaligned.io_stats()["avg"]

@@ -1,0 +1,109 @@
+"""Extension bench: Opass on a shared cluster (§V-C's caveat, quantified).
+
+"Clusters are usually shared by multiple applications.  Thus, Opass may
+not greatly enhance the performance of parallel data requests due to the
+adjustment of HDFS.  However, Opass allows the parallel data requests to
+be served in an optimized way as long as the cluster nodes have the
+capability to deliver data in the fashion of locality and balance."
+
+We run the Fig-7 workload under increasing Poisson cross-traffic.  As the
+paper predicts: absolute times degrade for everyone (the cluster is
+busy), but Opass's reads stay local so its *relative* win persists — and
+its degradation is purely fair-share, not scheduling-induced.
+"""
+
+from repro.core import (
+    ProcessPlacement,
+    graph_from_filesystem,
+    optimize_single_data,
+    rank_interval_assignment,
+    tasks_from_dataset,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem
+from repro.simulate import (
+    BackgroundTraffic,
+    ParallelReadRun,
+    Simulation,
+    StaticSource,
+    cluster_resources,
+)
+from repro.viz import format_table
+from repro.workloads import single_data_workload
+
+NODES = 32
+MB = 10**6
+
+
+def run_under_noise(noise_rate: float, use_opass: bool, seed: int = 0):
+    spec = ClusterSpec.homogeneous(NODES)
+    fs = DistributedFileSystem(spec, seed=seed)
+    data = single_data_workload(NODES, 10)
+    fs.put_dataset(data)
+    placement = ProcessPlacement.one_per_node(NODES)
+    tasks = tasks_from_dataset(data)
+    graph = graph_from_filesystem(fs, tasks, placement)
+    if use_opass:
+        assignment = optimize_single_data(graph, seed=seed).assignment
+    else:
+        assignment = rank_interval_assignment(len(tasks), NODES)
+
+    sim = Simulation()
+    sim.add_resources(cluster_resources(spec))
+    run = ParallelReadRun(
+        fs, placement, tasks, StaticSource(assignment), seed=seed, sim=sim
+    )
+    run.prepare()
+    if noise_rate > 0:
+        BackgroundTraffic(
+            sim, spec,
+            arrival_rate=noise_rate,
+            transfer_size=32 * MB,
+            duration=120.0,
+            seed=seed + 1,
+        ).prepare()
+    sim.run()
+    return run.collect()
+
+
+def run_matrix(seed: int = 0):
+    out = {}
+    for rate in (0.0, 2.0, 6.0):
+        for use_opass in (False, True):
+            out[(rate, use_opass)] = run_under_noise(rate, use_opass, seed=seed)
+    return out
+
+
+def test_ext_shared_cluster(benchmark):
+    out = benchmark.pedantic(lambda: run_matrix(seed=0), rounds=1, iterations=1)
+
+    rows = []
+    speedups = {}
+    for rate in (0.0, 2.0, 6.0):
+        base = out[(rate, False)]
+        opass = out[(rate, True)]
+        speedups[rate] = base.io_stats()["avg"] / opass.io_stats()["avg"]
+        rows.append((
+            f"{rate:.0f}/s x 32 MB",
+            base.io_stats()["avg"], base.makespan,
+            opass.io_stats()["avg"], opass.makespan,
+            f"{speedups[rate]:.1f}x",
+        ))
+    print("\n=== shared cluster: Poisson cross-traffic (32 nodes) ===")
+    print(format_table(
+        ["background load", "base avg io", "base makespan",
+         "opass avg io", "opass makespan", "speedup"],
+        rows,
+    ))
+
+    # Everyone completes despite the noise.
+    for result in out.values():
+        assert result.tasks_completed == 320
+    # Absolute degradation with load, for both (§V-C's 'may not greatly
+    # enhance... due to the adjustment' — the cluster is simply busy).
+    assert out[(6.0, True)].io_stats()["avg"] > out[(0.0, True)].io_stats()["avg"]
+    assert out[(6.0, False)].io_stats()["avg"] > out[(0.0, False)].io_stats()["avg"]
+    # But the relative win persists at every load level.
+    for rate in (0.0, 2.0, 6.0):
+        assert speedups[rate] > 1.5
+    # And Opass's locality is noise-independent.
+    assert out[(6.0, True)].locality_fraction == out[(0.0, True)].locality_fraction

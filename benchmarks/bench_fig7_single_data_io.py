@@ -1,0 +1,89 @@
+"""Figure 7 reproduction: single-data I/O times vs cluster size + 64-node trace.
+
+Paper findings this bench regenerates:
+* 7(a) — without Opass the max I/O time grows sharply with cluster size
+  (9X the minimum at 16 nodes, 21X at 80) while the minimum stays flat;
+* 7(b) — with Opass I/O time is flat (~0.9 s average) at every scale;
+* 7(c) — the 64-node trace: baseline read times climb as execution
+  progresses; with Opass the whole trace sits at one-two seconds; "the
+  average I/O operation time with the use of Opass is a quarter of that
+  without Opass".
+"""
+
+import numpy as np
+
+from repro.metrics import summarize, windowed_means
+from repro.viz import format_series, format_table, paper_vs_measured
+
+from conftest import SWEEP_SIZES, run_single_data_comparison
+
+
+def test_fig7ab_io_time_vs_cluster_size(benchmark, sweep_results):
+    benchmark.pedantic(
+        lambda: run_single_data_comparison(16, seed=9), rounds=1, iterations=1
+    )
+
+    rows = []
+    ratios = {}
+    for m in SWEEP_SIZES:
+        runs = sweep_results[m]
+        base_stats = [r.base.io_stats() for r in runs]
+        opass_stats = [r.opass.io_stats() for r in runs]
+        b_avg = np.mean([s["avg"] for s in base_stats])
+        b_max = np.mean([s["max"] for s in base_stats])
+        b_min = np.mean([s["min"] for s in base_stats])
+        o_avg = np.mean([s["avg"] for s in opass_stats])
+        o_max = np.mean([s["max"] for s in opass_stats])
+        o_min = np.mean([s["min"] for s in opass_stats])
+        ratios[m] = b_max / b_min
+        rows.append((m, b_avg, b_max, b_min, o_avg, o_max, o_min))
+
+    print("\n=== Figure 7(a)/(b): chunk I/O time vs cluster size (mean of 3 seeds) ===")
+    print(format_table(
+        ["nodes", "base avg", "base max", "base min",
+         "opass avg", "opass max", "opass min"],
+        rows,
+    ))
+    print()
+    print(paper_vs_measured([
+        ("baseline max/min at 16 nodes", "9x", f"{ratios[16]:.1f}x"),
+        ("baseline max/min at 80 nodes", "21x", f"{ratios[80]:.1f}x"),
+        ("Opass avg I/O time (all sizes)", "~0.9 s",
+         f"{np.mean([r[4] for r in rows]):.2f} s"),
+    ], title="Figure 7(a)/(b) summary"))
+
+    # Shape assertions: Opass flat and fast at every size.
+    for m, b_avg, b_max, b_min, o_avg, o_max, o_min in rows:
+        assert o_avg < 1.1, f"Opass avg should be ~0.9 s at m={m}"
+        assert o_max < 2.0, f"Opass max should stay flat at m={m}"
+        assert b_avg > 2 * o_avg, f"baseline should be >2x slower at m={m}"
+        assert b_max / b_min > 5, f"baseline spread should be large at m={m}"
+    # Baseline min is a local read and stays constant across sizes.
+    mins = [r[3] for r in rows]
+    assert max(mins) - min(mins) < 0.1
+
+
+def test_fig7c_64_node_trace(benchmark, sweep_results):
+    comparison = sweep_results[64][0]
+    base_trace = benchmark(comparison.base.durations)
+    opass_trace = comparison.opass.durations()
+
+    print("\n=== Figure 7(c): I/O time per operation, 64 nodes / 640 chunks ===")
+    print(format_series("w/o Opass ", base_trace, max_items=20))
+    print(format_series("with Opass", opass_trace, max_items=20))
+    base_window = windowed_means(base_trace, 5)
+    print(format_series("w/o Opass trend (5 windows)", base_window))
+
+    ratio = summarize(base_trace).avg / summarize(opass_trace).avg
+    print()
+    print(paper_vs_measured([
+        ("avg I/O improvement", "4x ('a quarter')", f"{ratio:.1f}x"),
+        ("Opass trace level", "1-2 s", f"{opass_trace.min():.2f}-{opass_trace.max():.2f} s"),
+        ("baseline trace climbs", "increases after initiation",
+         f"{base_window[0]:.2f} -> {base_window[-1]:.2f} s (first vs last window)"),
+    ], title="Figure 7(c) summary"))
+
+    # Shape: baseline trace climbs; Opass flat in the 1-2 s band.
+    assert base_window[-1] > base_window[0]
+    assert opass_trace.max() <= 2.0
+    assert ratio > 2.0

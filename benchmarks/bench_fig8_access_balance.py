@@ -1,0 +1,80 @@
+"""Figure 8 reproduction: per-node data served, balance vs cluster size.
+
+Paper findings:
+* 8(a) — without Opass imbalance grows with the cluster: at 80 nodes the
+  max served is 1500 MB vs a 64 MB minimum;
+* 8(b) — with Opass every node serves ≈ the ideal share;
+* 8(c) — the 64-node per-node series: baseline has nodes above 1400 MB and
+  nodes at 64 MB; "with the use of Opass, every storage node serves
+  approximately 640 MB".
+"""
+
+import numpy as np
+
+from repro.metrics import jains_fairness, summarize
+from repro.viz import format_series, format_table, paper_vs_measured
+
+from conftest import SWEEP_SIZES
+
+
+def test_fig8ab_served_data_vs_cluster_size(benchmark, sweep_results):
+    benchmark(lambda: [summarize(r.base_served_mb) for r in sweep_results[64]])
+    rows = []
+    for m in SWEEP_SIZES:
+        runs = sweep_results[m]
+        b = [summarize(r.base_served_mb) for r in runs]
+        o = [summarize(r.opass_served_mb) for r in runs]
+        rows.append((
+            m,
+            np.mean([s.avg for s in b]),
+            np.mean([s.max for s in b]),
+            np.mean([s.min for s in b]),
+            np.mean([s.avg for s in o]),
+            np.mean([s.max for s in o]),
+            np.mean([s.min for s in o]),
+        ))
+
+    print("\n=== Figure 8(a)/(b): MB served per node vs cluster size (mean of 3 seeds) ===")
+    print(format_table(
+        ["nodes", "base avg", "base max", "base min",
+         "opass avg", "opass max", "opass min"],
+        rows, float_fmt="{:.0f}",
+    ))
+
+    for m, b_avg, b_max, b_min, o_avg, o_max, o_min in rows:
+        # Ideal share: 10 chunks x 64 MB per node.
+        assert abs(b_avg - 640) < 1 and abs(o_avg - 640) < 1
+        # Opass nearly perfectly balanced; baseline heavily skewed.
+        assert o_max - o_min < 0.3 * (b_max - b_min)
+        assert b_max > 1.4 * b_avg
+
+    print()
+    print(paper_vs_measured([
+        ("baseline max served at 80 nodes", "1500 MB", f"{rows[-1][2]:.0f} MB"),
+        ("baseline min served at 80 nodes", "64 MB", f"{rows[-1][3]:.0f} MB"),
+        ("Opass served per node", "~ideal share", f"{rows[-1][4]:.0f} MB avg"),
+    ], title="Figure 8(a)/(b) summary"))
+
+
+def test_fig8c_64_node_per_node_series(benchmark, sweep_results):
+    comparison = sweep_results[64][0]
+    benchmark(lambda: jains_fairness(comparison.base_served_mb))
+    base = comparison.base_served_mb
+    opass = comparison.opass_served_mb
+
+    print("\n=== Figure 8(c): MB served per node, 64 nodes / 640 chunks ===")
+    print(format_series("w/o Opass ", base, fmt="{:.0f}", max_items=32))
+    print(format_series("with Opass", opass, fmt="{:.0f}", max_items=32))
+    print()
+    print(paper_vs_measured([
+        ("baseline hottest node", ">1400 MB", f"{base.max():.0f} MB"),
+        ("baseline coldest node", "64 MB", f"{base.min():.0f} MB"),
+        ("Opass per node", "~640 MB", f"{opass.min():.0f}-{opass.max():.0f} MB"),
+        ("Jain fairness", "-",
+         f"{jains_fairness(base):.3f} -> {jains_fairness(opass):.3f}"),
+    ], title="Figure 8(c) summary"))
+
+    assert base.max() > 1000
+    assert base.min() <= 256
+    assert abs(opass.mean() - 640) < 1
+    assert jains_fairness(opass) > 0.99

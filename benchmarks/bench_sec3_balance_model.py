@@ -1,0 +1,57 @@
+"""§III-B reproduction: expected under/over-loaded node counts.
+
+Paper: "Given r = 3, n = 512, and m = 128, the expected number of nodes
+serving at most 1 chunk is 512 × P(Z ≤ 1) = 11 while the expected number of
+nodes serving more than 8 chunks is 512 × (1 − P(Z ≤ 8)) = 6, which implies
+that some storage nodes will serve more than 8X the number of chunk
+requests as others."
+
+The 512 multiplier is the paper's typo for m = 128 (which indeed gives 11
+for the first quantity); we report both multipliers plus Monte-Carlo.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    cdf_served_chunks,
+    cdf_served_chunks_total_probability,
+    empirical_nodes_serving,
+    section3b_summary,
+)
+from repro.viz import paper_vs_measured
+
+
+def test_sec3b_expected_node_counts(benchmark):
+    summary = benchmark(section3b_summary)
+    rng = np.random.default_rng(1)
+    mc = empirical_nodes_serving(512, 3, 128, trials=400, rng=rng)
+
+    print()
+    print(paper_vs_measured([
+        ("E[nodes serving <=1 chunk]", "11", f"{summary.nodes_at_most_1:.1f}"),
+        ("E[nodes serving >8 chunks]", "6",
+         f"{summary.nodes_more_than_8:.1f} (x m) / "
+         f"{summary.paper_multiplier_more_than_8:.1f} (x n, paper's multiplier)"),
+        ("Monte-Carlo nodes <=1", "-", f"{mc['nodes_at_most_1']:.1f}"),
+        ("Monte-Carlo nodes >8", "-", f"{mc['nodes_more_than_8']:.1f}"),
+        ("hottest node (chunks, MC)", ">8x the idle nodes", f"{mc['mean_max_served']:.1f}"),
+    ], title="§III-B imbalance expectations (n=512, r=3, m=128)"))
+
+    # The paper's 11 is reproduced with the m multiplier.
+    assert summary.nodes_at_most_1 == np.float64(128 * cdf_served_chunks(1, 512, 3, 128))
+    assert abs(summary.nodes_at_most_1 - 11) < 1.0
+    # Monte-Carlo agrees with the closed form.
+    assert abs(mc["nodes_at_most_1"] - summary.nodes_at_most_1) < 2.0
+    assert abs(mc["nodes_more_than_8"] - summary.nodes_more_than_8) < 2.0
+    # The hottest node serves >8x an idle (<=1 chunk) node.
+    assert mc["mean_max_served"] > 8
+
+
+def test_sec3b_total_probability_identity(benchmark):
+    """The paper's compound sum equals the thinned Binomial(n, 1/m) exactly."""
+    val = benchmark.pedantic(
+        lambda: cdf_served_chunks_total_probability(8, 512, 3, 128),
+        rounds=3, iterations=1,
+    )
+    closed = float(cdf_served_chunks(8, 512, 3, 128))
+    assert abs(val - closed) < 1e-10

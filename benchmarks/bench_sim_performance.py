@@ -1,0 +1,54 @@
+"""Substrate health: simulator wall-clock and event throughput.
+
+Not a paper figure — a maintainer's bench.  The fluid simulator is the
+substrate every experiment stands on; this tracks its cost at Fig-7
+scales so a regression in the water-filling hot loop (see
+ARCHITECTURE.md §1) is caught here rather than as a mysteriously slow
+benchmark suite.
+"""
+
+import time
+
+from repro.core import ProcessPlacement, rank_interval_assignment, tasks_from_dataset
+from repro.dfs import ClusterSpec, DistributedFileSystem
+from repro.simulate import ParallelReadRun, StaticSource
+from repro.viz import format_table
+from repro.workloads import single_data_workload
+
+
+def run_scaling(seed: int = 0):
+    rows = []
+    for m in (32, 64, 128):
+        fs = DistributedFileSystem(ClusterSpec.homogeneous(m), seed=seed)
+        data = single_data_workload(m, 10)
+        fs.put_dataset(data)
+        placement = ProcessPlacement.one_per_node(m)
+        tasks = tasks_from_dataset(data)
+        run = ParallelReadRun(
+            fs, placement, tasks,
+            StaticSource(rank_interval_assignment(len(tasks), m)), seed=seed,
+        )
+        t0 = time.perf_counter()
+        result = run.run()
+        wall = time.perf_counter() - t0
+        rows.append((
+            m, len(tasks), run.sim.events_processed, wall * 1000,
+            run.sim.events_processed / wall,
+        ))
+        assert result.tasks_completed == len(tasks)
+    return rows
+
+
+def test_sim_event_throughput(benchmark):
+    rows = benchmark.pedantic(lambda: run_scaling(seed=0), rounds=1, iterations=1)
+    print("\n=== simulator throughput (baseline runs, max contention) ===")
+    print(format_table(
+        ["nodes", "reads", "events", "wall (ms)", "events/s"],
+        rows, float_fmt="{:.0f}",
+    ))
+    for m, reads, events, wall_ms, throughput in rows:
+        # The 128-node Marmot-scale baseline must simulate within seconds.
+        assert wall_ms < 30_000
+        assert throughput > 100
+    # Events scale roughly with reads (≈2 events per read + slack).
+    assert rows[-1][2] < rows[-1][1] * 6

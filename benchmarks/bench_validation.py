@@ -1,0 +1,44 @@
+"""Internal-consistency bench: analytical models vs the full simulator.
+
+Not a figure from the paper — a reproduction-quality check.  The §III
+closed forms and the discrete-event simulator implement the same random
+experiment through completely different code paths; this bench sweeps a
+configuration grid and asserts they agree, which is what makes the
+simulated figure reproductions trustworthy.
+"""
+
+from repro.analysis import validation_grid
+from repro.viz import format_table
+
+
+def test_validation_grid(benchmark):
+    rows = benchmark.pedantic(
+        lambda: validation_grid(
+            cluster_sizes=(8, 16, 32), replications=(2, 3), trials=3, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = [
+        (
+            r.num_nodes,
+            r.replication,
+            r.model_locality,
+            r.simulated_locality,
+            r.locality_error,
+            r.model_served_std,
+            r.simulated_served_std,
+        )
+        for r in rows
+    ]
+    print("\n=== model vs simulation consistency grid ===")
+    print(format_table(
+        ["nodes", "r", "model local", "sim local", "|err|",
+         "model serve std", "sim serve std"],
+        table, float_fmt="{:.3f}",
+    ))
+
+    for r in rows:
+        assert r.locality_error < 0.1, r
+        assert 0.4 < r.served_std_ratio < 1.8, r

@@ -1,0 +1,27 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+All experiment logic lives in :mod:`repro.experiments`; the bench files
+print the paper-style rows (run pytest with ``-s`` to see them) and assert
+the paper's shapes.  Simulated runs are deterministic given the seed, so
+one benchmark round is representative; heavyweight experiments use
+``benchmark.pedantic(..., rounds=1)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    SWEEP_SIZES,
+    SingleDataComparison,
+    run_single_data_comparison,
+    run_sweep,
+)
+
+__all__ = ["SWEEP_SIZES", "SingleDataComparison", "run_single_data_comparison"]
+
+
+@pytest.fixture(scope="session")
+def sweep_results() -> dict[int, list[SingleDataComparison]]:
+    """The Figure-7/8 sweep (3 seeds per size), computed once per session."""
+    return run_sweep()

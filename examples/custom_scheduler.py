@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Plugging your own scheduler into the harness.
+
+The runner accepts any object with ``next_task(rank) -> int | Wait | None``
+(the ``TaskSource`` protocol), so new scheduling ideas drop straight into
+the paper's benchmark machinery.  This example implements a *replica-aware
+round-robin* dispatcher in ~25 lines — each worker cycles through chunk
+replicas it hosts, handing off leftovers round-robin — and races it
+against the built-in ladder (random, locality-greedy, Opass) on the
+Figure-11 workload.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from repro.core import (
+    DefaultDynamicPolicy,
+    LocalityGreedyPolicy,
+    ProcessPlacement,
+    graph_from_filesystem,
+    opass_dynamic_plan,
+    tasks_from_dataset,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem
+from repro.simulate import ParallelReadRun
+from repro.viz import format_table
+from repro.workloads import gene_database
+
+NODES = 32
+FRAGMENTS = 320
+
+
+class ReplicaRoundRobin:
+    """A custom TaskSource: serve your replicas first, then round-robin.
+
+    Unlike the greedy policy it pre-partitions local candidates per rank
+    (no per-dispatch max scan) and drains leftovers in task-id order —
+    simpler, slightly worse, and a template for your own ideas.
+    """
+
+    def __init__(self, graph):
+        self._remaining = set(range(graph.num_tasks))
+        # Cheap per-rank preference lists built once from the layout.
+        self._prefs = {
+            rank: sorted(graph.edges_of_process(rank), key=lambda t: -graph.edge_weight(rank, t))
+            for rank in range(graph.num_processes)
+        }
+        self._leftovers = sorted(self._remaining)
+
+    def next_task(self, rank):
+        for task in self._prefs[rank]:
+            if task in self._remaining:
+                self._remaining.discard(task)
+                return task
+        while self._leftovers:
+            task = self._leftovers.pop(0)
+            if task in self._remaining:
+                self._remaining.discard(task)
+                return task
+        return None
+
+
+def main() -> None:
+    rows = []
+    for name in ("random master", "replica round-robin (custom)",
+                 "locality greedy", "Opass guided lists"):
+        fs = DistributedFileSystem(ClusterSpec.homogeneous(NODES), seed=2015)
+        db = gene_database(FRAGMENTS)
+        fs.put_dataset(db)
+        placement = ProcessPlacement.one_per_node(NODES)
+        tasks = tasks_from_dataset(db)
+        graph = graph_from_filesystem(fs, tasks, placement)
+        if name == "random master":
+            policy = DefaultDynamicPolicy(len(tasks), mode="random", seed=1)
+        elif name.startswith("replica"):
+            policy = ReplicaRoundRobin(graph)
+        elif name.startswith("locality"):
+            policy = LocalityGreedyPolicy(graph, seed=1)
+        else:
+            policy, _, _ = opass_dynamic_plan(fs, "genedb", placement, seed=1)
+        result = ParallelReadRun(fs, placement, tasks, policy, seed=1).run()
+        rows.append((
+            name,
+            f"{result.locality_fraction:.0%}",
+            result.io_stats()["avg"],
+            result.makespan,
+        ))
+
+    print(format_table(
+        ["scheduler", "locality", "avg io (s)", "makespan (s)"],
+        rows,
+        title=f"custom scheduler vs the built-in ladder ({NODES} nodes)",
+    ))
+    print("\nAnything with next_task(rank) plugs in — see "
+          "repro.simulate.runner.TaskSource.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Full data lifecycle: parallel ingest, then locality-aware analysis.
+
+The paper's context in one script:
+
+1. an MPI writer fleet ingests a dataset through the HDFS replication
+   pipeline (writer-local first replica, Garth/Sun-style parallel writes);
+2. the *same* fleet re-reads its own intervals — locality is free;
+3. a *different* fleet (half the nodes, the usual analysis situation)
+   reads the same data — locality collapses, I/O time balloons;
+4. Opass re-matches the new fleet to the existing layout and recovers the
+   performance without moving a byte.
+
+Run:  python examples/data_lifecycle.py
+"""
+
+from repro.core import (
+    ProcessPlacement,
+    opass_single_data,
+    rank_interval_assignment,
+    tasks_from_dataset,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem, HdfsWriterLocalPlacement
+from repro.dfs.chunk import uniform_dataset
+from repro.simulate import DatasetIngest, ParallelReadRun, StaticSource
+from repro.viz import format_table
+
+NODES = 32
+CHUNKS = 320
+
+
+def main() -> None:
+    fs = DistributedFileSystem(
+        ClusterSpec.homogeneous(NODES),
+        placement=HdfsWriterLocalPlacement(),
+        seed=2015,
+    )
+    dataset = uniform_dataset("campaign", CHUNKS)
+    writers = ProcessPlacement.one_per_node(NODES)
+
+    # -- 1. ingest -----------------------------------------------------------
+    ingest = DatasetIngest(fs, writers, dataset, seed=1).run()
+    w = ingest.write_stats()
+    print(f"ingested {ingest.bytes_written / 1e9:.1f} GB through the "
+          f"replication pipeline in {ingest.makespan:.0f} s "
+          f"(avg chunk write {w['avg']:.2f} s)\n")
+
+    tasks = tasks_from_dataset(fs.dataset("campaign"))
+    rows = []
+
+    # -- 2. aligned readers: the writer fleet re-reads its own intervals ---
+    run = ParallelReadRun(
+        fs, writers, tasks,
+        StaticSource(rank_interval_assignment(CHUNKS, NODES)), seed=2,
+    ).run()
+    rows.append(("writer fleet, rank intervals", f"{run.locality_fraction:.0%}",
+                 run.io_stats()["avg"], run.makespan))
+    fs.reset_counters()
+
+    # -- 3. a different fleet reads the same data -----------------------------
+    analysts = ProcessPlacement(tuple(range(0, NODES, 2)))  # every other node
+    run = ParallelReadRun(
+        fs, analysts, tasks,
+        StaticSource(rank_interval_assignment(CHUNKS, analysts.num_processes)),
+        seed=2,
+    ).run()
+    rows.append(("analysis fleet, rank intervals", f"{run.locality_fraction:.0%}",
+                 run.io_stats()["avg"], run.makespan))
+    fs.reset_counters()
+
+    # -- 4. Opass re-matches the analysis fleet ------------------------------
+    matched, _, _ = opass_single_data(fs, dataset, analysts, seed=2)
+    run = ParallelReadRun(
+        fs, analysts, tasks, StaticSource(matched.assignment), seed=2
+    ).run()
+    rows.append(("analysis fleet, Opass", f"{run.locality_fraction:.0%}",
+                 run.io_stats()["avg"], run.makespan))
+
+    print(format_table(
+        ["reader configuration", "locality", "avg io (s)", "makespan (s)"],
+        rows,
+        title="reading the ingested dataset",
+    ))
+    print("\nThe writer fleet gets locality for free (writer-local first "
+          "replicas + the same intervals).  Any other fleet needs Opass.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Multi-input genome comparison with Algorithm 1 (§II-B, §IV-C, §V-A2).
+
+The paper's motivating multi-data workload: every task compares gene files
+of three species (inputs of 30, 20 and 10 MB drawn from three datasets that
+HDFS scattered independently).  A task's inputs rarely share a node, so no
+assignment is fully local — Algorithm 1 maximises co-located bytes with its
+propose-and-steal matching.
+
+Run:  python examples/genome_comparison.py [--nodes N] [--tasks K]
+"""
+
+import argparse
+
+from repro.apps import MultiInputComparison
+from repro.core import ProcessPlacement
+from repro.dfs import ClusterSpec, DistributedFileSystem
+from repro.metrics import ServeMonitor
+from repro.viz import format_table
+from repro.workloads import multi_input_datasets
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=64)
+    parser.add_argument("--tasks", type=int, default=640)
+    parser.add_argument("--seed", type=int, default=2015)
+    args = parser.parse_args()
+
+    spec = ClusterSpec.homogeneous(args.nodes)
+    fs = DistributedFileSystem(spec, seed=args.seed)
+    datasets = multi_input_datasets(args.tasks)
+    for ds in datasets:
+        fs.put_dataset(ds)
+    placement = ProcessPlacement.one_per_node(args.nodes)
+    total_gb = sum(ds.size for ds in datasets) / 1e9
+    print(f"{args.tasks} comparison tasks x (30+20+10) MB inputs "
+          f"from 3 datasets = {total_gb:.1f} GB on {args.nodes} nodes\n")
+
+    rows = []
+    for name, use_opass in [("default assignment", False), ("Opass (Algorithm 1)", True)]:
+        monitor = ServeMonitor(fs)
+        monitor.start()
+        app = MultiInputComparison(fs, placement, datasets, use_opass=use_opass)
+        out = app.execute(seed=args.seed)
+        stats = out.result.io_stats()
+        served = monitor.served_summary_mb()
+        rows.append((
+            name,
+            f"{out.planned_locality:.0%}",
+            stats["avg"], stats["max"], stats["min"],
+            served.max, served.min,
+            out.result.makespan,
+        ))
+
+    print(format_table(
+        ["method", "local bytes", "avg io (s)", "max io (s)", "min io (s)",
+         "max MB/node", "min MB/node", "makespan (s)"],
+        rows,
+        title="Figures 9-10 reproduction (paper: ~2x average I/O improvement; "
+              "balance better but not perfect)",
+    ))
+    print("\nNote: tasks need inputs from three scattered datasets, so part "
+          "of the data must be read remotely — the improvement is smaller "
+          "than the single-data case, exactly as §V-C discusses.")
+
+
+if __name__ == "__main__":
+    main()

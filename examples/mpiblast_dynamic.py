@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""mpiBLAST-style dynamic scheduling with Opass guided lists (§IV-D, §V-A3).
+
+A master process feeds fragment-scan tasks to workers whose per-task compute
+times are irregular (lognormal).  The default master picks arbitrary
+remaining tasks; the Opass master follows precomputed per-worker lists and,
+when a fast worker drains its list, steals the task with the most co-located
+data from the longest remaining list — keeping both locality and load
+balance in a heterogeneous run.
+
+Run:  python examples/mpiblast_dynamic.py [--nodes N] [--fragments K]
+"""
+
+import argparse
+
+from repro.apps import MpiBlastConfig, MpiBlastRun
+from repro.core import ProcessPlacement
+from repro.dfs import ClusterSpec, DistributedFileSystem
+from repro.viz import format_table
+from repro.workloads import gene_database
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=64)
+    parser.add_argument("--fragments", type=int, default=640)
+    parser.add_argument("--compute-mean", type=float, default=0.5,
+                        help="mean irregular compute time per task (s)")
+    parser.add_argument("--seed", type=int, default=2015)
+    args = parser.parse_args()
+
+    spec = ClusterSpec.homogeneous(args.nodes)
+    fs = DistributedFileSystem(spec, seed=args.seed)
+    db = gene_database(args.fragments)
+    fs.put_dataset(db)
+    placement = ProcessPlacement.one_per_node(args.nodes)
+    config = MpiBlastConfig(compute_mean=args.compute_mean, compute_cv=0.8)
+    print(f"gene database: {args.fragments} fragments "
+          f"({db.size / 1e9:.1f} GB) on {args.nodes} nodes; "
+          f"irregular compute ~{args.compute_mean}s/task\n")
+
+    rows = []
+    steals = {}
+    for name, use_opass in [("default dynamic", False), ("Opass dynamic", True)]:
+        fs.reset_counters()
+        run = MpiBlastRun(fs, placement, db, config=config, use_opass=use_opass)
+        out = run.execute(seed=args.seed)
+        stats = out.result.io_stats()
+        steals[name] = out.steals
+        rows.append((
+            name,
+            stats["avg"], stats["max"], stats["min"],
+            f"{out.result.locality_fraction:.0%}",
+            out.result.makespan,
+        ))
+
+    print(format_table(
+        ["method", "avg io (s)", "max io (s)", "min io (s)", "local reads",
+         "makespan (s)"],
+        rows,
+        title="Figure 11 reproduction (paper: average I/O ~2.7x better with Opass)",
+    ))
+    ratio = rows[0][1] / rows[1][1]
+    print(f"\naverage I/O improvement: {ratio:.1f}x; "
+          f"locality-aware steals performed: {steals['Opass dynamic']}")
+
+
+if __name__ == "__main__":
+    main()

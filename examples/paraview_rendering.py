@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""ParaView MultiBlock rendering with and without Opass (§V-B, Figure 12).
+
+Models the paper's real-application test: a 64-node ParaView data-server
+fleet renders a Protein-Data-Bank-derived MultiBlock series from HDFS.
+Each rendering step every server reads one ~56 MB piece and parses it; the
+fleet then synchronises to render the frame.  Stock ParaView assigns pieces
+by rank arithmetic; the patched reader calls Opass inside ReadXMLData().
+
+Run:  python examples/paraview_rendering.py [--nodes N] [--datasets K]
+"""
+
+import argparse
+
+from repro.apps import ParaViewMultiBlockReader
+from repro.core import ProcessPlacement
+from repro.dfs import ClusterSpec, DistributedFileSystem
+from repro.viz import format_series, format_table
+from repro.workloads import paraview_multiblock_series
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=64)
+    parser.add_argument("--datasets", type=int, default=640)
+    parser.add_argument("--seed", type=int, default=2015)
+    args = parser.parse_args()
+
+    spec = ClusterSpec.homogeneous(args.nodes)
+    fs = DistributedFileSystem(spec, seed=args.seed)
+    series = paraview_multiblock_series(args.datasets)
+    fs.put_dataset(series)
+    placement = ProcessPlacement.one_per_node(args.nodes)
+    print(f"MultiBlock series: {args.datasets} pieces, "
+          f"{series.size / 1e9:.1f} GB total, {args.nodes} data servers\n")
+
+    rows = []
+    for name, use_opass in [("w/o Opass", False), ("with Opass", True)]:
+        fs.reset_counters()
+        reader = ParaViewMultiBlockReader(
+            fs, placement, series, use_opass=use_opass, opass_seed=args.seed
+        )
+        result = reader.render(seed=args.seed)
+        rows.append((
+            name,
+            result.avg_call_time,
+            result.std_call_time,
+            result.min_call_time,
+            result.max_call_time,
+            result.total_execution_time,
+        ))
+        print(format_series(
+            f"{name} vtkFileSeriesReader call times (s)",
+            result.reader_call_times,
+        ))
+
+    print()
+    print(format_table(
+        ["method", "avg call (s)", "std", "min", "max", "total (s)"],
+        rows,
+        title="Figure 12 / §V-B reproduction "
+              "(paper: 5.48±1.339 vs 3.07±0.316; totals 167 s vs 98 s)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Opass on a busy, shared cluster (§V-C's multi-tenancy caveat).
+
+Two tenants share one cluster clock:
+
+* the application under test (the Fig-7 single-data workload), scheduled
+  either naively or by Opass;
+* Poisson background cross-traffic (another team's jobs).
+
+The paper's prediction holds: everyone slows on a busy cluster, but
+Opass's reads stay local, so its advantage persists at every load level.
+
+Run:  python examples/shared_cluster.py
+"""
+
+from repro.core import (
+    ProcessPlacement,
+    graph_from_filesystem,
+    optimize_single_data,
+    rank_interval_assignment,
+    tasks_from_dataset,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem
+from repro.simulate import (
+    BackgroundTraffic,
+    ParallelReadRun,
+    Simulation,
+    StaticSource,
+    cluster_resources,
+)
+from repro.viz import format_table
+from repro.workloads import single_data_workload
+
+NODES = 32
+MB = 10**6
+
+
+def run(noise_rate: float, use_opass: bool):
+    spec = ClusterSpec.homogeneous(NODES)
+    fs = DistributedFileSystem(spec, seed=2015)
+    data = single_data_workload(NODES, 10)
+    fs.put_dataset(data)
+    placement = ProcessPlacement.one_per_node(NODES)
+    tasks = tasks_from_dataset(data)
+    graph = graph_from_filesystem(fs, tasks, placement)
+    assignment = (
+        optimize_single_data(graph, seed=1).assignment
+        if use_opass
+        else rank_interval_assignment(len(tasks), NODES)
+    )
+
+    sim = Simulation()
+    sim.add_resources(cluster_resources(spec))
+    app = ParallelReadRun(
+        fs, placement, tasks, StaticSource(assignment), seed=1, sim=sim
+    )
+    app.prepare()
+    if noise_rate > 0:
+        BackgroundTraffic(
+            sim, spec, arrival_rate=noise_rate, transfer_size=32 * MB,
+            duration=120.0, seed=7,
+        ).prepare()
+    sim.run()
+    return app.collect()
+
+
+def main() -> None:
+    rows = []
+    for rate, label in [(0.0, "idle cluster"), (2.0, "moderate traffic"),
+                        (6.0, "heavy traffic")]:
+        base = run(rate, use_opass=False)
+        opass = run(rate, use_opass=True)
+        rows.append((
+            label,
+            base.io_stats()["avg"], base.makespan,
+            opass.io_stats()["avg"], opass.makespan,
+            f"{base.io_stats()['avg'] / opass.io_stats()['avg']:.1f}x",
+        ))
+    print(format_table(
+        ["cluster state", "naive avg io", "naive makespan",
+         "opass avg io", "opass makespan", "opass advantage"],
+        rows,
+        title="one application + background tenants (32 nodes)",
+    ))
+    print("\nOpass cannot make a busy cluster idle (§V-C), but its requests "
+          "are 'served in an optimized way as long as the cluster nodes "
+          "have the capability' — the relative win survives the noise.")
+
+
+if __name__ == "__main__":
+    main()

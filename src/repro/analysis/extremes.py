@@ -1,0 +1,95 @@
+"""Extreme-value analysis: how hot does the hottest node get?
+
+§III-B bounds the tails of one node's serving load; the figures' striking
+numbers (node-43 serving >6 chunks in Fig 1, a node serving >1400 MB in
+Fig 8(c)) are about the *maximum* over all m nodes.  With per-node loads
+Z_j ~ Binomial(n, 1/m), the independence approximation
+
+    P(max_j Z_j ≤ k) ≈ P(Z ≤ k)^m
+
+is accurate for m ≫ 1 (the loads are negatively associated, so the
+approximation is slightly conservative).  These helpers compute that
+distribution, its mean, and the paper-flavoured summary "the hottest node
+serves X× the ideal share"; Monte-Carlo cross-checks live in the tests and
+``bench_ext_extremes``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .balance import served_chunks_distribution
+
+
+def max_served_cdf(
+    k: int | np.ndarray, num_chunks: int, replication: int, num_nodes: int
+) -> np.ndarray | float:
+    """P(max over nodes of chunks served ≤ k), independence approximation."""
+    per_node = served_chunks_distribution(num_chunks, replication, num_nodes)
+    return per_node.cdf(k) ** num_nodes
+
+
+def max_served_pmf(
+    num_chunks: int, replication: int, num_nodes: int
+) -> np.ndarray:
+    """PMF of the maximum served count over k = 0..n."""
+    ks = np.arange(num_chunks + 1)
+    cdf = np.asarray(max_served_cdf(ks, num_chunks, replication, num_nodes))
+    pmf = np.diff(np.concatenate(([0.0], cdf)))
+    return pmf
+
+
+def expected_max_served(num_chunks: int, replication: int, num_nodes: int) -> float:
+    """E[max_j Z_j] under the independence approximation."""
+    pmf = max_served_pmf(num_chunks, replication, num_nodes)
+    return float(np.sum(np.arange(num_chunks + 1) * pmf))
+
+
+@dataclass(frozen=True)
+class HotspotSummary:
+    """The 'hottest node' story for one configuration."""
+
+    num_chunks: int
+    replication: int
+    num_nodes: int
+    ideal_share: float
+    expected_max: float
+
+    @property
+    def overload_factor(self) -> float:
+        """Hottest node's load relative to the ideal even share."""
+        if self.ideal_share == 0:
+            return 1.0
+        return self.expected_max / self.ideal_share
+
+
+def hotspot_summary(
+    num_chunks: int, replication: int, num_nodes: int
+) -> HotspotSummary:
+    """Expected hottest-node load vs the ideal share n/m."""
+    return HotspotSummary(
+        num_chunks=num_chunks,
+        replication=replication,
+        num_nodes=num_nodes,
+        ideal_share=num_chunks / num_nodes,
+        expected_max=expected_max_served(num_chunks, replication, num_nodes),
+    )
+
+
+def empirical_max_served(
+    num_chunks: int,
+    replication: int,
+    num_nodes: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """Monte-Carlo E[max_j Z_j] under the exact (dependent) serving model."""
+    from .montecarlo import simulate_serve_counts
+
+    total = 0.0
+    for _ in range(trials):
+        sample = simulate_serve_counts(num_chunks, replication, num_nodes, rng)
+        total += float(sample.served.max())
+    return total / trials

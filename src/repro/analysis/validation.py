@@ -1,0 +1,118 @@
+"""Systematic cross-validation: §III closed forms vs the full simulator.
+
+The analytical models (binomial locality, thinned-binomial serving) and
+the discrete-event simulator are independent implementations of the same
+random experiment.  This module runs both over a configuration grid and
+reports the deviations, giving the repository an internal consistency
+check that is itself a reproducible experiment (``bench_validation``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.baselines import random_assignment
+from ..core.bipartite import ProcessPlacement
+from ..core.tasks import tasks_from_dataset
+from ..dfs.chunk import uniform_dataset
+from ..dfs.cluster import ClusterSpec
+from ..dfs.filesystem import DistributedFileSystem
+from ..simulate.runner import ParallelReadRun, StaticSource
+from .balance import served_chunks_distribution
+from .locality import expected_local_fraction
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """Model vs simulation for one (m, r, chunks/process) configuration."""
+
+    num_nodes: int
+    replication: int
+    chunks_per_process: int
+    model_locality: float
+    simulated_locality: float
+    model_served_std: float
+    simulated_served_std: float
+
+    @property
+    def locality_error(self) -> float:
+        return abs(self.model_locality - self.simulated_locality)
+
+    @property
+    def served_std_ratio(self) -> float:
+        if self.model_served_std == 0:
+            return 1.0
+        return self.simulated_served_std / self.model_served_std
+
+
+def validate_configuration(
+    num_nodes: int,
+    replication: int,
+    chunks_per_process: int,
+    *,
+    trials: int = 3,
+    seed: int = 0,
+) -> ValidationRow:
+    """Run ``trials`` seeded experiments and compare with the closed forms.
+
+    Locality: a random task assignment makes each read local with
+    probability r/m — the simulated local fraction should match.
+    Serving spread: under all-remote random serving each node serves
+    Z ~ Binomial(n, 1/m) chunks; with local-first reads the simulated
+    per-node serve counts should have a spread of the same order (local
+    reads pin n·r/m chunks to their own nodes, slightly flattening it).
+    """
+    n = num_nodes * chunks_per_process
+    sim_locality = []
+    sim_served_std = []
+    for t in range(trials):
+        fs = DistributedFileSystem(
+            ClusterSpec.homogeneous(num_nodes),
+            replication=replication,
+            seed=seed * 1000 + t,
+        )
+        data = uniform_dataset(f"v{t}", n)
+        fs.put_dataset(data)
+        placement = ProcessPlacement.one_per_node(num_nodes)
+        tasks = tasks_from_dataset(data)
+        assignment = random_assignment(n, num_nodes, seed=seed * 1000 + t)
+        result = ParallelReadRun(
+            fs, placement, tasks, StaticSource(assignment), seed=seed * 1000 + t
+        ).run()
+        sim_locality.append(result.locality_fraction)
+        served_chunks = result.served_bytes_array(num_nodes) / data.files[0].size
+        sim_served_std.append(float(served_chunks.std()))
+    model_served_std = float(served_chunks_distribution(n, replication, num_nodes).std())
+    return ValidationRow(
+        num_nodes=num_nodes,
+        replication=replication,
+        chunks_per_process=chunks_per_process,
+        model_locality=expected_local_fraction(replication, num_nodes),
+        simulated_locality=float(np.mean(sim_locality)),
+        model_served_std=model_served_std,
+        simulated_served_std=float(np.mean(sim_served_std)),
+    )
+
+
+def validation_grid(
+    *,
+    cluster_sizes: tuple[int, ...] = (8, 16, 32),
+    replications: tuple[int, ...] = (2, 3),
+    chunks_per_process: int = 10,
+    trials: int = 3,
+    seed: int = 0,
+) -> list[ValidationRow]:
+    """The full model-vs-simulation consistency sweep."""
+    rows = []
+    for m in cluster_sizes:
+        for r in replications:
+            if r > m:
+                continue
+            rows.append(
+                validate_configuration(
+                    m, r, chunks_per_process, trials=trials, seed=seed
+                )
+            )
+    return rows

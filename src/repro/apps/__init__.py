@@ -1,0 +1,46 @@
+"""Application models from the paper: ParaView, mpiBLAST, multi-input tasks."""
+
+from .mpiblast import (
+    BlastReport,
+    FragmentResult,
+    MpiBlastConfig,
+    MpiBlastProtocol,
+    MpiBlastRun,
+    replay_protocol,
+)
+from .multiblock_io import (
+    VTK_DATASET_TYPES,
+    MultiBlockPiece,
+    meta_to_xml,
+    parse_meta_xml,
+    read_meta_file,
+    write_meta_file,
+)
+from .multi_input import MultiInputComparison, MultiInputOutcome
+from .paraview import (
+    MultiBlockMetaFile,
+    ParaViewConfig,
+    ParaViewMultiBlockReader,
+    ParaViewResult,
+)
+
+__all__ = [
+    "BlastReport",
+    "FragmentResult",
+    "MpiBlastConfig",
+    "MpiBlastProtocol",
+    "MpiBlastRun",
+    "replay_protocol",
+    "MultiBlockPiece",
+    "VTK_DATASET_TYPES",
+    "meta_to_xml",
+    "parse_meta_xml",
+    "read_meta_file",
+    "write_meta_file",
+    "MultiBlockMetaFile",
+    "MultiInputComparison",
+    "MultiInputOutcome",
+    "ParaViewConfig",
+    "ParaViewMultiBlockReader",
+    "ParaViewResult",
+]

@@ -1,0 +1,146 @@
+"""MultiBlock meta-file serialisation (a ``.vtm``-like XML index).
+
+ParaView's composite readers start from an index file: "a meta-file is
+read as an index file, which points to a series of VTK XML data files
+constituting the subsets.  The series of data files are either PolyData,
+ImageData, RectilinearGrid, UnstructuredGrid or StructuredGrid."
+
+This module writes and parses that index in the VTK XML MultiBlock shape
+(``<VTKFile type="vtkMultiBlockDataSet">`` with one ``<DataSet>`` element
+per piece), so the ParaView application model can round-trip a real file
+instead of holding the piece list in memory.  The parser is a small
+hand-rolled XML reader for exactly this schema — intentionally strict, it
+rejects anything it does not understand.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from xml.etree import ElementTree
+
+from ..dfs.chunk import Dataset
+from .paraview import MultiBlockMetaFile
+
+#: Piece types ParaView's composite reader accepts (paper §V-B).
+VTK_DATASET_TYPES = (
+    "PolyData",
+    "ImageData",
+    "RectilinearGrid",
+    "UnstructuredGrid",
+    "StructuredGrid",
+)
+
+_EXTENSION_OF = {
+    "PolyData": "vtp",
+    "ImageData": "vti",
+    "RectilinearGrid": "vtr",
+    "UnstructuredGrid": "vtu",
+    "StructuredGrid": "vts",
+}
+
+
+@dataclass(frozen=True)
+class MultiBlockPiece:
+    """One ``<DataSet>`` entry: index, piece type and file reference."""
+
+    index: int
+    dataset_type: str
+    file: str
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("piece index must be non-negative")
+        if self.dataset_type not in VTK_DATASET_TYPES:
+            raise ValueError(f"unknown VTK dataset type {self.dataset_type!r}")
+        if not self.file:
+            raise ValueError("piece needs a file reference")
+
+
+def meta_to_xml(
+    meta: MultiBlockMetaFile,
+    *,
+    dataset_type: str = "PolyData",
+) -> str:
+    """Serialise a meta-file to ``.vtm``-style XML."""
+    if dataset_type not in VTK_DATASET_TYPES:
+        raise ValueError(f"unknown VTK dataset type {dataset_type!r}")
+    ext = _EXTENSION_OF[dataset_type]
+    lines = [
+        '<?xml version="1.0"?>',
+        '<VTKFile type="vtkMultiBlockDataSet" version="1.0">',
+        "  <vtkMultiBlockDataSet>",
+    ]
+    for i, piece in enumerate(meta.pieces):
+        safe = piece.replace("&", "&amp;").replace("<", "&lt;").replace('"', "&quot;")
+        lines.append(
+            f'    <DataSet index="{i}" type="{dataset_type}" file="{safe}.{ext}"/>'
+        )
+    lines.append("  </vtkMultiBlockDataSet>")
+    lines.append("</VTKFile>")
+    return "\n".join(lines) + "\n"
+
+
+def write_meta_file(
+    meta: MultiBlockMetaFile,
+    path: str | Path,
+    *,
+    dataset_type: str = "PolyData",
+) -> Path:
+    """Write the index to disk; returns the path."""
+    path = Path(path)
+    path.write_text(meta_to_xml(meta, dataset_type=dataset_type))
+    return path
+
+
+_PIECE_SUFFIX = re.compile(r"\.(vtp|vti|vtr|vtu|vts)$")
+
+
+def parse_meta_xml(text: str, *, dataset_name: str = "series") -> MultiBlockMetaFile:
+    """Parse ``.vtm``-style XML back into a :class:`MultiBlockMetaFile`.
+
+    Strict: the root must be a ``VTKFile`` of type ``vtkMultiBlockDataSet``,
+    pieces must carry ``index``/``type``/``file`` attributes, indices must
+    be 0..n-1 in order, and piece types must be known.
+    """
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as exc:
+        raise ValueError(f"malformed meta-file XML: {exc}") from exc
+    if root.tag != "VTKFile" or root.get("type") != "vtkMultiBlockDataSet":
+        raise ValueError("not a vtkMultiBlockDataSet VTKFile")
+    block = root.find("vtkMultiBlockDataSet")
+    if block is None:
+        raise ValueError("missing <vtkMultiBlockDataSet> element")
+    pieces: list[MultiBlockPiece] = []
+    for elem in block:
+        if elem.tag != "DataSet":
+            raise ValueError(f"unexpected element <{elem.tag}> in meta-file")
+        index = elem.get("index")
+        dtype = elem.get("type")
+        file_ref = elem.get("file")
+        if index is None or dtype is None or file_ref is None:
+            raise ValueError("DataSet element missing index/type/file")
+        pieces.append(MultiBlockPiece(index=int(index), dataset_type=dtype, file=file_ref))
+    if [p.index for p in pieces] != list(range(len(pieces))):
+        raise ValueError("piece indices must be 0..n-1 in order")
+    names = tuple(_PIECE_SUFFIX.sub("", p.file) for p in pieces)
+    return MultiBlockMetaFile(dataset_name=dataset_name, pieces=names)
+
+
+def read_meta_file(path: str | Path, *, dataset_name: str | None = None) -> MultiBlockMetaFile:
+    """Read and parse a meta-file from disk."""
+    path = Path(path)
+    name = dataset_name if dataset_name is not None else path.stem
+    return parse_meta_xml(path.read_text(), dataset_name=name)
+
+
+def meta_round_trip_equal(a: MultiBlockMetaFile, b: MultiBlockMetaFile) -> bool:
+    """Piece-list equality (names only; the dataset label may differ)."""
+    return a.pieces == b.pieces
+
+
+def meta_for_dataset(dataset: Dataset) -> MultiBlockMetaFile:
+    """Convenience: the meta-file indexing a stored series dataset."""
+    return MultiBlockMetaFile.from_dataset(dataset)

@@ -1,0 +1,137 @@
+"""Assignment value type, validation and quality scoring.
+
+An :class:`Assignment` maps every task to exactly one process.  Scoring
+functions measure the two quantities Opass optimizes: the fraction of data
+readable locally, and the balance of serve load across nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bipartite import LocalityGraph
+
+
+def equal_quotas(num_tasks: int, num_processes: int) -> list[int]:
+    """Per-process task quotas: n/m each, remainder interleaved.
+
+    The paper assumes "parallel processes usually need to be assigned an
+    equal number of tasks".  When m does not divide n we use the same
+    remainder distribution as the ParaView rank-interval formula
+    (``floor((i+1)·n/m) − floor(i·n/m)``) so Opass's quota vector matches
+    the baseline's per-rank loads exactly and comparisons are apples to
+    apples.  All quotas differ by at most one.
+    """
+    if num_tasks < 0:
+        raise ValueError("num_tasks must be non-negative")
+    if num_processes <= 0:
+        raise ValueError("num_processes must be positive")
+    return [
+        (r + 1) * num_tasks // num_processes - r * num_tasks // num_processes
+        for r in range(num_processes)
+    ]
+
+
+@dataclass
+class Assignment:
+    """tasks_of[rank] = ordered list of task ids assigned to that process."""
+
+    tasks_of: dict[int, list[int]] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls, num_processes: int) -> "Assignment":
+        return cls({r: [] for r in range(num_processes)})
+
+    @property
+    def num_processes(self) -> int:
+        return len(self.tasks_of)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(len(ts) for ts in self.tasks_of.values())
+
+    def process_of(self) -> dict[int, int]:
+        """Inverse map task_id → rank.  Raises on duplicate assignment."""
+        owner: dict[int, int] = {}
+        for rank, ts in self.tasks_of.items():
+            for t in ts:
+                if t in owner:
+                    raise ValueError(f"task {t} assigned to ranks {owner[t]} and {rank}")
+                owner[t] = rank
+        return owner
+
+    def assign(self, rank: int, task_id: int) -> None:
+        self.tasks_of.setdefault(rank, []).append(task_id)
+
+    def validate(
+        self,
+        num_tasks: int,
+        *,
+        quotas: list[int] | None = None,
+        exact_quota: bool = False,
+    ) -> None:
+        """Check disjointness, coverage, and (optionally) quota adherence."""
+        owner = self.process_of()
+        expected = set(range(num_tasks))
+        got = set(owner)
+        if got != expected:
+            missing = sorted(expected - got)[:5]
+            extra = sorted(got - expected)[:5]
+            raise ValueError(f"bad task coverage; missing={missing} extra={extra}")
+        if quotas is not None:
+            if len(quotas) != len(self.tasks_of):
+                raise ValueError("quota list length != process count")
+            for rank, quota in enumerate(quotas):
+                load = len(self.tasks_of.get(rank, []))
+                if exact_quota and load != quota:
+                    raise ValueError(f"rank {rank} has {load} tasks, quota {quota}")
+                if not exact_quota and load > quota:
+                    raise ValueError(f"rank {rank} has {load} tasks, over quota {quota}")
+
+
+# -- scoring -------------------------------------------------------------------
+
+
+def local_bytes(assignment: Assignment, graph: LocalityGraph) -> int:
+    """Bytes of assigned task inputs co-located with their process."""
+    total = 0
+    for rank, tasks in assignment.tasks_of.items():
+        for t in tasks:
+            total += graph.edge_weight(rank, t)
+    return total
+
+
+def locality_fraction(assignment: Assignment, graph: LocalityGraph) -> float:
+    """Fraction of all task bytes readable locally under this assignment."""
+    total = graph.total_bytes()
+    if total == 0:
+        return 1.0
+    return local_bytes(assignment, graph) / total
+
+
+def fully_local_tasks(assignment: Assignment, graph: LocalityGraph) -> set[int]:
+    """Tasks whose entire input is on the assigned process's node."""
+    out = set()
+    for rank, tasks in assignment.tasks_of.items():
+        for t in tasks:
+            if graph.edge_weight(rank, t) == graph.task_bytes(t):
+                out.add(t)
+    return out
+
+
+def is_full_matching(assignment: Assignment, graph: LocalityGraph) -> bool:
+    """Paper's "full matching": all needed data assigned to co-located processes."""
+    return local_bytes(assignment, graph) == graph.total_bytes()
+
+
+def load_in_tasks(assignment: Assignment) -> dict[int, int]:
+    """Per-process task counts."""
+    return {rank: len(ts) for rank, ts in assignment.tasks_of.items()}
+
+
+def load_in_bytes(assignment: Assignment, graph: LocalityGraph) -> dict[int, int]:
+    """Per-process assigned input bytes."""
+    return {
+        rank: sum(graph.task_bytes(t) for t in ts)
+        for rank, ts in assignment.tasks_of.items()
+    }

@@ -1,0 +1,92 @@
+"""Baseline assignment strategies the paper compares against.
+
+* :func:`rank_interval_assignment` — the ParaView / generic SPMD static
+  method (§II-B): process ``i`` takes the files with indices in
+  ``[i·n/m, (i+1)·n/m)``, oblivious to data placement.
+* :func:`random_assignment` — a shuffled equal split (the §III model of
+  "randomly assigned to processes").
+* :class:`DefaultDynamicPolicy` — the default master/worker dispatcher: an
+  idle worker receives an arbitrary remaining task (FIFO or random),
+  oblivious to locality (§V-A3's "default dynamic data assignment").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .assignment import Assignment, equal_quotas
+
+
+def rank_interval_assignment(num_tasks: int, num_processes: int) -> Assignment:
+    """ParaView's static data assignment.
+
+    The paper quotes the interval ``[i·n/m, (i+1)·n/m)`` with real division;
+    floor at the boundaries reproduces it for any n, m.
+    """
+    if num_tasks < 0:
+        raise ValueError("num_tasks must be non-negative")
+    if num_processes <= 0:
+        raise ValueError("num_processes must be positive")
+    assignment = Assignment.empty(num_processes)
+    for rank in range(num_processes):
+        lo = rank * num_tasks // num_processes
+        hi = (rank + 1) * num_tasks // num_processes
+        for task in range(lo, hi):
+            assignment.assign(rank, task)
+    return assignment
+
+
+def random_assignment(
+    num_tasks: int,
+    num_processes: int,
+    seed: int | np.random.Generator = 0,
+) -> Assignment:
+    """Shuffle the tasks, then deal them out in equal quotas."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    quotas = equal_quotas(num_tasks, num_processes)
+    perm = rng.permutation(num_tasks)
+    assignment = Assignment.empty(num_processes)
+    cursor = 0
+    for rank, quota in enumerate(quotas):
+        for task in perm[cursor : cursor + quota]:
+            assignment.assign(rank, int(task))
+        cursor += quota
+    return assignment
+
+
+class DefaultDynamicPolicy:
+    """Locality-oblivious master/worker dispatch.
+
+    ``mode="fifo"`` hands out tasks in id order; ``mode="random"`` picks a
+    uniformly random remaining task — the paper's dynamic baseline issues
+    "data requests via a random policy to simulate the irregular computation
+    patterns".
+    """
+
+    def __init__(
+        self,
+        num_tasks: int,
+        *,
+        mode: str = "random",
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        if mode not in ("fifo", "random"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self._remaining = list(range(num_tasks))
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+        )
+
+    @property
+    def remaining(self) -> int:
+        return len(self._remaining)
+
+    def next_task(self, rank: int) -> int | None:
+        """Task for idle worker ``rank``; None when the pool is empty."""
+        if not self._remaining:
+            return None
+        if self.mode == "fifo":
+            return self._remaining.pop(0)
+        idx = int(self._rng.integers(len(self._remaining)))
+        return self._remaining.pop(idx)

@@ -1,0 +1,159 @@
+"""The process↔task locality graph (paper §IV-A, Figure 4).
+
+Opass "retrieve[s] data distribution information from storage and build[s]
+the locality relationship between processes and chunk files" as a bipartite
+graph G = (P, F, E): an edge connects process ``p_i`` and task ``f_j`` iff
+some of ``f_j``'s data is co-located with ``p_i``, with capacity equal to the
+co-located byte count.
+
+The graph is built purely from NameNode metadata
+(:meth:`repro.dfs.DistributedFileSystem.layout_snapshot`), which is all Opass
+is allowed to read — it "does not modify the design of HDFS".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..dfs.chunk import ChunkId
+from ..dfs.filesystem import DistributedFileSystem
+from .tasks import Task
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessPlacement:
+    """Where each parallel process (MPI rank) runs: rank → node id."""
+
+    nodes: tuple[int, ...]  # nodes[rank] = node id
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("need at least one process")
+        if any(n < 0 for n in self.nodes):
+            raise ValueError("node ids must be non-negative")
+
+    @classmethod
+    def one_per_node(cls, num_nodes: int) -> "ProcessPlacement":
+        """The paper's usual deployment: rank i on node i."""
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        return cls(tuple(range(num_nodes)))
+
+    @classmethod
+    def k_per_node(cls, num_nodes: int, k: int) -> "ProcessPlacement":
+        """k ranks on every node (block placement: ranks i*k..i*k+k-1 on node i)."""
+        if num_nodes <= 0 or k <= 0:
+            raise ValueError("num_nodes and k must be positive")
+        return cls(tuple(i for i in range(num_nodes) for _ in range(k)))
+
+    @property
+    def num_processes(self) -> int:
+        return len(self.nodes)
+
+    def node_of(self, rank: int) -> int:
+        if not 0 <= rank < len(self.nodes):
+            raise KeyError(f"no rank {rank}")
+        return self.nodes[rank]
+
+    def ranks_on_node(self) -> dict[int, list[int]]:
+        by_node: dict[int, list[int]] = {}
+        for rank, node in enumerate(self.nodes):
+            by_node.setdefault(node, []).append(rank)
+        return by_node
+
+
+@dataclass
+class LocalityGraph:
+    """Bipartite process↔task graph with co-located-bytes edge weights."""
+
+    placement: ProcessPlacement
+    tasks: list[Task]
+    sizes: dict[ChunkId, int]
+    #: colocated[rank][task_id] = bytes of the task's inputs on rank's node
+    colocated: dict[int, dict[int, int]] = field(default_factory=dict)
+    #: task_ranks[task_id] = ranks with an edge to the task (sorted)
+    task_ranks: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def num_processes(self) -> int:
+        return self.placement.num_processes
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(d) for d in self.colocated.values())
+
+    def edge_weight(self, rank: int, task_id: int) -> int:
+        """Co-located bytes between a process and a task (0 if no edge)."""
+        return self.colocated.get(rank, {}).get(task_id, 0)
+
+    def edges_of_process(self, rank: int) -> dict[int, int]:
+        """task_id → co-located bytes for one process."""
+        return dict(self.colocated.get(rank, {}))
+
+    def ranks_of_task(self, task_id: int) -> list[int]:
+        return list(self.task_ranks.get(task_id, []))
+
+    def task_bytes(self, task_id: int) -> int:
+        return sum(self.sizes[cid] for cid in self.tasks[task_id].inputs)
+
+    def total_bytes(self) -> int:
+        return sum(self.task_bytes(t.task_id) for t in self.tasks)
+
+    def local_bytes_of_process(self, rank: int) -> int:
+        """d(p_i): total bytes stored on rank's node among all task inputs."""
+        return sum(self.colocated.get(rank, {}).values())
+
+
+def build_locality_graph(
+    tasks: list[Task],
+    locations: dict[ChunkId, tuple[int, ...]],
+    sizes: dict[ChunkId, int],
+    placement: ProcessPlacement,
+) -> LocalityGraph:
+    """Construct the Figure-4 graph from raw layout metadata.
+
+    For every task input chunk with a replica on a process's node, the
+    (process, task) edge weight grows by the chunk size — the "amount of data
+    associated with f_j that can be accessed locally by p_i".
+    """
+    ids = [t.task_id for t in tasks]
+    if ids != list(range(len(tasks))):
+        raise ValueError("task ids must be 0..n-1 in order")
+    ranks_on = placement.ranks_on_node()
+    colocated: dict[int, dict[int, int]] = {r: {} for r in range(placement.num_processes)}
+    task_ranks: dict[int, list[int]] = {}
+    for task in tasks:
+        seen_ranks: set[int] = set()
+        for cid in task.inputs:
+            if cid not in locations:
+                raise KeyError(f"no layout for chunk {cid}")
+            if cid not in sizes:
+                raise KeyError(f"no size for chunk {cid}")
+            for node in locations[cid]:
+                for rank in ranks_on.get(node, ()):
+                    bucket = colocated[rank]
+                    bucket[task.task_id] = bucket.get(task.task_id, 0) + sizes[cid]
+                    seen_ranks.add(rank)
+        task_ranks[task.task_id] = sorted(seen_ranks)
+    return LocalityGraph(
+        placement=placement,
+        tasks=list(tasks),
+        sizes=dict(sizes),
+        colocated=colocated,
+        task_ranks=task_ranks,
+    )
+
+
+def graph_from_filesystem(
+    fs: DistributedFileSystem,
+    tasks: list[Task],
+    placement: ProcessPlacement,
+) -> LocalityGraph:
+    """Build the locality graph straight from a live file system's NameNode."""
+    locations = fs.layout_snapshot()
+    sizes = {cid: fs.chunk(cid).size for t in tasks for cid in t.inputs}
+    return build_locality_graph(tasks, locations, sizes, placement)

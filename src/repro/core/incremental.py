@@ -1,0 +1,143 @@
+"""Incremental re-matching — the paper's §V-C future work.
+
+"As the problem size becomes extremely large, the matching method may not
+be scalable.  We leave this problem as a future work."  This module is
+that future work: when the layout changes a little (a node fails, a few
+chunks move, a node joins), recompute only what changed instead of solving
+the whole flow problem again.
+
+Approach: diff the old and new locality graphs; tasks whose assigned
+process kept its co-location, and processes whose quota is unchanged, keep
+their assignment.  Only *displaced* tasks (assignment no longer local, or
+owner over-quota after the change) re-enter a restricted matching over the
+residual quotas.  The result is exactly feasible, the churn (number of
+tasks that moved) is reported, and quality is within the restricted
+optimum of the full rematch.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+import numpy as np
+
+from .assignment import Assignment, equal_quotas
+from .bipartite import LocalityGraph
+from .single_data import optimize_single_data
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class IncrementalResult:
+    """Outcome of an incremental rematch."""
+
+    assignment: Assignment
+    kept_tasks: frozenset[int]
+    moved_tasks: frozenset[int]
+
+    @property
+    def churn(self) -> int:
+        """Tasks whose owner changed."""
+        return len(self.moved_tasks)
+
+
+def rematch_incremental(
+    new_graph: LocalityGraph,
+    previous: Assignment,
+    *,
+    quotas: list[int] | None = None,
+    seed: int | np.random.Generator = 0,
+) -> IncrementalResult:
+    """Repair ``previous`` against a changed locality graph.
+
+    A task keeps its owner iff the owner still has positive co-location
+    with it under the new graph and stays within quota.  Everything else —
+    tasks that lost their locality, tasks of over-quota owners (lowest
+    co-location evicted first), and tasks that were never local — is
+    rematched by the flow optimizer against the residual quotas.
+
+    Churn is therefore bounded by the number of affected tasks, and the
+    kept portion of the assignment is untouched (no gratuitous moves).
+    """
+    m, n = new_graph.num_processes, new_graph.num_tasks
+    if quotas is None:
+        quotas = equal_quotas(n, m)
+    if len(quotas) != m:
+        raise ValueError("quota list length != process count")
+    if sum(quotas) < n:
+        raise ValueError(f"total quota {sum(quotas)} < {n} tasks")
+
+    old_owner = previous.process_of()
+    if set(old_owner) != set(range(n)):
+        raise ValueError("previous assignment does not cover the task set")
+
+    # Phase 1: keep every still-local task, respecting quotas (evict the
+    # least-local extras of over-quota owners).
+    kept: dict[int, list[int]] = {r: [] for r in range(m)}
+    displaced: list[int] = []
+    for rank in range(m):
+        mine = [t for t in previous.tasks_of.get(rank, [])]
+        local_mine = [t for t in mine if new_graph.edge_weight(rank, t) > 0]
+        nonlocal_mine = [t for t in mine if new_graph.edge_weight(rank, t) == 0]
+        displaced.extend(nonlocal_mine)
+        local_mine.sort(key=lambda t: (-new_graph.edge_weight(rank, t), t))
+        kept[rank] = local_mine[: quotas[rank]]
+        displaced.extend(local_mine[quotas[rank] :])
+    displaced.sort()
+
+    if not displaced:
+        assignment = Assignment({r: list(ts) for r, ts in kept.items()})
+        assignment.validate(n, quotas=quotas)
+        return IncrementalResult(
+            assignment=assignment,
+            kept_tasks=frozenset(range(n)),
+            moved_tasks=frozenset(),
+        )
+
+    # Phase 2: restricted matching of the displaced tasks over residual
+    # quotas.  Build a sub-graph reindexed to the displaced tasks.
+    residual = [quotas[r] - len(kept[r]) for r in range(m)]
+    sub_index = {t: i for i, t in enumerate(displaced)}
+    sub_tasks = [new_graph.tasks[t] for t in displaced]
+    # Reuse optimize_single_data by constructing a LocalityGraph view.
+    from .tasks import Task
+
+    reindexed = [
+        Task(task_id=i, inputs=sub_tasks[i].inputs) for i in range(len(sub_tasks))
+    ]
+    sub_colocated: dict[int, dict[int, int]] = {r: {} for r in range(m)}
+    sub_task_ranks: dict[int, list[int]] = {}
+    for t in displaced:
+        i = sub_index[t]
+        ranks = new_graph.ranks_of_task(t)
+        sub_task_ranks[i] = list(ranks)
+        for r in ranks:
+            sub_colocated[r][i] = new_graph.edge_weight(r, t)
+    sub_graph = LocalityGraph(
+        placement=new_graph.placement,
+        tasks=reindexed,
+        sizes=dict(new_graph.sizes),
+        colocated=sub_colocated,
+        task_ranks=sub_task_ranks,
+    )
+    sub_result = optimize_single_data(sub_graph, quotas=residual, seed=seed)
+
+    assignment = Assignment({r: list(ts) for r, ts in kept.items()})
+    for rank, sub_ids in sub_result.assignment.tasks_of.items():
+        for i in sub_ids:
+            assignment.assign(rank, displaced[i])
+    assignment.validate(n, quotas=quotas)
+
+    new_owner = assignment.process_of()
+    moved = frozenset(t for t in range(n) if new_owner[t] != old_owner[t])
+    logger.info(
+        "incremental rematch: %d displaced, %d moved, %d kept",
+        len(displaced), len(moved), n - len(moved),
+    )
+    return IncrementalResult(
+        assignment=assignment,
+        kept_tasks=frozenset(range(n)) - moved,
+        moved_tasks=moved,
+    )

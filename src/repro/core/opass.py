@@ -1,0 +1,70 @@
+"""Top-level Opass API.
+
+Convenience functions that go straight from a live file system + process
+placement to an optimized assignment, hiding graph construction.  These are
+what the examples and applications call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dfs.chunk import Dataset
+from ..dfs.filesystem import DistributedFileSystem
+from .bipartite import LocalityGraph, ProcessPlacement, graph_from_filesystem
+from .dynamic import DynamicPlan, plan_dynamic
+from .multi_data import MultiDataResult, optimize_multi_data
+from .single_data import SingleDataResult, optimize_single_data
+from .tasks import Task, tasks_from_dataset, tasks_from_datasets
+
+
+def opass_single_data(
+    fs: DistributedFileSystem,
+    dataset: Dataset | str,
+    placement: ProcessPlacement,
+    *,
+    algorithm: str = "dinic",
+    fallback: str = "random",
+    seed: int | np.random.Generator = 0,
+) -> tuple[SingleDataResult, LocalityGraph, list[Task]]:
+    """Optimize equal-share single-data access for one dataset.
+
+    Returns the optimizer result, the locality graph it was computed from,
+    and the task list (one task per file).
+    """
+    ds = fs.dataset(dataset) if isinstance(dataset, str) else dataset
+    tasks = tasks_from_dataset(ds)
+    graph = graph_from_filesystem(fs, tasks, placement)
+    result = optimize_single_data(
+        graph, algorithm=algorithm, fallback=fallback, seed=seed
+    )
+    return result, graph, tasks
+
+
+def opass_multi_data(
+    fs: DistributedFileSystem,
+    datasets: list[Dataset | str],
+    placement: ProcessPlacement,
+) -> tuple[MultiDataResult, LocalityGraph, list[Task]]:
+    """Optimize multi-input task access across several datasets.
+
+    Task ``i`` reads the ``i``-th file of every dataset (the paper's
+    gene-comparison shape).
+    """
+    resolved = [fs.dataset(d) if isinstance(d, str) else d for d in datasets]
+    tasks = tasks_from_datasets(resolved)
+    graph = graph_from_filesystem(fs, tasks, placement)
+    result = optimize_multi_data(graph)
+    return result, graph, tasks
+
+
+def opass_dynamic_plan(
+    fs: DistributedFileSystem,
+    dataset: Dataset | str,
+    placement: ProcessPlacement,
+    *,
+    seed: int | np.random.Generator = 0,
+) -> tuple[DynamicPlan, LocalityGraph, list[Task]]:
+    """Build §IV-D guided lists for a master/worker run over one dataset."""
+    result, graph, tasks = opass_single_data(fs, dataset, placement, seed=seed)
+    return plan_dynamic(graph, result.assignment), graph, tasks

@@ -1,0 +1,92 @@
+"""Quincy-style min-cost-flow scheduling (related work [Isard et al., SOSP'09]).
+
+The paper's §VI cites Quincy, which "schedule[s] concurrent distributed
+jobs with fine-grain resource sharing" by casting scheduling as a global
+min-cost flow: every task may run anywhere, but running it away from its
+data costs the bytes that must move.  For Opass's single-data setting the
+reduction is:
+
+```
+s --quota(p), cost 0--> p --1, cost remote_bytes(p, f)--> f --1, cost 0--> t
+```
+
+where ``remote_bytes(p, f) = task_bytes(f) − co-located(p, f)``.  A
+minimum-cost maximum flow is then the quota-feasible assignment that
+minimises the total bytes moved — a *byte-optimal* matching, strictly
+stronger than the unit max-flow objective (most tasks local) when task
+sizes differ, and identical to it on the paper's equal-chunk benchmark.
+
+The price is solve time: successive shortest paths run one Dijkstra per
+task over the complete m×n bipartite graph, versus Dinic on the sparse
+locality graph.  ``bench_ext_quincy`` quantifies both sides.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+
+from .assignment import Assignment, equal_quotas
+from .bipartite import LocalityGraph
+from .mincostflow import MinCostFlowNetwork
+
+logger = logging.getLogger(__name__)
+
+#: Costs are expressed in this many bytes per cost unit to keep the
+#: integers small; 1 MB granularity loses nothing at 64 MB chunks.
+COST_GRANULARITY = 10**6
+
+
+def optimize_quincy(
+    graph: LocalityGraph,
+    *,
+    quotas: list[int] | None = None,
+    cost_granularity: int = COST_GRANULARITY,
+) -> tuple[Assignment, int]:
+    """Byte-optimal assignment via global min-cost flow.
+
+    Returns ``(assignment, remote_cost)`` where ``remote_cost`` is the
+    minimised total remote traffic in ``cost_granularity``-byte units.
+    """
+    if cost_granularity <= 0:
+        raise ValueError("cost_granularity must be positive")
+    m, n = graph.num_processes, graph.num_tasks
+    if quotas is None:
+        quotas = equal_quotas(n, m)
+    if len(quotas) != m:
+        raise ValueError("quota list length != process count")
+    if sum(quotas) < n:
+        raise ValueError(f"total quota {sum(quotas)} < {n} tasks")
+
+    # Vertices: 0 = s, 1..m = processes, m+1..m+n = tasks, m+n+1 = t.
+    net = MinCostFlowNetwork(m + n + 2)
+    s, t = 0, m + n + 1
+    for rank in range(m):
+        net.add_edge(s, 1 + rank, quotas[rank], 0)
+    handles: dict[tuple[int, int], tuple[int, int]] = {}
+    for rank in range(m):
+        weights = graph.edges_of_process(rank)
+        for task_id in range(n):
+            remote = graph.task_bytes(task_id) - weights.get(task_id, 0)
+            cost = int(np.ceil(remote / cost_granularity))
+            handles[(rank, task_id)] = net.add_edge(
+                1 + rank, 1 + m + task_id, 1, cost
+            )
+    for task_id in range(n):
+        net.add_edge(1 + m + task_id, t, 1, 0)
+
+    flow, cost = net.min_cost_flow(s, t)
+    if flow != n:
+        raise RuntimeError(f"quincy flow routed {flow} of {n} tasks")
+
+    assignment = Assignment.empty(m)
+    for (rank, task_id), handle in handles.items():
+        if net.flow_on(handle) > 0:
+            assignment.assign(rank, task_id)
+    assignment.validate(n, quotas=quotas)
+    logger.info(
+        "quincy matching: %d tasks over %d processes, remote cost %d units",
+        n, m, cost,
+    )
+    return assignment, cost

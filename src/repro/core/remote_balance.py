@@ -1,0 +1,129 @@
+"""Balanced serving of remote reads — the Opass+ extension.
+
+The paper's §IV-B fallback assigns unmatched tasks randomly and leaves the
+*serving replica* of every remote read to HDFS's uniform random choice,
+which §III-B shows is itself a source of imbalance.  Since Opass already
+has the block layout in hand, it can plan the remote reads too: choose
+which replica holder serves each remote chunk such that the maximum
+serving load is minimised.
+
+The plan is a min-cost flow with convex per-node costs: chunk → each
+replica holder (capacity 1), holder → sink through unit arcs of increasing
+cost (1, 2, 3, …).  Convexity makes the optimal flow spread load as evenly
+as the replica constraints allow — this is the classic reduction for
+minimising maximum load (a flow saturating k unit arcs at a node pays
+1+2+…+k, so total cost strictly prefers flatter load vectors).
+
+The resulting plan plugs into the file system as a
+:class:`PlannedReplicaChoice` read policy, so execution needs no changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dfs.chunk import ChunkId
+from ..dfs.policies import RandomRemote, ReplicaChoicePolicy
+from .mincostflow import MinCostFlowNetwork
+
+
+@dataclass(frozen=True)
+class RemoteBalanceResult:
+    """A serving plan for a set of remote chunk reads."""
+
+    server_of: dict[ChunkId, int]
+    load_per_node: dict[int, int]
+    max_load: int
+    cost: int
+
+
+def plan_remote_reads(
+    chunk_ids: list[ChunkId],
+    locations: dict[ChunkId, tuple[int, ...]],
+) -> RemoteBalanceResult:
+    """Choose a serving replica for every chunk, minimising load imbalance.
+
+    ``locations`` must list at least one replica node per chunk.  Returns
+    the per-chunk server and the resulting per-node load profile.
+    """
+    if not chunk_ids:
+        return RemoteBalanceResult({}, {}, 0, 0)
+    if len(set(chunk_ids)) != len(chunk_ids):
+        raise ValueError("duplicate chunks in plan request")
+    nodes = sorted({n for cid in chunk_ids for n in locations[cid]})
+    if any(not locations[cid] for cid in chunk_ids):
+        raise ValueError("every chunk needs at least one replica")
+    node_index = {n: i for i, n in enumerate(nodes)}
+    n_chunks, n_nodes = len(chunk_ids), len(nodes)
+
+    # Vertices: 0 = s, 1..n_chunks = chunks, then nodes, last = t.
+    s = 0
+    chunk_base = 1
+    node_base = 1 + n_chunks
+    t = node_base + n_nodes
+    net = MinCostFlowNetwork(t + 1)
+
+    handles: dict[tuple[int, int], ChunkId] = {}
+    for i, cid in enumerate(chunk_ids):
+        net.add_edge(s, chunk_base + i, 1, 0)
+        for node in locations[cid]:
+            handle = net.add_edge(chunk_base + i, node_base + node_index[node], 1, 0)
+            handles[handle] = cid
+    # Convex load costs: serving the k-th chunk from a node costs k.
+    # A node can serve at most all chunks, but arcs beyond the worst-case
+    # even share are pointless; cap at n_chunks for correctness.
+    for j in range(n_nodes):
+        for k in range(1, n_chunks + 1):
+            net.add_edge(node_base + j, t, 1, k)
+
+    flow, cost = net.min_cost_flow(s, t)
+    if flow != n_chunks:
+        raise RuntimeError("remote balancing failed to route every chunk")
+
+    server_of: dict[ChunkId, int] = {}
+    for (u, idx), cid in handles.items():
+        if net.flow_on((u, idx)) > 0:
+            node = nodes[net.adj[u][idx].to - node_base]
+            server_of[cid] = node
+    load: dict[int, int] = {}
+    for node in server_of.values():
+        load[node] = load.get(node, 0) + 1
+    return RemoteBalanceResult(
+        server_of=server_of,
+        load_per_node=load,
+        max_load=max(load.values(), default=0),
+        cost=cost,
+    )
+
+
+class PlannedReplicaChoice(ReplicaChoicePolicy):
+    """Replica selection that follows a precomputed balanced plan.
+
+    Chunks outside the plan fall back to the wrapped policy (uniform random
+    by default, matching stock HDFS).
+    """
+
+    def __init__(
+        self,
+        plan: RemoteBalanceResult,
+        fallback: ReplicaChoicePolicy | None = None,
+    ) -> None:
+        self._server_of = dict(plan.server_of)
+        self._fallback = fallback if fallback is not None else RandomRemote()
+
+    def choose(
+        self,
+        chunk_id: ChunkId,
+        replicas: tuple[int, ...],
+        reader_node: int,
+        rng: np.random.Generator,
+    ) -> int:
+        planned = self._server_of.get(chunk_id)
+        if planned is not None and planned in replicas:
+            return planned
+        return self._fallback.choose(chunk_id, replicas, reader_node, rng)
+
+    def reset(self) -> None:
+        self._fallback.reset()

@@ -1,0 +1,130 @@
+"""Assignment and plan persistence (JSON).
+
+A matching computed against a layout snapshot is reusable for the whole
+analysis campaign (the paper's ParaView runs render the same series many
+times).  These helpers serialise assignments and dynamic plans with enough
+context — task count, process count, a layout fingerprint — to detect at
+load time whether the stored plan still matches the cluster it was
+computed for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from ..dfs.chunk import ChunkId
+from .assignment import Assignment
+from .bipartite import LocalityGraph
+from .dynamic import DynamicPlan
+
+FORMAT_VERSION = 1
+
+
+def layout_fingerprint(locations: dict[ChunkId, tuple[int, ...]]) -> str:
+    """A stable hash of a chunk→replica-nodes map."""
+    payload = sorted((str(cid), list(nodes)) for cid, nodes in locations.items())
+    blob = json.dumps(payload, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def assignment_to_dict(
+    assignment: Assignment,
+    *,
+    num_tasks: int,
+    fingerprint: str | None = None,
+) -> dict:
+    """JSON-ready representation; validates coverage before serialising."""
+    assignment.validate(num_tasks)
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "assignment",
+        "num_tasks": num_tasks,
+        "num_processes": assignment.num_processes,
+        "fingerprint": fingerprint,
+        "tasks_of": {str(r): list(ts) for r, ts in assignment.tasks_of.items()},
+    }
+
+
+def assignment_from_dict(
+    data: dict,
+    *,
+    expect_fingerprint: str | None = None,
+) -> Assignment:
+    """Parse and re-validate a stored assignment.
+
+    If both the stored document and the caller provide a fingerprint and
+    they disagree, the layout changed since the plan was computed and the
+    load is refused.
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format {data.get('format')!r}")
+    if data.get("kind") != "assignment":
+        raise ValueError(f"not an assignment document: {data.get('kind')!r}")
+    stored = data.get("fingerprint")
+    if expect_fingerprint is not None and stored is not None and stored != expect_fingerprint:
+        raise ValueError(
+            f"layout changed since the plan was stored "
+            f"(stored {stored}, current {expect_fingerprint})"
+        )
+    assignment = Assignment(
+        {int(r): [int(t) for t in ts] for r, ts in data["tasks_of"].items()}
+    )
+    assignment.validate(int(data["num_tasks"]))
+    return assignment
+
+
+def save_assignment(
+    assignment: Assignment,
+    path: str | Path,
+    *,
+    num_tasks: int,
+    locations: dict[ChunkId, tuple[int, ...]] | None = None,
+) -> Path:
+    """Write an assignment (with optional layout fingerprint) to disk."""
+    path = Path(path)
+    fingerprint = layout_fingerprint(locations) if locations is not None else None
+    path.write_text(
+        json.dumps(
+            assignment_to_dict(assignment, num_tasks=num_tasks, fingerprint=fingerprint),
+            indent=2,
+        )
+    )
+    return path
+
+
+def load_assignment(
+    path: str | Path,
+    *,
+    locations: dict[ChunkId, tuple[int, ...]] | None = None,
+) -> Assignment:
+    """Load an assignment, checking the layout fingerprint when possible."""
+    data = json.loads(Path(path).read_text())
+    expect = layout_fingerprint(locations) if locations is not None else None
+    return assignment_from_dict(data, expect_fingerprint=expect)
+
+
+def plan_to_dict(plan: DynamicPlan) -> dict:
+    """Serialise a dynamic plan's remaining guided lists."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "dynamic_plan",
+        "lists": {str(r): list(ts) for r, ts in plan.lists.items()},
+    }
+
+
+def plan_from_dict(data: dict, graph: LocalityGraph) -> DynamicPlan:
+    """Rehydrate a dynamic plan against a (compatible) locality graph."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format {data.get('format')!r}")
+    if data.get("kind") != "dynamic_plan":
+        raise ValueError(f"not a dynamic plan document: {data.get('kind')!r}")
+    lists = {int(r): [int(t) for t in ts] for r, ts in data["lists"].items()}
+    if set(lists) != set(range(graph.num_processes)):
+        raise ValueError("plan's process set does not match the graph")
+    for ts in lists.values():
+        for t in ts:
+            if not 0 <= t < graph.num_tasks:
+                raise ValueError(f"plan references unknown task {t}")
+    return DynamicPlan(graph=graph, lists=lists)

@@ -1,0 +1,86 @@
+"""Data-processing tasks: the unit of assignment.
+
+The paper "refer[s] to each operator on data partitions as a data processing
+task".  A task names its input chunks; single-data tasks (§IV-B) have one
+input file, multi-data tasks (§IV-C) have inputs drawn from several datasets
+(e.g. human + mouse + chimpanzee gene files).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dfs.chunk import ChunkId, Dataset
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """One data-processing operator and the chunks it must read."""
+
+    task_id: int
+    inputs: tuple[ChunkId, ...]
+
+    def __post_init__(self) -> None:
+        if self.task_id < 0:
+            raise ValueError("task_id must be non-negative")
+        if not self.inputs:
+            raise ValueError("a task needs at least one input chunk")
+        if len(set(self.inputs)) != len(self.inputs):
+            raise ValueError("duplicate input chunks in task")
+
+
+def tasks_from_dataset(dataset: Dataset) -> list[Task]:
+    """One task per file (the paper's single-data shape: file == chunk)."""
+    tasks = []
+    for i, meta in enumerate(dataset.files):
+        tasks.append(Task(task_id=i, inputs=tuple(c.id for c in meta.chunks)))
+    return tasks
+
+
+def tasks_from_datasets(datasets: list[Dataset]) -> list[Task]:
+    """Zip several datasets into multi-input tasks.
+
+    Task ``i`` reads the ``i``-th file of every dataset — the paper's
+    gene-comparison shape, where comparing genomes needs one input from each
+    species' dataset.  All datasets must have the same number of files.
+    """
+    if not datasets:
+        raise ValueError("need at least one dataset")
+    counts = {len(ds.files) for ds in datasets}
+    if len(counts) != 1:
+        raise ValueError(f"datasets have differing file counts: {sorted(counts)}")
+    (n,) = counts
+    tasks = []
+    for i in range(n):
+        inputs: list[ChunkId] = []
+        for ds in datasets:
+            inputs.extend(c.id for c in ds.files[i].chunks)
+        tasks.append(Task(task_id=i, inputs=tuple(inputs)))
+    return tasks
+
+
+def total_task_bytes(tasks: list[Task], sizes: dict[ChunkId, int]) -> int:
+    """Net size of all data the task list reads."""
+    return sum(sizes[cid] for t in tasks for cid in t.inputs)
+
+
+def multi_pass_scan_tasks(dataset: Dataset, passes: int) -> list[Task]:
+    """Tasks that scan every file once per pass (multi-query mpiBLAST).
+
+    mpiBLAST scans the whole fragment set once per query batch: with Q
+    batches over F fragments there are Q·F tasks, and each fragment's
+    chunk is the input of Q distinct tasks.  Task ids are ordered pass-
+    major: pass q's scan of file f is task ``q·F + f``.
+
+    Because several tasks share a chunk, at most `replication` of them can
+    be served locally at once — the regime where the matching must spread
+    a chunk's scans over its replica holders.
+    """
+    if passes <= 0:
+        raise ValueError("passes must be positive")
+    base = tasks_from_dataset(dataset)
+    tasks = []
+    for q in range(passes):
+        for t in base:
+            tasks.append(Task(task_id=q * len(base) + t.task_id, inputs=t.inputs))
+    return tasks

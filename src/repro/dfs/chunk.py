@@ -1,0 +1,155 @@
+"""Chunk and dataset value types for the HDFS-like file system model.
+
+HDFS splits every file into fixed-size *chunks* (blocks, 64 MB by default in
+the paper's deployment) and replicates each chunk onto ``r`` DataNodes.  The
+matching algorithms in :mod:`repro.core` operate on chunk granularity, so the
+value types here are deliberately small and hashable.
+
+Sizes are bytes throughout; the presentation layer converts to MB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+#: Default HDFS chunk (block) size used by the paper: 64 MB.
+DEFAULT_CHUNK_SIZE = 64 * 10**6
+
+MB = 10**6
+
+
+@dataclass(frozen=True, slots=True)
+class ChunkId:
+    """Globally unique identifier of one chunk: ``(file name, index)``."""
+
+    file: str
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.file}#{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class Chunk:
+    """One chunk of a file.
+
+    Attributes
+    ----------
+    id:
+        The chunk's identity.
+    size:
+        Chunk payload size in bytes.  All chunks but a file's last one have
+        the file system's chunk size; the last may be smaller.
+    """
+
+    id: ChunkId
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"chunk size must be positive, got {self.size}")
+
+
+@dataclass(frozen=True, slots=True)
+class FileMeta:
+    """Immutable file metadata: an ordered tuple of chunks."""
+
+    name: str
+    chunks: tuple[Chunk, ...]
+
+    @property
+    def size(self) -> int:
+        """Total file size in bytes."""
+        return sum(c.size for c in self.chunks)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    def __iter__(self) -> Iterator[Chunk]:
+        return iter(self.chunks)
+
+
+def make_file(name: str, size: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> FileMeta:
+    """Split a logical file of ``size`` bytes into chunk metadata.
+
+    Mirrors HDFS block splitting: full-size chunks followed by a smaller tail
+    chunk when ``size`` is not a multiple of ``chunk_size``.
+    """
+    if size <= 0:
+        raise ValueError(f"file size must be positive, got {size}")
+    if chunk_size <= 0:
+        raise ValueError(f"chunk size must be positive, got {chunk_size}")
+    chunks = []
+    offset = 0
+    index = 0
+    while offset < size:
+        payload = min(chunk_size, size - offset)
+        chunks.append(Chunk(ChunkId(name, index), payload))
+        offset += payload
+        index += 1
+    return FileMeta(name, tuple(chunks))
+
+
+@dataclass(slots=True)
+class Dataset:
+    """A named collection of files, e.g. one gene database or one VTK series.
+
+    The paper's multi-data experiments draw each task's inputs from several
+    datasets (human / mouse / chimpanzee genomes); the single-data experiments
+    use one dataset whose chunk files are the tasks.
+    """
+
+    name: str
+    files: list[FileMeta] = field(default_factory=list)
+
+    def add_file(self, meta: FileMeta) -> None:
+        if any(f.name == meta.name for f in self.files):
+            raise ValueError(f"duplicate file name {meta.name!r} in dataset {self.name!r}")
+        self.files.append(meta)
+
+    @property
+    def size(self) -> int:
+        return sum(f.size for f in self.files)
+
+    @property
+    def num_chunks(self) -> int:
+        return sum(f.num_chunks for f in self.files)
+
+    def iter_chunks(self) -> Iterator[Chunk]:
+        for f in self.files:
+            yield from f.chunks
+
+    def chunk_ids(self) -> list[ChunkId]:
+        return [c.id for c in self.iter_chunks()]
+
+
+def uniform_dataset(
+    name: str,
+    num_chunks: int,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Dataset:
+    """Build a dataset of ``num_chunks`` single-chunk files of equal size.
+
+    This is the paper's benchmark shape: "a data set, which contains 128
+    chunks, each around 64 MB" — each chunk file is one task.
+    """
+    if num_chunks <= 0:
+        raise ValueError("num_chunks must be positive")
+    ds = Dataset(name)
+    for i in range(num_chunks):
+        ds.add_file(make_file(f"{name}/part-{i:05d}", chunk_size, chunk_size))
+    return ds
+
+
+def dataset_from_sizes(
+    name: str,
+    sizes: Iterable[int],
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Dataset:
+    """Build a dataset with one file per entry of ``sizes`` (bytes each)."""
+    ds = Dataset(name)
+    for i, size in enumerate(sizes):
+        ds.add_file(make_file(f"{name}/part-{i:05d}", size, chunk_size))
+    return ds

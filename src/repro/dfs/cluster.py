@@ -1,0 +1,194 @@
+"""Cluster model: nodes, racks, and per-node hardware characteristics.
+
+The paper's testbed is PRObE Marmot — up to 128 nodes, each with one SATA
+disk and Gigabit Ethernet, all on one switch.  We model each node with a
+disk bandwidth and a full-duplex NIC (separate ingress/egress capacity);
+racks exist for the rack-aware placement policy even though Marmot is
+single-switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+MB = 10**6
+
+#: Effective sequential bandwidth of one 2 TB SATA disk (bytes/s).  64 MB at
+#: this rate takes ~0.9 s, matching the paper's with-Opass average I/O time.
+DEFAULT_DISK_BW = 70 * MB
+
+#: Effective Gigabit Ethernet throughput (bytes/s), ~93% of line rate.
+DEFAULT_NIC_BW = 117 * MB
+
+#: Average positioning (seek + rotational) latency charged per read (s).
+DEFAULT_SEEK_LATENCY = 0.010
+
+#: Extra fixed latency for a remote read (connection + protocol RTTs) (s).
+DEFAULT_REMOTE_LATENCY = 0.040
+
+#: Per-stream throughput ceiling of one remote HDFS read (bytes/s).  A 2015
+#: era libhdfs remote read is one TCP stream through the DataNode transfer
+#: protocol; protocol overhead and windowing keep it well under both disk
+#: and NIC line rate — the paper observes ~2 s for an uncontended 64 MB
+#: remote read (≈32 MB/s).
+DEFAULT_REMOTE_STREAM_BW = 32 * MB
+
+
+#: Seek-thrashing factor for concurrent streams on one SATA disk: with k
+#: readers the disk delivers bw / (1 + penalty·(k−1)) in aggregate.
+DEFAULT_DISK_CONCURRENCY_PENALTY = 0.25
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """Static description of one cluster node."""
+
+    node_id: int
+    rack: int = 0
+    disk_bw: float = DEFAULT_DISK_BW
+    nic_bw: float = DEFAULT_NIC_BW
+    disk_concurrency_penalty: float = DEFAULT_DISK_CONCURRENCY_PENALTY
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if self.disk_bw <= 0 or self.nic_bw <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.disk_concurrency_penalty < 0:
+            raise ValueError("disk_concurrency_penalty must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Immutable description of a cluster.
+
+    Use :meth:`homogeneous` for the common Marmot-like case.
+    """
+
+    nodes: tuple[NodeSpec, ...]
+    seek_latency: float = DEFAULT_SEEK_LATENCY
+    remote_latency: float = DEFAULT_REMOTE_LATENCY
+    remote_stream_bw: float = DEFAULT_REMOTE_STREAM_BW
+    #: Per-rack uplink capacity (bytes/s) shared by all cross-rack traffic
+    #: in each direction.  None models a non-blocking fabric (Marmot's
+    #: single switch); a finite value models an oversubscribed datacenter
+    #: network where cross-rack reads contend on the top-of-rack links.
+    rack_uplink_bw: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.remote_stream_bw <= 0:
+            raise ValueError("remote_stream_bw must be positive")
+        if self.rack_uplink_bw is not None and self.rack_uplink_bw <= 0:
+            raise ValueError("rack_uplink_bw must be positive when set")
+        ids = [n.node_id for n in self.nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate node ids in cluster spec")
+        if ids != list(range(len(ids))):
+            raise ValueError("node ids must be 0..m-1 in order")
+        if not self.nodes:
+            raise ValueError("cluster must have at least one node")
+
+    @classmethod
+    def homogeneous(
+        cls,
+        num_nodes: int,
+        *,
+        disk_bw: float = DEFAULT_DISK_BW,
+        nic_bw: float = DEFAULT_NIC_BW,
+        disk_concurrency_penalty: float = DEFAULT_DISK_CONCURRENCY_PENALTY,
+        nodes_per_rack: int | None = None,
+        seek_latency: float = DEFAULT_SEEK_LATENCY,
+        remote_latency: float = DEFAULT_REMOTE_LATENCY,
+        remote_stream_bw: float = DEFAULT_REMOTE_STREAM_BW,
+        rack_uplink_bw: float | None = None,
+    ) -> "ClusterSpec":
+        """A cluster of identical nodes, optionally grouped into racks."""
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if nodes_per_rack is not None and nodes_per_rack <= 0:
+            raise ValueError("nodes_per_rack must be positive")
+        nodes = tuple(
+            NodeSpec(
+                node_id=i,
+                rack=0 if nodes_per_rack is None else i // nodes_per_rack,
+                disk_bw=disk_bw,
+                nic_bw=nic_bw,
+                disk_concurrency_penalty=disk_concurrency_penalty,
+            )
+            for i in range(num_nodes)
+        )
+        return cls(
+            nodes=nodes,
+            seek_latency=seek_latency,
+            remote_latency=remote_latency,
+            remote_stream_bw=remote_stream_bw,
+            rack_uplink_bw=rack_uplink_bw,
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_racks(self) -> int:
+        return len({n.rack for n in self.nodes})
+
+    def node(self, node_id: int) -> NodeSpec:
+        if not 0 <= node_id < len(self.nodes):
+            raise KeyError(f"no node {node_id} in {len(self.nodes)}-node cluster")
+        return self.nodes[node_id]
+
+    def rack_of(self, node_id: int) -> int:
+        return self.node(node_id).rack
+
+    def nodes_in_rack(self, rack: int) -> list[int]:
+        return [n.node_id for n in self.nodes if n.rack == rack]
+
+    def __iter__(self) -> Iterator[NodeSpec]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+@dataclass
+class Cluster:
+    """A live cluster: a spec plus mutable membership (decommissioning).
+
+    Node addition/removal is how the paper motivates unbalanced layouts
+    (§IV-B); :class:`repro.dfs.placement.SkewedPlacement` uses the member
+    list to restrict where new replicas may land.
+    """
+
+    spec: ClusterSpec
+    _active: set[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._active = {n.node_id for n in self.spec.nodes}
+
+    @property
+    def active_nodes(self) -> list[int]:
+        return sorted(self._active)
+
+    @property
+    def num_active(self) -> int:
+        return len(self._active)
+
+    def is_active(self, node_id: int) -> bool:
+        self.spec.node(node_id)  # validate id
+        return node_id in self._active
+
+    def decommission(self, node_id: int) -> None:
+        """Remove a node from the active set (its replicas become stale)."""
+        self.spec.node(node_id)
+        if node_id not in self._active:
+            raise ValueError(f"node {node_id} already decommissioned")
+        if len(self._active) == 1:
+            raise ValueError("cannot decommission the last active node")
+        self._active.remove(node_id)
+
+    def recommission(self, node_id: int) -> None:
+        """Return a node to the active set (it starts with no chunks)."""
+        self.spec.node(node_id)
+        self._active.add(node_id)

@@ -1,0 +1,72 @@
+"""DataNode model: per-node chunk inventory and serve accounting.
+
+A DataNode stores chunk replicas and counts what it serves.  The serve
+counters implement the paper's "monitor to record the amount of data served
+by each storage node" used for Figures 1(a), 8 and 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .chunk import ChunkId
+
+
+@dataclass
+class DataNode:
+    """One storage node's replica inventory plus serve statistics."""
+
+    node_id: int
+    _chunks: dict[ChunkId, int] = field(default_factory=dict)  # chunk -> size
+    bytes_served: int = 0
+    requests_served: int = 0
+    local_bytes_served: int = 0
+    remote_bytes_served: int = 0
+
+    def add_replica(self, chunk_id: ChunkId, size: int) -> None:
+        if size <= 0:
+            raise ValueError("replica size must be positive")
+        if chunk_id in self._chunks:
+            raise ValueError(f"node {self.node_id} already holds {chunk_id}")
+        self._chunks[chunk_id] = size
+
+    def drop_replica(self, chunk_id: ChunkId) -> None:
+        if chunk_id not in self._chunks:
+            raise KeyError(f"node {self.node_id} does not hold {chunk_id}")
+        del self._chunks[chunk_id]
+
+    def holds(self, chunk_id: ChunkId) -> bool:
+        return chunk_id in self._chunks
+
+    def replica_size(self, chunk_id: ChunkId) -> int:
+        return self._chunks[chunk_id]
+
+    @property
+    def chunk_ids(self) -> list[ChunkId]:
+        return list(self._chunks)
+
+    @property
+    def num_replicas(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(self._chunks.values())
+
+    def record_serve(self, chunk_id: ChunkId, *, local: bool) -> None:
+        """Account one read request served from this node's disk."""
+        if chunk_id not in self._chunks:
+            raise KeyError(f"node {self.node_id} asked to serve {chunk_id} it does not hold")
+        size = self._chunks[chunk_id]
+        self.bytes_served += size
+        self.requests_served += 1
+        if local:
+            self.local_bytes_served += size
+        else:
+            self.remote_bytes_served += size
+
+    def reset_counters(self) -> None:
+        self.bytes_served = 0
+        self.requests_served = 0
+        self.local_bytes_served = 0
+        self.remote_bytes_served = 0

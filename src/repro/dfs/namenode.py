@@ -1,0 +1,121 @@
+"""NameNode model: the namespace and block-location metadata service.
+
+Opass's only requirement of the file system is the ability to "retrieve the
+data layout information from the underlying distributed file system" —
+the ``getFileBlockLocations`` call exposed through libhdfs.  The NameNode
+here owns the file → chunks → replica-nodes mapping and answers exactly
+those queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .chunk import Chunk, ChunkId, Dataset, FileMeta
+
+
+@dataclass
+class NameNode:
+    """Namespace plus chunk→replica-location index."""
+
+    _files: dict[str, FileMeta] = field(default_factory=dict)
+    _locations: dict[ChunkId, tuple[int, ...]] = field(default_factory=dict)
+    _datasets: dict[str, Dataset] = field(default_factory=dict)
+
+    # -- namespace ---------------------------------------------------------
+
+    def register_file(self, meta: FileMeta, locations: dict[ChunkId, tuple[int, ...]]) -> None:
+        """Add a file and the replica locations of each of its chunks."""
+        if meta.name in self._files:
+            raise ValueError(f"file {meta.name!r} already exists")
+        for chunk in meta.chunks:
+            if chunk.id not in locations:
+                raise ValueError(f"missing locations for {chunk.id}")
+            nodes = locations[chunk.id]
+            if not nodes:
+                raise ValueError(f"chunk {chunk.id} has no replicas")
+            if len(set(nodes)) != len(nodes):
+                raise ValueError(f"chunk {chunk.id} has duplicate replica nodes")
+        self._files[meta.name] = meta
+        for chunk in meta.chunks:
+            self._locations[chunk.id] = tuple(locations[chunk.id])
+
+    def register_dataset(self, dataset: Dataset, layout: dict[ChunkId, tuple[int, ...]]) -> None:
+        if dataset.name in self._datasets:
+            raise ValueError(f"dataset {dataset.name!r} already exists")
+        for meta in dataset.files:
+            self.register_file(meta, layout)
+        self._datasets[dataset.name] = dataset
+
+    def exists(self, name: str) -> bool:
+        return name in self._files
+
+    def stat(self, name: str) -> FileMeta:
+        if name not in self._files:
+            raise FileNotFoundError(name)
+        return self._files[name]
+
+    def list_files(self) -> list[str]:
+        return sorted(self._files)
+
+    def dataset(self, name: str) -> Dataset:
+        if name not in self._datasets:
+            raise KeyError(f"no dataset {name!r}")
+        return self._datasets[name]
+
+    def list_datasets(self) -> list[str]:
+        return sorted(self._datasets)
+
+    # -- block locations (the libhdfs surface Opass consumes) ---------------
+
+    def get_block_locations(self, name: str) -> list[tuple[Chunk, tuple[int, ...]]]:
+        """Per-chunk replica locations for one file, in chunk order."""
+        meta = self.stat(name)
+        return [(chunk, self._locations[chunk.id]) for chunk in meta.chunks]
+
+    def locations_of(self, chunk_id: ChunkId) -> tuple[int, ...]:
+        if chunk_id not in self._locations:
+            raise KeyError(f"unknown chunk {chunk_id}")
+        return self._locations[chunk_id]
+
+    def chunk(self, chunk_id: ChunkId) -> Chunk:
+        meta = self.stat(chunk_id.file)
+        try:
+            return meta.chunks[chunk_id.index]
+        except IndexError:
+            raise KeyError(f"unknown chunk {chunk_id}") from None
+
+    def layout_snapshot(self) -> dict[ChunkId, tuple[int, ...]]:
+        """A copy of the full chunk→nodes map (what Opass's graph builder reads)."""
+        return dict(self._locations)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def drop_node_replicas(self, node_id: int) -> list[ChunkId]:
+        """Remove ``node_id`` from every location list (node loss).
+
+        Returns chunks that lost a replica.  Chunks whose last replica lived
+        on the node are left with an empty location tuple; callers decide
+        whether that is data loss or triggers re-replication.
+        """
+        touched = []
+        for cid, nodes in self._locations.items():
+            if node_id in nodes:
+                self._locations[cid] = tuple(n for n in nodes if n != node_id)
+                touched.append(cid)
+        return touched
+
+    def add_replica(self, chunk_id: ChunkId, node_id: int) -> None:
+        nodes = self.locations_of(chunk_id)
+        if node_id in nodes:
+            raise ValueError(f"{chunk_id} already on node {node_id}")
+        self._locations[chunk_id] = tuple(sorted((*nodes, node_id)))
+
+    def remove_replica(self, chunk_id: ChunkId, node_id: int) -> None:
+        """Drop one replica location (balancer delete-after-copy)."""
+        nodes = self.locations_of(chunk_id)
+        if node_id not in nodes:
+            raise ValueError(f"{chunk_id} has no replica on node {node_id}")
+        if len(nodes) == 1:
+            raise ValueError(f"refusing to drop the last replica of {chunk_id}")
+        self._locations[chunk_id] = tuple(n for n in nodes if n != node_id)

@@ -1,0 +1,96 @@
+"""Replica-selection policies for the read path.
+
+The paper describes HDFS's client read policy: "a client process will first
+attempt to read the data from the disk that it is running on … If the
+required data is not on the local disk, the process will then read from
+another node that contains the required data", with the remote node "chosen
+at random".  Local-first is applied by the file system facade; the policies
+here decide which replica serves when no local replica exists.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+
+import numpy as np
+
+from .chunk import ChunkId
+
+
+class ReplicaChoicePolicy(ABC):
+    """Chooses the serving node for a remote read."""
+
+    @abstractmethod
+    def choose(
+        self,
+        chunk_id: ChunkId,
+        replicas: tuple[int, ...],
+        reader_node: int,
+        rng: np.random.Generator,
+    ) -> int:
+        """Pick one node id from ``replicas`` to serve ``chunk_id``."""
+
+    def reset(self) -> None:
+        """Clear any internal load state (between experiment runs)."""
+
+
+class RandomRemote(ReplicaChoicePolicy):
+    """HDFS default model: a uniformly random replica holder (paper §III-B)."""
+
+    def choose(
+        self,
+        chunk_id: ChunkId,
+        replicas: tuple[int, ...],
+        reader_node: int,
+        rng: np.random.Generator,
+    ) -> int:
+        if not replicas:
+            raise ValueError(f"no replicas for {chunk_id}")
+        return replicas[int(rng.integers(len(replicas)))]
+
+
+class FirstListed(ReplicaChoicePolicy):
+    """Deterministic: the first replica in the NameNode's list.
+
+    A worst-case policy: every reader of a chunk hits the same node.  Useful
+    as an adversarial baseline in balance experiments.
+    """
+
+    def choose(
+        self,
+        chunk_id: ChunkId,
+        replicas: tuple[int, ...],
+        reader_node: int,
+        rng: np.random.Generator,
+    ) -> int:
+        if not replicas:
+            raise ValueError(f"no replicas for {chunk_id}")
+        return replicas[0]
+
+
+class LeastLoaded(ReplicaChoicePolicy):
+    """Pick the replica holder that has served the fewest requests so far.
+
+    Not what stock HDFS does (the paper's point); included as an
+    infrastructure-side alternative for ablations.  Ties break by node id.
+    """
+
+    def __init__(self) -> None:
+        self._served: Counter[int] = Counter()
+
+    def choose(
+        self,
+        chunk_id: ChunkId,
+        replicas: tuple[int, ...],
+        reader_node: int,
+        rng: np.random.Generator,
+    ) -> int:
+        if not replicas:
+            raise ValueError(f"no replicas for {chunk_id}")
+        node = min(replicas, key=lambda n: (self._served[n], n))
+        self._served[node] += 1
+        return node
+
+    def reset(self) -> None:
+        self._served.clear()

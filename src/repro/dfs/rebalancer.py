@@ -1,0 +1,147 @@
+"""HDFS balancer model: replica migration toward even disk utilisation.
+
+Opass deliberately leaves placement alone ("Opass does not modify the
+design of HDFS"); the infrastructure-side alternative is HDFS's balancer,
+which iteratively moves replicas from over-utilised to under-utilised
+DataNodes until every node is within a threshold of the cluster mean.
+This model lets the ablations contrast the two approaches: the balancer
+*moves data* (paying transfer cost, counted here) to fix storage skew,
+while Opass fixes *access* without moving anything — and a balanced layout
+alone still leaves reads remote.
+
+Semantics follow the real balancer: utilisation = stored bytes relative to
+the cluster average; a move is legal only if the target does not already
+hold a replica of the chunk; iterate until convergence or ``max_passes``.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .chunk import ChunkId
+from .filesystem import DistributedFileSystem
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class RebalanceReport:
+    """What one balancer run did."""
+
+    moves: list[tuple[ChunkId, int, int]] = field(default_factory=list)
+    bytes_moved: int = 0
+    passes: int = 0
+    converged: bool = False
+
+    @property
+    def num_moves(self) -> int:
+        return len(self.moves)
+
+
+class Rebalancer:
+    """Threshold-based replica migration over a live file system."""
+
+    def __init__(self, fs: DistributedFileSystem, *, threshold: float = 0.10) -> None:
+        """``threshold``: tolerated relative deviation from mean stored bytes."""
+        if not 0 < threshold < 1:
+            raise ValueError("threshold must be in (0, 1)")
+        self.fs = fs
+        self.threshold = threshold
+
+    # -- introspection --------------------------------------------------------
+
+    def stored_bytes(self) -> dict[int, int]:
+        return {
+            nid: dn.stored_bytes
+            for nid, dn in self.fs.datanodes.items()
+            if self.fs.cluster.is_active(nid)
+        }
+
+    def utilisation_spread(self) -> float:
+        """(max - min) stored bytes relative to the mean (0 = flat)."""
+        stored = list(self.stored_bytes().values())
+        mean = float(np.mean(stored)) if stored else 0.0
+        if mean == 0:
+            return 0.0
+        return (max(stored) - min(stored)) / mean
+
+    def is_balanced(self) -> bool:
+        stored = self.stored_bytes()
+        mean = float(np.mean(list(stored.values())))
+        if mean == 0:
+            return True
+        lo, hi = mean * (1 - self.threshold), mean * (1 + self.threshold)
+        return all(lo <= b <= hi for b in stored.values())
+
+    # -- migration -----------------------------------------------------------------
+
+    def _move_replica(self, chunk_id: ChunkId, src: int, dst: int) -> None:
+        """Delete-after-copy, as the real balancer does."""
+        size = self.fs.datanodes[src].replica_size(chunk_id)
+        self.fs.datanodes[dst].add_replica(chunk_id, size)
+        self.fs.namenode.add_replica(chunk_id, dst)
+        self.fs.datanodes[src].drop_replica(chunk_id)
+        self.fs.namenode.remove_replica(chunk_id, src)
+
+    def run(self, *, max_passes: int = 50) -> RebalanceReport:
+        """Migrate replicas until balanced or out of passes."""
+        if max_passes <= 0:
+            raise ValueError("max_passes must be positive")
+        report = RebalanceReport()
+        for _ in range(max_passes):
+            report.passes += 1
+            stored = self.stored_bytes()
+            mean = float(np.mean(list(stored.values())))
+            if mean == 0 or self.is_balanced():
+                report.converged = True
+                break
+            over = sorted(
+                (n for n, b in stored.items() if b > mean * (1 + self.threshold)),
+                key=lambda n: -stored[n],
+            )
+            under = sorted(
+                (n for n, b in stored.items() if b < mean * (1 - self.threshold)),
+                key=lambda n: stored[n],
+            )
+            if not over or not under:
+                report.converged = True
+                break
+            moved_any = False
+            for src in over:
+                for dst in under:
+                    if stored[src] <= mean * (1 + self.threshold):
+                        break
+                    if stored[dst] >= mean:
+                        continue
+                    chunk = self._pick_movable(src, dst)
+                    if chunk is None:
+                        continue
+                    size = self.fs.datanodes[src].replica_size(chunk)
+                    self._move_replica(chunk, src, dst)
+                    stored[src] -= size
+                    stored[dst] += size
+                    report.moves.append((chunk, src, dst))
+                    report.bytes_moved += size
+                    moved_any = True
+            if not moved_any:
+                break  # nothing legal left to move
+        else:
+            report.converged = self.is_balanced()
+        if not report.converged:
+            report.converged = self.is_balanced()
+        logger.info(
+            "rebalance: %d moves, %.1f MB, %d passes, converged=%s",
+            report.num_moves, report.bytes_moved / 1e6, report.passes,
+            report.converged,
+        )
+        return report
+
+    def _pick_movable(self, src: int, dst: int) -> ChunkId | None:
+        """A replica on ``src`` whose chunk is absent from ``dst``."""
+        for cid in self.fs.datanodes[src].chunk_ids:
+            if not self.fs.datanodes[dst].holds(cid):
+                return cid
+        return None

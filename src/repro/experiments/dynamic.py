@@ -1,0 +1,51 @@
+"""Dynamic (master/worker) experiments: Figure 11 as importable functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.mpiblast import MpiBlastConfig, MpiBlastRun
+from ..core.bipartite import ProcessPlacement
+from ..dfs.cluster import ClusterSpec
+from ..dfs.filesystem import DistributedFileSystem
+from ..parallel.master_worker import MasterWorkerOutcome
+from ..workloads.generators import gene_database
+
+
+@dataclass
+class DynamicComparison:
+    """Default random master vs Opass guided lists (§V-A3)."""
+
+    base: MasterWorkerOutcome
+    opass: MasterWorkerOutcome
+
+    @property
+    def io_improvement(self) -> float:
+        base_avg = self.base.result.io_stats()["avg"]
+        opass_avg = self.opass.result.io_stats()["avg"]
+        return base_avg / opass_avg if opass_avg else float("inf")
+
+
+def run_dynamic_comparison(
+    *,
+    num_nodes: int = 64,
+    num_fragments: int = 640,
+    compute_mean: float = 0.3,
+    compute_cv: float = 0.8,
+    seed: int = 0,
+) -> DynamicComparison:
+    """Figure 11: mpiBLAST-style dynamic run, default vs Opass dispatch."""
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(num_nodes), seed=seed)
+    db = gene_database(num_fragments)
+    fs.put_dataset(db)
+    placement = ProcessPlacement.one_per_node(num_nodes)
+    config = MpiBlastConfig(compute_mean=compute_mean, compute_cv=compute_cv)
+
+    base = MpiBlastRun(fs, placement, db, config=config, use_opass=False).execute(
+        seed=seed
+    )
+    fs.reset_counters()
+    opass = MpiBlastRun(fs, placement, db, config=config, use_opass=True).execute(
+        seed=seed
+    )
+    return DynamicComparison(base=base, opass=opass)

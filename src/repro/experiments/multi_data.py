@@ -1,0 +1,65 @@
+"""Multi-data experiments: Figures 9 and 10 as importable functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..apps.multi_input import MultiInputComparison, MultiInputOutcome
+from ..core.bipartite import ProcessPlacement
+from ..dfs.cluster import ClusterSpec
+from ..dfs.filesystem import DistributedFileSystem
+from ..metrics.recorder import ServeMonitor
+from ..workloads.generators import multi_input_datasets
+
+
+@dataclass
+class MultiDataComparison:
+    """Default vs Algorithm-1 assignment on the §V-A2 workload."""
+
+    base: MultiInputOutcome
+    opass: MultiInputOutcome
+    base_served_mb: np.ndarray
+    opass_served_mb: np.ndarray
+
+    @property
+    def io_improvement(self) -> float:
+        base_avg = self.base.result.io_stats()["avg"]
+        opass_avg = self.opass.result.io_stats()["avg"]
+        return base_avg / opass_avg if opass_avg else float("inf")
+
+
+def run_multi_data_comparison(
+    *,
+    num_nodes: int = 64,
+    num_tasks: int = 640,
+    input_sizes_mb: tuple[int, ...] = (30, 20, 10),
+    seed: int = 0,
+) -> MultiDataComparison:
+    """Figures 9/10: multi-input tasks, default vs Opass, same layout."""
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(num_nodes), seed=seed)
+    datasets = multi_input_datasets(num_tasks, input_sizes_mb=input_sizes_mb)
+    for ds in datasets:
+        fs.put_dataset(ds)
+    placement = ProcessPlacement.one_per_node(num_nodes)
+
+    monitor = ServeMonitor(fs)
+    monitor.start()
+    base = MultiInputComparison(fs, placement, datasets, use_opass=False).execute(
+        seed=seed
+    )
+    base_served = monitor.served_mb_array()
+
+    monitor.start()
+    opass = MultiInputComparison(fs, placement, datasets, use_opass=True).execute(
+        seed=seed
+    )
+    opass_served = monitor.served_mb_array()
+
+    return MultiDataComparison(
+        base=base,
+        opass=opass,
+        base_served_mb=base_served,
+        opass_served_mb=opass_served,
+    )

@@ -1,0 +1,46 @@
+"""ParaView experiments: Figure 12 / §V-B as importable functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.paraview import ParaViewConfig, ParaViewMultiBlockReader, ParaViewResult
+from ..core.bipartite import ProcessPlacement
+from ..dfs.cluster import ClusterSpec
+from ..dfs.filesystem import DistributedFileSystem
+from ..workloads.generators import paraview_multiblock_series
+
+
+@dataclass
+class ParaViewComparison:
+    """Stock vs Opass-patched readers on the same series and layout."""
+
+    stock: ParaViewResult
+    opass: ParaViewResult
+
+    @property
+    def time_saved(self) -> float:
+        return self.stock.total_execution_time - self.opass.total_execution_time
+
+
+def run_paraview_comparison(
+    *,
+    num_nodes: int = 64,
+    num_datasets: int = 640,
+    config: ParaViewConfig | None = None,
+    seed: int = 0,
+) -> ParaViewComparison:
+    """Figure 12: render the MultiBlock series with both readers."""
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(num_nodes), seed=seed)
+    series = paraview_multiblock_series(num_datasets)
+    fs.put_dataset(series)
+    placement = ProcessPlacement.one_per_node(num_nodes)
+
+    stock = ParaViewMultiBlockReader(
+        fs, placement, series, config=config, use_opass=False
+    ).render(seed=seed)
+    fs.reset_counters()
+    opass = ParaViewMultiBlockReader(
+        fs, placement, series, config=config, use_opass=True, opass_seed=seed
+    ).render(seed=seed)
+    return ParaViewComparison(stock=stock, opass=opass)

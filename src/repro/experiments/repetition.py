@@ -1,0 +1,98 @@
+"""Seed-repetition statistics: the paper's "We run the tests 5 times".
+
+Every experiment function here is deterministic given its seed, so paper-
+style replication is a seed sweep.  :func:`repeat` runs any experiment
+over a seed list and aggregates named metrics into mean/std/min/max;
+:func:`run_paraview_repeated` applies it to §V-B's headline totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence, TypeVar
+
+import numpy as np
+
+from .paraview import ParaViewComparison, run_paraview_comparison
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Replication statistics of one metric."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    n: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.2f} ± {self.std:.2f} (n={self.n})"
+
+
+@dataclass(frozen=True)
+class RepeatedResult:
+    """Aggregated metrics plus the raw per-seed outcomes."""
+
+    metrics: dict[str, MetricStats]
+    outcomes: list
+
+
+def repeat(
+    experiment: Callable[[int], T],
+    metrics: Mapping[str, Callable[[T], float]],
+    *,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> RepeatedResult:
+    """Run ``experiment(seed)`` for every seed and aggregate the metrics.
+
+    ``metrics`` maps metric names to extractors over the experiment's
+    return value.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if not metrics:
+        raise ValueError("need at least one metric")
+    outcomes = [experiment(seed) for seed in seeds]
+    aggregated: dict[str, MetricStats] = {}
+    for name, extract in metrics.items():
+        values = np.array([float(extract(o)) for o in outcomes])
+        aggregated[name] = MetricStats(
+            mean=float(values.mean()),
+            std=float(values.std()),
+            min=float(values.min()),
+            max=float(values.max()),
+            n=len(values),
+        )
+    return RepeatedResult(metrics=aggregated, outcomes=outcomes)
+
+
+def run_paraview_repeated(
+    *,
+    num_nodes: int = 64,
+    num_datasets: int = 640,
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+) -> RepeatedResult:
+    """§V-B's protocol: 5 ParaView runs, averaged totals.
+
+    The paper: "We run the tests 5 times and the average execution time of
+    Paraview with Opass is around 98 second while that of Paraview without
+    Opass is around 167 seconds."
+    """
+    def one(seed: int) -> ParaViewComparison:
+        return run_paraview_comparison(
+            num_nodes=num_nodes, num_datasets=num_datasets, seed=seed
+        )
+
+    return repeat(
+        one,
+        {
+            "stock_total": lambda c: c.stock.total_execution_time,
+            "opass_total": lambda c: c.opass.total_execution_time,
+            "stock_avg_call": lambda c: c.stock.avg_call_time,
+            "opass_avg_call": lambda c: c.opass.avg_call_time,
+        },
+        seeds=seeds,
+    )

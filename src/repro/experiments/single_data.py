@@ -1,0 +1,122 @@
+"""Single-data experiments: Figures 1, 7 and 8 as importable functions.
+
+Each function builds a fresh seeded environment, runs the baseline and/or
+Opass, and returns a typed result — the benchmarks print and assert over
+these, the CLI reuses them, and tests exercise them at small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.baselines import rank_interval_assignment
+from ..core.bipartite import ProcessPlacement
+from ..core.opass import opass_single_data
+from ..core.tasks import tasks_from_dataset
+from ..dfs.cluster import ClusterSpec
+from ..dfs.filesystem import DistributedFileSystem
+from ..metrics.recorder import ServeMonitor
+from ..simulate.runner import ParallelReadRun, RunResult, StaticSource
+from ..workloads.generators import motivating_dataset, single_data_workload
+
+#: The paper's Figure-7/8 cluster-size sweep.
+SWEEP_SIZES = (16, 32, 48, 64, 80)
+
+
+@dataclass
+class SingleDataComparison:
+    """One §V-A1 experiment: baseline and Opass runs on identical layouts."""
+
+    num_nodes: int
+    base: RunResult
+    opass: RunResult
+    base_served_mb: np.ndarray
+    opass_served_mb: np.ndarray
+
+
+def run_single_data_comparison(
+    num_nodes: int,
+    *,
+    chunks_per_process: int = 10,
+    seed: int = 0,
+) -> SingleDataComparison:
+    """Run the paper's single-data benchmark once at the given scale."""
+    spec = ClusterSpec.homogeneous(num_nodes)
+    fs = DistributedFileSystem(spec, seed=seed)
+    data = single_data_workload(num_nodes, chunks_per_process)
+    fs.put_dataset(data)
+    placement = ProcessPlacement.one_per_node(num_nodes)
+    tasks = tasks_from_dataset(data)
+
+    monitor = ServeMonitor(fs)
+    monitor.start()
+    baseline = rank_interval_assignment(len(tasks), num_nodes)
+    base = ParallelReadRun(
+        fs, placement, tasks, StaticSource(baseline), seed=seed
+    ).run()
+    base_served = monitor.served_mb_array()
+
+    monitor.start()
+    result, _, _ = opass_single_data(fs, data, placement, seed=seed)
+    opass = ParallelReadRun(
+        fs, placement, tasks, StaticSource(result.assignment), seed=seed
+    ).run()
+    opass_served = monitor.served_mb_array()
+
+    return SingleDataComparison(
+        num_nodes=num_nodes,
+        base=base,
+        opass=opass,
+        base_served_mb=base_served,
+        opass_served_mb=opass_served,
+    )
+
+
+def run_sweep(
+    sizes: tuple[int, ...] = SWEEP_SIZES,
+    *,
+    chunks_per_process: int = 10,
+    seeds: tuple[int, ...] = (0, 1, 2),
+) -> dict[int, list[SingleDataComparison]]:
+    """The Figure-7/8 sweep: every size × every seed."""
+    return {
+        m: [
+            run_single_data_comparison(
+                m, chunks_per_process=chunks_per_process, seed=s
+            )
+            for s in seeds
+        ]
+        for m in sizes
+    }
+
+
+@dataclass
+class MotivationResult:
+    """The Figure-1 experiment: the imbalance that motivates the paper."""
+
+    run: RunResult
+    chunks_served: np.ndarray  # per-node request counts
+
+
+def run_motivating_experiment(
+    *,
+    num_nodes: int = 64,
+    num_chunks: int = 128,
+    seed: int = 0,
+) -> MotivationResult:
+    """Figure 1: rank-interval reads of n chunks on an m-node cluster."""
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(num_nodes), seed=seed)
+    data = motivating_dataset(num_chunks)
+    fs.put_dataset(data)
+    placement = ProcessPlacement.one_per_node(num_nodes)
+    tasks = tasks_from_dataset(data)
+    monitor = ServeMonitor(fs)
+    monitor.start()
+    run = ParallelReadRun(
+        fs, placement, tasks,
+        StaticSource(rank_interval_assignment(num_chunks, num_nodes)),
+        seed=seed,
+    ).run()
+    return MotivationResult(run=run, chunks_served=monitor.chunks_served_array())

@@ -1,0 +1,35 @@
+"""Measurement utilities: summaries, fairness indices, serve monitoring."""
+
+from .export import (
+    records_to_rows,
+    run_summary,
+    write_records_csv,
+    write_run_json,
+    write_series_csv,
+)
+from .recorder import ServeMonitor
+from .stats import (
+    Summary,
+    coefficient_of_variation,
+    imbalance_factor,
+    jains_fairness,
+    percentile_summary,
+    summarize,
+    windowed_means,
+)
+
+__all__ = [
+    "ServeMonitor",
+    "Summary",
+    "coefficient_of_variation",
+    "imbalance_factor",
+    "jains_fairness",
+    "percentile_summary",
+    "records_to_rows",
+    "run_summary",
+    "write_records_csv",
+    "write_run_json",
+    "write_series_csv",
+    "summarize",
+    "windowed_means",
+]

@@ -1,0 +1,114 @@
+"""Result export: CSV and JSON serialisation of runs and figure series.
+
+The benchmark harness prints paper-style tables; downstream analysis
+(plotting, regression tracking) wants machine-readable artifacts.  These
+helpers serialise :class:`~repro.simulate.runner.RunResult` records and
+arbitrary labelled series without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..simulate.runner import RunResult
+
+#: Columns of the per-read CSV, in order.
+READ_RECORD_FIELDS = (
+    "seq",
+    "rank",
+    "task_id",
+    "chunk",
+    "server_node",
+    "reader_node",
+    "local",
+    "issue_time",
+    "end_time",
+    "duration",
+)
+
+
+def records_to_rows(result: RunResult) -> list[dict[str, object]]:
+    """Per-read dictionaries in completion order."""
+    rows = []
+    for rec in sorted(result.records, key=lambda r: (r.end_time, r.seq)):
+        rows.append(
+            {
+                "seq": rec.seq,
+                "rank": rec.rank,
+                "task_id": rec.task_id,
+                "chunk": str(rec.chunk),
+                "server_node": rec.server_node,
+                "reader_node": rec.reader_node,
+                "local": rec.local,
+                "issue_time": rec.issue_time,
+                "end_time": rec.end_time,
+                "duration": rec.duration,
+            }
+        )
+    return rows
+
+
+def write_records_csv(result: RunResult, path: str | Path) -> Path:
+    """Dump every read record to a CSV file; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=READ_RECORD_FIELDS)
+        writer.writeheader()
+        for row in records_to_rows(result):
+            writer.writerow(row)
+    return path
+
+
+def run_summary(result: RunResult, *, num_nodes: int | None = None) -> dict[str, object]:
+    """A JSON-ready summary of one run."""
+    stats = result.io_stats()
+    summary: dict[str, object] = {
+        "makespan": result.makespan,
+        "tasks_completed": result.tasks_completed,
+        "reads": len(result.records),
+        "read_retries": result.read_retries,
+        "local_bytes": result.local_bytes,
+        "remote_bytes": result.remote_bytes,
+        "locality_fraction": result.locality_fraction,
+        "io_time": stats,
+    }
+    if num_nodes is not None:
+        summary["served_mb_per_node"] = (
+            result.served_bytes_array(num_nodes) / 1e6
+        ).tolist()
+    return summary
+
+
+def write_run_json(
+    result: RunResult, path: str | Path, *, num_nodes: int | None = None
+) -> Path:
+    """Dump a run summary to a JSON file; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(run_summary(result, num_nodes=num_nodes), indent=2))
+    return path
+
+
+def write_series_csv(
+    path: str | Path,
+    series: Mapping[str, Iterable[float]],
+    *,
+    index_name: str = "index",
+) -> Path:
+    """Write labelled, equal-length series as CSV columns (a figure's data)."""
+    path = Path(path)
+    columns = {name: list(values) for name, values in series.items()}
+    if not columns:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in columns.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    (n,) = lengths
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([index_name, *columns.keys()])
+        for i in range(n):
+            writer.writerow([i, *(columns[name][i] for name in columns)])
+    return path

@@ -1,0 +1,68 @@
+"""Per-node serve monitoring across experiment phases.
+
+The paper "implement[s] a monitor to record the amount of data served by
+each storage node".  :class:`ServeMonitor` snapshots a file system's
+DataNode counters so one experiment's figures can be separated from
+another's without resetting global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..dfs.filesystem import DistributedFileSystem
+from .stats import Summary, summarize
+
+
+@dataclass
+class ServeMonitor:
+    """Delta-counting monitor over a file system's serve counters."""
+
+    fs: DistributedFileSystem
+    _baseline_bytes: dict[int, int] | None = None
+    _baseline_requests: dict[int, int] | None = None
+
+    def start(self) -> None:
+        """Snapshot current counters; subsequent reads count from here."""
+        self._baseline_bytes = dict(self.fs.bytes_served_per_node())
+        self._baseline_requests = dict(self.fs.requests_served_per_node())
+
+    def _require_started(self) -> None:
+        if self._baseline_bytes is None:
+            raise RuntimeError("monitor not started; call start() first")
+
+    def bytes_served(self) -> dict[int, int]:
+        """Bytes served per node since :meth:`start`."""
+        self._require_started()
+        now = self.fs.bytes_served_per_node()
+        assert self._baseline_bytes is not None
+        return {n: now[n] - self._baseline_bytes.get(n, 0) for n in now}
+
+    def requests_served(self) -> dict[int, int]:
+        """Requests served per node since :meth:`start`."""
+        self._require_started()
+        now = self.fs.requests_served_per_node()
+        assert self._baseline_requests is not None
+        return {n: now[n] - self._baseline_requests.get(n, 0) for n in now}
+
+    def served_mb_array(self) -> np.ndarray:
+        """Per-node served MB as an array indexed by node id."""
+        served = self.bytes_served()
+        out = np.zeros(self.fs.num_nodes)
+        for node, b in served.items():
+            out[node] = b / 1e6
+        return out
+
+    def served_summary_mb(self) -> Summary:
+        """The Figure-8 metric: avg/max/min MB served per node."""
+        return summarize(self.served_mb_array())
+
+    def chunks_served_array(self) -> np.ndarray:
+        """Per-node request counts (Figure 1(a)'s 'size of data served')."""
+        served = self.requests_served()
+        out = np.zeros(self.fs.num_nodes, dtype=np.int64)
+        for node, c in served.items():
+            out[node] = c
+        return out

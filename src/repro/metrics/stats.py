@@ -1,0 +1,96 @@
+"""Summary statistics used throughout the evaluation.
+
+Small, numpy-vectorised helpers matching the metrics the paper reports:
+avg/max/min triples (Figures 7(a,b), 8(a,b)), imbalance factors ("the
+maximum I/O time to read a chunk file is 9X that of the minimum"), locality
+fractions, and trace summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """avg/max/min/std of a sample, the paper's reporting format."""
+
+    avg: float
+    max: float
+    min: float
+    std: float
+    n: int
+
+    @property
+    def imbalance(self) -> float:
+        """max / min; inf when the minimum is zero."""
+        if self.min == 0:
+            return float("inf") if self.max > 0 else 1.0
+        return self.max / self.min
+
+    def as_dict(self) -> dict[str, float]:
+        return {"avg": self.avg, "max": self.max, "min": self.min, "std": self.std}
+
+
+def summarize(values) -> Summary:
+    """Summary of any 1-D sample (empty samples are all-zero)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return Summary(0.0, 0.0, 0.0, 0.0, 0)
+    return Summary(
+        avg=float(arr.mean()),
+        max=float(arr.max()),
+        min=float(arr.min()),
+        std=float(arr.std()),
+        n=int(arr.size),
+    )
+
+
+def imbalance_factor(values) -> float:
+    """max/min of a sample (the paper's "NX that of the minimum")."""
+    return summarize(values).imbalance
+
+
+def coefficient_of_variation(values) -> float:
+    """std/mean — a scale-free balance measure for ablations."""
+    s = summarize(values)
+    if s.avg == 0:
+        return 0.0
+    return s.std / s.avg
+
+
+def jains_fairness(values) -> float:
+    """Jain's fairness index: 1 = perfectly balanced, 1/n = maximally skewed."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 1.0
+    denom = arr.size * float(np.sum(arr * arr))
+    if denom == 0:
+        return 1.0
+    total = float(arr.sum())
+    return total * total / denom
+
+
+def percentile_summary(values, percentiles=(50, 90, 99)) -> dict[str, float]:
+    """Named percentiles of a sample, for trace characterisation."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {f"p{p}": 0.0 for p in percentiles}
+    return {f"p{p}": float(np.percentile(arr, p)) for p in percentiles}
+
+
+def windowed_means(values, num_windows: int = 10) -> np.ndarray:
+    """Mean of each of ``num_windows`` consecutive slices of a trace.
+
+    Used to characterise trends over an execution (Figure 7(c)'s "the I/O
+    time increases dramatically after the initiation").
+    """
+    if num_windows <= 0:
+        raise ValueError("num_windows must be positive")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return np.zeros(num_windows)
+    splits = np.array_split(arr, num_windows)
+    return np.array([float(s.mean()) if s.size else 0.0 for s in splits])

@@ -1,0 +1,100 @@
+"""A simulated MPI-like communicator.
+
+The paper's applications are MPI programs (MPICH on Marmot).  They use MPI
+for three things Opass cares about: knowing their rank and size, being
+pinned to cluster nodes, and synchronising.  :class:`SimComm` provides that
+surface — mirroring mpi4py's lowercase API (``send``/``recv``/``bcast``/
+``barrier``) — over in-memory mailboxes so application logic written against
+it reads like real MPI code and can be unit-tested deterministically.
+
+This communicator models *control-plane* messaging (task assignments,
+completion notices), which the paper treats as free relative to data
+movement; the data plane is the flow simulator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.bipartite import ProcessPlacement
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class SimComm:
+    """Rank/size bookkeeping plus in-memory point-to-point mailboxes."""
+
+    placement: ProcessPlacement
+    _mailboxes: dict[int, deque[tuple[int, int, Any]]] = field(default_factory=dict)
+    _barrier_count: int = 0
+    barriers_completed: int = 0
+
+    def __post_init__(self) -> None:
+        self._mailboxes = {r: deque() for r in range(self.placement.num_processes)}
+
+    @property
+    def size(self) -> int:
+        return self.placement.num_processes
+
+    def node_of(self, rank: int) -> int:
+        return self.placement.node_of(rank)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+
+    # -- point-to-point -------------------------------------------------------
+
+    def send(self, obj: Any, dest: int, *, source: int, tag: int = 0) -> None:
+        """Deliver ``obj`` to ``dest``'s mailbox (non-blocking, in order)."""
+        self._check_rank(dest)
+        self._check_rank(source)
+        self._mailboxes[dest].append((source, tag, obj))
+
+    def recv(self, *, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Pop the first matching message for ``rank``.
+
+        Raises ``LookupError`` if no matching message is queued (simulated
+        programs must not block — drivers sequence sends before receives).
+        """
+        self._check_rank(rank)
+        box = self._mailboxes[rank]
+        for i, (src, t, obj) in enumerate(box):
+            if (source == ANY_SOURCE or src == source) and (tag == ANY_TAG or t == tag):
+                del box[i]
+                return obj
+        raise LookupError(f"no message for rank {rank} (source={source}, tag={tag})")
+
+    def probe(self, *, rank: int, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        self._check_rank(rank)
+        return any(
+            (source == ANY_SOURCE or src == source) and (tag == ANY_TAG or t == tag)
+            for src, t, _ in self._mailboxes[rank]
+        )
+
+    def pending(self, rank: int) -> int:
+        self._check_rank(rank)
+        return len(self._mailboxes[rank])
+
+    # -- collectives -------------------------------------------------------------
+
+    def bcast(self, obj: Any, *, root: int = 0) -> None:
+        """Root sends ``obj`` to every other rank."""
+        self._check_rank(root)
+        for rank in range(self.size):
+            if rank != root:
+                self.send(obj, rank, source=root, tag=ANY_TAG + 1)
+
+    def barrier_arrive(self, rank: int) -> bool:
+        """Register arrival; True when this arrival completes the barrier."""
+        self._check_rank(rank)
+        self._barrier_count += 1
+        if self._barrier_count == self.size:
+            self._barrier_count = 0
+            self.barriers_completed += 1
+            return True
+        return False

@@ -1,0 +1,94 @@
+"""DL-MPI-style data-locality query interface.
+
+The paper builds on the authors' earlier DL-MPI work ("Dl-mpi: Enabling
+data locality computation for MPI-based data-intensive applications"),
+which gives each MPI process an API to ask the underlying distributed file
+system what data is local to it.  Opass's graph builder consumes the whole
+layout centrally; this module provides the per-process view that an
+MPI-rank programming model would use, so applications can be written
+against the same queries DL-MPI exposes:
+
+* ``local_chunks(rank)`` — chunks with a replica on the rank's node;
+* ``is_local(rank, chunk)`` / ``local_bytes(rank)``;
+* ``locality_map(chunks)`` — per-rank partition of an input list into
+  local and remote chunks (the scatter/gather helper DL-MPI builds on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.bipartite import ProcessPlacement
+from ..dfs.chunk import ChunkId
+from ..dfs.filesystem import DistributedFileSystem
+
+
+@dataclass(frozen=True)
+class LocalitySplit:
+    """One process's view of an input list."""
+
+    rank: int
+    local: tuple[ChunkId, ...]
+    remote: tuple[ChunkId, ...]
+
+    @property
+    def locality_ratio(self) -> float:
+        total = len(self.local) + len(self.remote)
+        return len(self.local) / total if total else 1.0
+
+
+class DataLocalityQuery:
+    """Per-rank locality queries over a live file system."""
+
+    def __init__(self, fs: DistributedFileSystem, placement: ProcessPlacement) -> None:
+        self.fs = fs
+        self.placement = placement
+        # node -> set of chunk ids, built once from DataNode inventories.
+        self._node_chunks = {
+            nid: set(dn.chunk_ids) for nid, dn in fs.datanodes.items()
+        }
+
+    def refresh(self) -> None:
+        """Re-read inventories (after a rebalance or failure)."""
+        self._node_chunks = {
+            nid: set(dn.chunk_ids) for nid, dn in self.fs.datanodes.items()
+        }
+
+    def _node_of(self, rank: int) -> int:
+        return self.placement.node_of(rank)
+
+    def is_local(self, rank: int, chunk_id: ChunkId) -> bool:
+        """True iff a replica of the chunk sits on the rank's node."""
+        return chunk_id in self._node_chunks.get(self._node_of(rank), ())
+
+    def local_chunks(self, rank: int) -> list[ChunkId]:
+        """All chunks with a replica on the rank's node (sorted)."""
+        return sorted(self._node_chunks.get(self._node_of(rank), ()), key=str)
+
+    def local_bytes(self, rank: int) -> int:
+        """Total bytes stored on the rank's node."""
+        node = self._node_of(rank)
+        return self.fs.datanodes[node].stored_bytes
+
+    def split(self, rank: int, chunks: list[ChunkId]) -> LocalitySplit:
+        """Partition an input list into this rank's local/remote chunks."""
+        local, remote = [], []
+        for cid in chunks:
+            (local if self.is_local(rank, cid) else remote).append(cid)
+        return LocalitySplit(rank=rank, local=tuple(local), remote=tuple(remote))
+
+    def locality_map(self, chunks: list[ChunkId]) -> dict[int, LocalitySplit]:
+        """Every rank's split of the same input list."""
+        return {
+            rank: self.split(rank, chunks)
+            for rank in range(self.placement.num_processes)
+        }
+
+    def best_rank_for(self, chunk_id: ChunkId) -> list[int]:
+        """Ranks co-located with the chunk (the candidates Opass matches)."""
+        replicas = self.fs.namenode.locations_of(chunk_id)
+        ranks_on = self.placement.ranks_on_node()
+        out: list[int] = []
+        for node in replicas:
+            out.extend(ranks_on.get(node, ()))
+        return sorted(out)

@@ -1,0 +1,93 @@
+"""SPMD (static-assignment) execution driver.
+
+The §V-A1 experiment shape: every process computes its own task interval up
+front (ParaView-style rank arithmetic, or an Opass matching handed to it),
+then all processes stream through their lists in parallel, reading each
+task's inputs from the file system.  This module packages that pattern as a
+single call returning the run result plus assignment-quality metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.assignment import Assignment, locality_fraction
+from ..core.bipartite import LocalityGraph, ProcessPlacement, graph_from_filesystem
+from ..core.baselines import rank_interval_assignment
+from ..core.single_data import optimize_single_data
+from ..core.tasks import Task
+from ..dfs.filesystem import DistributedFileSystem
+from ..simulate.runner import ComputeModel, ParallelReadRun, RunResult, StaticSource
+
+
+@dataclass(frozen=True)
+class SpmdOutcome:
+    """A static run plus the assignment that produced it."""
+
+    assignment: Assignment
+    result: RunResult
+    planned_locality: float
+
+    @property
+    def achieved_locality(self) -> float:
+        return self.result.locality_fraction
+
+
+def run_static(
+    fs: DistributedFileSystem,
+    placement: ProcessPlacement,
+    tasks: list[Task],
+    assignment: Assignment,
+    *,
+    graph: LocalityGraph | None = None,
+    compute_time: ComputeModel | float | None = None,
+    barrier: bool = False,
+    barrier_compute_time: float = 0.0,
+    seed: int | np.random.Generator = 0,
+) -> SpmdOutcome:
+    """Execute a precomputed assignment SPMD-style and score it."""
+    if graph is None:
+        graph = graph_from_filesystem(fs, tasks, placement)
+    run = ParallelReadRun(
+        fs,
+        placement,
+        tasks,
+        StaticSource(assignment),
+        compute_time=compute_time,
+        barrier=barrier,
+        barrier_compute_time=barrier_compute_time,
+        seed=seed,
+    )
+    result = run.run()
+    return SpmdOutcome(
+        assignment=assignment,
+        result=result,
+        planned_locality=locality_fraction(assignment, graph),
+    )
+
+
+def run_rank_interval(
+    fs: DistributedFileSystem,
+    placement: ProcessPlacement,
+    tasks: list[Task],
+    **kwargs,
+) -> SpmdOutcome:
+    """The paper's baseline: ParaView's rank-interval static assignment."""
+    assignment = rank_interval_assignment(len(tasks), placement.num_processes)
+    return run_static(fs, placement, tasks, assignment, **kwargs)
+
+
+def run_opass_single(
+    fs: DistributedFileSystem,
+    placement: ProcessPlacement,
+    tasks: list[Task],
+    *,
+    opass_seed: int | np.random.Generator = 0,
+    **kwargs,
+) -> SpmdOutcome:
+    """Opass: flow-matched static assignment over the same tasks."""
+    graph = graph_from_filesystem(fs, tasks, placement)
+    result = optimize_single_data(graph, seed=opass_seed)
+    return run_static(fs, placement, tasks, result.assignment, graph=graph, **kwargs)

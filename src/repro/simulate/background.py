@@ -1,0 +1,106 @@
+"""Background traffic: the shared-cluster reality of §V-C.
+
+"Unlike a supercomputer platform, clusters are usually shared by multiple
+applications.  Thus, Opass may not greatly enhance the performance of
+parallel data requests due to the adjustment of HDFS.  However, Opass
+allows the parallel data requests to be served in an optimized way as long
+as the cluster nodes have the capability to deliver data…"
+
+:class:`BackgroundTraffic` injects that interference: an open-loop Poisson
+stream of remote transfers between random node pairs, sharing the same
+fluid resources as the application under test.  Combined with
+``ParallelReadRun(..., sim=shared)`` this reproduces the multi-tenant
+scenario the paper can only discuss qualitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..dfs.cluster import ClusterSpec
+from .engine import Simulation
+from .resources import remote_read_path
+
+
+@dataclass
+class BackgroundTraffic:
+    """Poisson cross-traffic over a cluster's disks and NICs.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Transfers started per second (cluster-wide).
+    transfer_size:
+        Bytes per background transfer.
+    duration:
+        Stop launching new transfers after this simulated time (in-flight
+        ones finish naturally).
+    """
+
+    sim: Simulation
+    spec: ClusterSpec
+    arrival_rate: float
+    transfer_size: float
+    duration: float
+    seed: int | np.random.Generator = 0
+    started: int = field(default=0, init=False)
+    completed: int = field(default=0, init=False)
+    bytes_moved: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.transfer_size <= 0:
+            raise ValueError("transfer_size must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.spec.num_nodes < 2:
+            raise ValueError("background traffic needs at least two nodes")
+        self._rng = (
+            self.seed
+            if isinstance(self.seed, np.random.Generator)
+            else np.random.default_rng(self.seed)
+        )
+
+    def _random_pair(self) -> tuple[int, int]:
+        src, dst = self._rng.choice(self.spec.num_nodes, size=2, replace=False)
+        return int(src), int(dst)
+
+    def _launch_one(self) -> None:
+        src, dst = self._random_pair()
+        if self.spec.rack_uplink_bw is not None:
+            path = remote_read_path(
+                src, dst,
+                server_rack=self.spec.rack_of(src),
+                reader_rack=self.spec.rack_of(dst),
+            )
+        else:
+            path = remote_read_path(src, dst)
+
+        def done(_flow) -> None:
+            self.completed += 1
+            self.bytes_moved += self.transfer_size
+
+        self.sim.start_flow(
+            self.transfer_size, path, done,
+            rate_cap=self.spec.remote_stream_bw,
+        )
+        self.started += 1
+
+    def _schedule_next(self) -> None:
+        gap = float(self._rng.exponential(1.0 / self.arrival_rate))
+        fire_at = self.sim.now + gap
+        if fire_at > self.duration:
+            return
+
+        def fire() -> None:
+            self._launch_one()
+            self._schedule_next()
+
+        self.sim.schedule(gap, fire)
+
+    def prepare(self) -> None:
+        """Arm the arrival process (call before driving the clock)."""
+        self._schedule_next()

@@ -1,0 +1,188 @@
+"""Discrete-event simulation engine with fluid flows.
+
+The engine advances a clock over two kinds of events:
+
+* **timers** — callbacks scheduled at absolute times (compute phases, seek
+  latencies, barrier releases);
+* **flow completions** — a :class:`~repro.simulate.flows.Flow` finishes when
+  its remaining bytes reach zero under the current max-min fair rates.
+
+Rates are re-solved lazily: only when the active flow set changes (a flow
+starts or completes).  Between events every flow's ``remaining`` decreases
+linearly, so the next completion time is exact — no fixed time step, no
+numerical integration error beyond float arithmetic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from itertools import count
+from typing import Callable
+
+from .flows import Flow, allocate_rates
+from .resources import Resource
+
+#: Completion slack: a flow is done when remaining ≤ REMAINING_EPS bytes.
+REMAINING_EPS = 1e-6
+
+
+class Simulation:
+    """Event loop owning the clock, timers, resources and active flows."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = count()
+        self._resources: dict[str, Resource] = {}
+        self._active: list[Flow] = []
+        self._on_complete: dict[Flow, Callable[[Flow], None]] = {}
+        self._rates: dict[Flow, float] = {}
+        self._dirty = True
+        self.completed_flows = 0
+        self.events_processed = 0
+
+    # -- configuration -------------------------------------------------------
+
+    def add_resource(self, resource: Resource) -> None:
+        if resource.name in self._resources:
+            raise ValueError(f"duplicate resource {resource.name!r}")
+        self._resources[resource.name] = resource
+
+    def add_resources(self, resources: list[Resource]) -> None:
+        for r in resources:
+            self.add_resource(r)
+
+    def has_resource(self, name: str) -> bool:
+        return name in self._resources
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        heapq.heappush(self._timers, (self.now + delay, next(self._seq), callback))
+
+    def start_flow(
+        self,
+        size: float,
+        path: list[str],
+        on_complete: Callable[[Flow], None],
+        payload: object = None,
+        rate_cap: float | None = None,
+    ) -> Flow:
+        """Begin a transfer now; ``on_complete(flow)`` fires when it finishes."""
+        flow = Flow(size=size, path=tuple(path), payload=payload, rate_cap=rate_cap)
+        for r in flow.path:
+            if r not in self._resources:
+                raise KeyError(f"unknown resource {r!r}")
+        self._active.append(flow)
+        self._on_complete[flow] = on_complete
+        self._dirty = True
+        return flow
+
+    def cancel_flow(self, flow: Flow) -> None:
+        """Abort a transfer: no completion callback will fire.
+
+        Used for failure injection (the serving node died mid-transfer).
+        """
+        if flow not in self._on_complete:
+            raise KeyError("flow is not active")
+        self._active.remove(flow)
+        self._on_complete.pop(flow)
+        self._dirty = True
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._active)
+
+    def current_rate(self, flow: Flow) -> float:
+        """The flow's current max-min fair rate (refreshes if stale)."""
+        self._refresh_rates()
+        return self._rates.get(flow, 0.0)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def _refresh_rates(self) -> None:
+        if self._dirty:
+            self._rates = allocate_rates(self._active, self._resources)
+            self._dirty = False
+
+    def _next_completion(self) -> tuple[float, Flow] | None:
+        self._refresh_rates()
+        best_t = math.inf
+        best_flow: Flow | None = None
+        for f in self._active:
+            rate = self._rates[f]
+            # Max-min fairness gives every flow a strictly positive rate.
+            t = self.now + f.remaining / rate
+            if t < best_t:
+                best_t = t
+                best_flow = f
+        if best_flow is None:
+            return None
+        return best_t, best_flow
+
+    def _advance_flows(self, dt: float) -> None:
+        if dt <= 0 or not self._active:
+            return
+        for f in self._active:
+            f.remaining = max(0.0, f.remaining - self._rates[f] * dt)
+
+    def step(self) -> bool:
+        """Process the next event.  Returns False when nothing is pending."""
+        completion = self._next_completion()
+        timer_t = self._timers[0][0] if self._timers else math.inf
+        flow_t = completion[0] if completion else math.inf
+        if timer_t is math.inf and flow_t is math.inf:
+            return False
+
+        if flow_t <= timer_t:
+            assert completion is not None
+            t, flow = completion
+            self._advance_flows(t - self.now)
+            self.now = t
+            # The predicted flow finishes; numerically-simultaneous
+            # completions are picked up by subsequent steps.
+            flow.remaining = 0.0
+            self._finish(flow)
+        else:
+            self._advance_flows(timer_t - self.now)
+            self.now = timer_t
+            _, _, callback = heapq.heappop(self._timers)
+            callback()
+        # Also retire any flow the advance drained to (near) zero.
+        for f in [f for f in self._active if f.remaining <= REMAINING_EPS]:
+            self._finish(f)
+        self.events_processed += 1
+        return True
+
+    def _finish(self, flow: Flow) -> None:
+        self._active.remove(flow)
+        self._dirty = True
+        self.completed_flows += 1
+        callback = self._on_complete.pop(flow)
+        callback(flow)
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Run until no events remain (or ``until``); returns the final clock."""
+        events = 0
+        while True:
+            if until is not None and self._peek_time() > until:
+                self._refresh_rates()
+                self._advance_flows(until - self.now)
+                self.now = until
+                break
+            if not self.step():
+                break
+            events += 1
+            if events > max_events:
+                raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")
+        return self.now
+
+    def _peek_time(self) -> float:
+        completion = self._next_completion()
+        timer_t = self._timers[0][0] if self._timers else math.inf
+        flow_t = completion[0] if completion else math.inf
+        return min(timer_t, flow_t)

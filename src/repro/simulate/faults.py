@@ -1,0 +1,88 @@
+"""Failure injection for workload runs.
+
+The paper's reliability story is HDFS's replication ("several identical
+copies … for the sake of reliability"); this module exercises it.  A
+:class:`FaultPlan` schedules DataNode failures (and optional recoveries)
+into a :class:`~repro.simulate.runner.ParallelReadRun`'s clock: at the
+failure instant the node is decommissioned, its in-flight serves are
+aborted, and the affected readers transparently retry against surviving
+replicas — exactly the behaviour a libhdfs client exhibits when a
+DataNode connection drops mid-read.
+
+An Opass assignment computed *before* a failure keeps working (reads fall
+back to remote replicas, losing locality for the dead node's chunks); the
+``reoptimize`` hook lets experiments contrast that with re-running the
+matching on the post-failure layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .runner import ParallelReadRun
+
+
+@dataclass(frozen=True, slots=True)
+class NodeFailure:
+    """Kill ``node_id`` at simulated ``time`` seconds."""
+
+    time: float
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("failure time must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class NodeRecovery:
+    """Recommission ``node_id`` at simulated ``time`` seconds.
+
+    The node rejoins with its replica inventory intact (a reboot, not a
+    disk loss): subsequent reads may be served from it again.
+    """
+
+    time: float
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("recovery time must be non-negative")
+
+
+@dataclass
+class FaultPlan:
+    """An ordered set of failure/recovery events to inject into one run."""
+
+    failures: list[NodeFailure] = field(default_factory=list)
+    recoveries: list[NodeRecovery] = field(default_factory=list)
+    injected: list[str] = field(default_factory=list)
+
+    def fail(self, time: float, node_id: int) -> "FaultPlan":
+        self.failures.append(NodeFailure(time, node_id))
+        return self
+
+    def recover(self, time: float, node_id: int) -> "FaultPlan":
+        self.recoveries.append(NodeRecovery(time, node_id))
+        return self
+
+    def attach(self, run: ParallelReadRun) -> None:
+        """Schedule every event into the run's simulation clock.
+
+        Must be called before ``run.run()``; events fire at their absolute
+        simulated times.
+        """
+        if run.sim.now != 0.0:
+            raise RuntimeError("attach the fault plan before starting the run")
+        for failure in self.failures:
+            def do_fail(f: NodeFailure = failure) -> None:
+                run.fail_node(f.node_id)
+                self.injected.append(f"fail:{f.node_id}@{f.time}")
+
+            run.sim.schedule(failure.time, do_fail)
+        for recovery in self.recoveries:
+            def do_recover(r: NodeRecovery = recovery) -> None:
+                run.recover_node(r.node_id)
+                self.injected.append(f"recover:{r.node_id}@{r.time}")
+
+            run.sim.schedule(recovery.time, do_recover)

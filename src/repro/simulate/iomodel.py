@@ -1,0 +1,85 @@
+"""Read-cost composition: latency + resource path for one chunk read.
+
+A chunk read resolved by the file system (:class:`repro.dfs.ReadPlan`)
+becomes a fixed positioning latency followed by a fluid transfer:
+
+* local read — seek latency, then a flow over the serving disk;
+* remote read — seek + remote (connect/RTT) latency, then a flow over the
+  serving disk, the server's NIC egress and the reader's NIC ingress.
+
+This mirrors the paper's observation that remote reads are intrinsically
+slower and, more importantly, contend on the server's disk and NIC when a
+node serves many requests at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dfs.cluster import ClusterSpec
+from ..dfs.filesystem import ReadPlan
+from .resources import local_read_path, remote_read_path
+
+
+@dataclass(frozen=True, slots=True)
+class ReadCost:
+    """Latency, transfer path, and per-stream ceiling of one resolved read."""
+
+    latency: float
+    path: tuple[str, ...]
+    size: int
+    rate_cap: float | None
+
+
+def read_cost(plan: ReadPlan, spec: ClusterSpec) -> ReadCost:
+    """Latency + flow path for a resolved read plan.
+
+    Remote reads additionally carry the cluster's per-stream throughput
+    ceiling (one TCP stream through the DataNode transfer protocol).
+    """
+    if plan.is_local:
+        return ReadCost(
+            latency=spec.seek_latency,
+            path=tuple(local_read_path(plan.server_node)),
+            size=plan.chunk.size,
+            rate_cap=None,
+        )
+    if spec.rack_uplink_bw is not None:
+        path = remote_read_path(
+            plan.server_node,
+            plan.reader_node,
+            server_rack=spec.rack_of(plan.server_node),
+            reader_rack=spec.rack_of(plan.reader_node),
+        )
+    else:
+        path = remote_read_path(plan.server_node, plan.reader_node)
+    return ReadCost(
+        latency=spec.seek_latency + spec.remote_latency,
+        path=tuple(path),
+        size=plan.chunk.size,
+        rate_cap=spec.remote_stream_bw,
+    )
+
+
+def uncontended_read_time(plan: ReadPlan, spec: ClusterSpec) -> float:
+    """The read time with no competing traffic (lower bound).
+
+    Local: latency + size / disk_bw.  Remote: the bottleneck is the minimum
+    of the disk, the two NIC directions and the per-stream ceiling.
+    """
+    cost = read_cost(plan, spec)
+    if plan.is_local:
+        bw = spec.node(plan.server_node).disk_bw
+    else:
+        bw = min(
+            spec.node(plan.server_node).disk_bw,
+            spec.node(plan.server_node).nic_bw,
+            spec.node(plan.reader_node).nic_bw,
+            spec.remote_stream_bw,
+        )
+        if (
+            spec.rack_uplink_bw is not None
+            and spec.rack_of(plan.server_node) != spec.rack_of(plan.reader_node)
+        ):
+            bw = min(bw, spec.rack_uplink_bw)
+    return cost.latency + cost.size / bw

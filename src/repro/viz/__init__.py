@@ -1,0 +1,10 @@
+"""Textual rendering of tables, series and histograms for benchmark output."""
+
+from .tables import format_histogram, format_series, format_table, paper_vs_measured
+
+__all__ = [
+    "format_histogram",
+    "format_series",
+    "format_table",
+    "paper_vs_measured",
+]

@@ -1,0 +1,103 @@
+"""ASCII rendering of the paper's tables and figure series.
+
+Benchmarks print their reproduced rows through these helpers so the output
+reads like the paper's figures: aligned columns, one row per configuration,
+series rendered as sparkline-style number strips.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render a fixed-width table."""
+    norm_rows: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float) or isinstance(cell, np.floating):
+                cells.append(float_fmt.format(float(cell)))
+            else:
+                cells.append(str(cell))
+        norm_rows.append(cells)
+    widths = [len(h) for h in headers]
+    for row in norm_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in norm_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str,
+    values: Iterable[float],
+    *,
+    fmt: str = "{:.2f}",
+    max_items: int = 24,
+) -> str:
+    """One labelled numeric strip (a figure series), elided in the middle."""
+    vals = [float(v) for v in values]
+    if len(vals) <= max_items:
+        body = " ".join(fmt.format(v) for v in vals)
+    else:
+        head = max_items // 2
+        tail = max_items - head
+        body = (
+            " ".join(fmt.format(v) for v in vals[:head])
+            + " … "
+            + " ".join(fmt.format(v) for v in vals[-tail:])
+        )
+    return f"{label}: {body}"
+
+
+def format_histogram(
+    values: Iterable[float],
+    *,
+    bins: int = 10,
+    width: int = 40,
+    label_fmt: str = "{:.2f}",
+) -> str:
+    """A textual histogram (Figure 1(b)-style distribution view)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return "(empty)"
+    counts, edges = np.histogram(arr, bins=bins)
+    top = counts.max() if counts.max() > 0 else 1
+    lines = []
+    for i, c in enumerate(counts):
+        bar = "#" * int(round(width * c / top))
+        lo = label_fmt.format(edges[i])
+        hi = label_fmt.format(edges[i + 1])
+        lines.append(f"[{lo:>8}, {hi:>8}) {c:>6d} {bar}")
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    rows: Iterable[tuple[str, object, object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """The EXPERIMENTS.md-style comparison: metric | paper | measured."""
+    return format_table(
+        ["metric", "paper", "measured"],
+        [(name, paper, measured) for name, paper, measured in rows],
+        title=title,
+    )

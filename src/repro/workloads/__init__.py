@@ -1,0 +1,17 @@
+"""Workload generators for the paper's benchmarks and applications."""
+
+from .generators import (
+    gene_database,
+    motivating_dataset,
+    multi_input_datasets,
+    paraview_multiblock_series,
+    single_data_workload,
+)
+
+__all__ = [
+    "gene_database",
+    "motivating_dataset",
+    "multi_input_datasets",
+    "paraview_multiblock_series",
+    "single_data_workload",
+]

@@ -1,0 +1,98 @@
+"""Dataset and workload generators for the paper's experiments.
+
+All generators are pure functions of their arguments (sizes are
+deterministic; randomness, where any, comes from an explicit RNG), so every
+benchmark run is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dfs.chunk import DEFAULT_CHUNK_SIZE, MB, Dataset, dataset_from_sizes, uniform_dataset
+
+
+def single_data_workload(
+    num_processes: int,
+    chunks_per_process: int = 10,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    name: str = "bench",
+) -> Dataset:
+    """The §V-A1 benchmark dataset: ~10 equal chunk files per process.
+
+    ("Our test dataset contains approximately ten chunk files for every
+    process.  Note that this is an arbitrary ratio…")
+    """
+    if num_processes <= 0 or chunks_per_process <= 0:
+        raise ValueError("counts must be positive")
+    return uniform_dataset(name, num_processes * chunks_per_process, chunk_size)
+
+
+def multi_input_datasets(
+    num_tasks: int,
+    input_sizes_mb: tuple[int, ...] = (30, 20, 10),
+    name_prefix: str = "species",
+) -> list[Dataset]:
+    """The §V-A2 multi-data workload.
+
+    "Each task includes three inputs, one 30 MB data input, one 20 MB input,
+    and one 10 MB input.  These three inputs belong to three different data
+    sets."  Returns one dataset per input size, each with ``num_tasks``
+    files.
+    """
+    if num_tasks <= 0:
+        raise ValueError("num_tasks must be positive")
+    if not input_sizes_mb or any(s <= 0 for s in input_sizes_mb):
+        raise ValueError("input sizes must be positive")
+    datasets = []
+    for i, size_mb in enumerate(input_sizes_mb):
+        datasets.append(
+            dataset_from_sizes(
+                f"{name_prefix}-{i}",
+                [size_mb * MB] * num_tasks,
+            )
+        )
+    return datasets
+
+
+def gene_database(
+    num_fragments: int,
+    fragment_size: int = DEFAULT_CHUNK_SIZE,
+    name: str = "genedb",
+) -> Dataset:
+    """An mpiBLAST-style formatted database: equal-size fragments.
+
+    mpiBLAST pre-partitions the sequence database into fragments; each
+    comparison task scans one fragment.
+    """
+    return uniform_dataset(name, num_fragments, fragment_size)
+
+
+def paraview_multiblock_series(
+    num_datasets: int,
+    *,
+    mean_size_mb: float = 56.0,
+    jitter_mb: float = 4.0,
+    rng: np.random.Generator | None = None,
+    name: str = "pdb",
+) -> Dataset:
+    """A ParaView MultiBlock file series (§V-B).
+
+    The paper's Protein-Data-Bank-derived test set: 640 datasets, ~26 GB
+    total, each I/O operation "about 56 MB in size".  Mild size jitter
+    mimics the duplicated-with-small-revision datasets they built.
+    """
+    if num_datasets <= 0:
+        raise ValueError("num_datasets must be positive")
+    if mean_size_mb <= 0 or jitter_mb < 0:
+        raise ValueError("sizes must be positive")
+    if jitter_mb >= mean_size_mb:
+        raise ValueError("jitter must be below the mean size")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    sizes = (mean_size_mb + rng.uniform(-jitter_mb, jitter_mb, num_datasets)) * MB
+    return dataset_from_sizes(name, [int(s) for s in sizes])
+
+
+def motivating_dataset(num_chunks: int = 128, name: str = "intro") -> Dataset:
+    """The Figure-1 dataset: 128 chunks of ~64 MB on a 64-node cluster."""
+    return uniform_dataset(name, num_chunks)

@@ -1,0 +1,34 @@
+"""Shared fixtures: small clusters and stored datasets for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ProcessPlacement
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+from repro.dfs.chunk import MB
+
+
+@pytest.fixture
+def spec8() -> ClusterSpec:
+    """An 8-node homogeneous cluster."""
+    return ClusterSpec.homogeneous(8)
+
+
+@pytest.fixture
+def fs8(spec8: ClusterSpec) -> DistributedFileSystem:
+    """An 8-node file system with a 32-chunk dataset 'data' stored."""
+    fs = DistributedFileSystem(spec8, seed=42)
+    fs.put_dataset(uniform_dataset("data", 32, chunk_size=16 * MB))
+    return fs
+
+
+@pytest.fixture
+def placement8() -> ProcessPlacement:
+    return ProcessPlacement.one_per_node(8)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,95 @@
+"""Tests of the §III-B imbalance model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cdf_served_chunks,
+    cdf_served_chunks_total_probability,
+    expected_nodes_serving_at_most,
+    expected_nodes_serving_more_than,
+    section3b_summary,
+    served_chunks_distribution,
+    stored_chunks_distribution,
+)
+
+
+class TestDistributions:
+    def test_stored_mean_is_nr_over_m(self):
+        dist = stored_chunks_distribution(512, 3, 128)
+        assert dist.mean() == pytest.approx(512 * 3 / 128)
+
+    def test_served_mean_is_n_over_m(self):
+        dist = served_chunks_distribution(512, 3, 128)
+        assert dist.mean() == pytest.approx(512 / 128)
+
+    def test_served_mean_independent_of_replication(self):
+        """Thinning: serving load doesn't depend on r, only its spread does."""
+        for r in (1, 2, 3, 5):
+            assert served_chunks_distribution(512, r, 128).mean() == pytest.approx(4.0)
+
+
+class TestTotalProbabilityIdentity:
+    """The paper's law-of-total-probability sum equals the thinned binomial."""
+
+    @pytest.mark.parametrize("k", [0, 1, 4, 8, 20])
+    def test_identity(self, k):
+        closed = float(cdf_served_chunks(k, 512, 3, 128))
+        summed = cdf_served_chunks_total_probability(k, 512, 3, 128)
+        assert summed == pytest.approx(closed, rel=1e-9)
+
+    @pytest.mark.parametrize("n,r,m", [(100, 2, 10), (64, 3, 8), (256, 5, 32)])
+    def test_identity_other_configs(self, n, r, m):
+        for k in (0, 2, 7):
+            closed = float(cdf_served_chunks(k, n, r, m))
+            summed = cdf_served_chunks_total_probability(k, n, r, m)
+            assert summed == pytest.approx(closed, rel=1e-9)
+
+    def test_negative_k(self):
+        assert cdf_served_chunks_total_probability(-1, 512, 3, 128) == 0.0
+
+
+class TestSection3bNumbers:
+    def test_nodes_at_most_1_matches_paper(self):
+        """128·P(Z≤1) ≈ 11, the paper's quoted count (their '512×' is the
+        n-multiplier typo; see DESIGN.md)."""
+        val = expected_nodes_serving_at_most(1, 512, 3, 128)
+        assert val == pytest.approx(11.0, abs=1.0)
+
+    def test_overloaded_nodes_exist(self):
+        val = expected_nodes_serving_more_than(8, 512, 3, 128)
+        assert val > 1.0  # some nodes serve >2x the average of 4
+
+    def test_paper_multiplier_variant(self):
+        s = section3b_summary()
+        assert s.paper_multiplier_at_most_1 == pytest.approx(
+            512 * float(cdf_served_chunks(1, 512, 3, 128))
+        )
+
+    def test_summary_fields(self):
+        s = section3b_summary()
+        assert s.expected_served == pytest.approx(4.0)
+        assert s.num_nodes == 128
+        assert s.nodes_at_most_1 + s.nodes_more_than_8 < 128
+
+    def test_imbalance_ratio_claim(self):
+        """'some storage nodes will serve more than 8X the number of chunk
+        requests as others': both tails are non-negligible."""
+        low = expected_nodes_serving_at_most(1, 512, 3, 128)
+        high = expected_nodes_serving_more_than(8, 512, 3, 128)
+        assert low >= 1.0 and high >= 1.0
+
+
+class TestValidation:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            cdf_served_chunks(1, 0, 3, 128)
+        with pytest.raises(ValueError):
+            cdf_served_chunks(1, 512, 0, 128)
+        with pytest.raises(ValueError):
+            cdf_served_chunks(1, 512, 3, 2)
+
+    def test_cdf_monotone(self):
+        ks = np.arange(0, 20)
+        cdf = cdf_served_chunks(ks, 512, 3, 128)
+        assert (np.diff(cdf) >= 0).all()

@@ -1,0 +1,88 @@
+"""Tests for the bottleneck makespan bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    expected_server_bound,
+    makespan_bounds,
+    reader_bound,
+    server_bound_from_served,
+)
+from repro.core import optimize_single_data, rank_interval_assignment
+from repro.experiments import build_single_data_graph, run_single_data_comparison
+
+
+@pytest.fixture(scope="module")
+def env():
+    fs, placement, tasks, graph = build_single_data_graph(16, seed=2)
+    return fs, placement, tasks, graph
+
+
+class TestReaderBound:
+    def test_full_local_assignment_bound_is_disk_time(self, env):
+        fs, _, tasks, graph = env
+        opass = optimize_single_data(graph, seed=2)
+        assert opass.full_matching
+        b = reader_bound(opass.assignment, graph, fs.spec)
+        # 10 chunks x 64 MB / 70 MB/s per process.
+        assert b == pytest.approx(10 * 64e6 / fs.spec.node(0).disk_bw, rel=1e-9)
+
+    def test_remote_heavy_assignment_has_larger_bound(self, env):
+        fs, _, tasks, graph = env
+        base = rank_interval_assignment(graph.num_tasks, graph.num_processes)
+        opass = optimize_single_data(graph, seed=2)
+        assert reader_bound(base, graph, fs.spec) > reader_bound(
+            opass.assignment, graph, fs.spec
+        )
+
+
+class TestServerBound:
+    def test_post_hoc_bound_from_arrays(self, env):
+        fs, *_ = env
+        served = np.zeros(16)
+        served[3] = 700e6
+        b = server_bound_from_served(served, fs.spec)
+        assert b == pytest.approx(700e6 / fs.spec.node(3).disk_bw)
+
+    def test_post_hoc_bound_from_dict(self, env):
+        fs, *_ = env
+        b = server_bound_from_served({0: 140e6, 1: 70e6}, fs.spec)
+        assert b == pytest.approx(2.0)
+
+    def test_expected_bound_full_local(self, env):
+        fs, _, _, graph = env
+        opass = optimize_single_data(graph, seed=2)
+        b = expected_server_bound(opass.assignment, graph, fs.spec)
+        # Each node serves its own 10 chunks.
+        assert b == pytest.approx(10 * 64e6 / fs.spec.node(0).disk_bw, rel=1e-9)
+
+
+class TestBoundsHold:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_simulated_makespan_never_beats_bound(self, seed):
+        fs, placement, tasks, graph = build_single_data_graph(8, seed=seed)
+        cmp = run_single_data_comparison(8, seed=seed)
+        base = rank_interval_assignment(graph.num_tasks, graph.num_processes)
+        opass = optimize_single_data(graph, seed=seed)
+        base_b = makespan_bounds(base, graph, fs.spec)
+        opass_b = makespan_bounds(opass.assignment, graph, fs.spec)
+        assert cmp.base.makespan >= base_b.bound * 0.999
+        assert cmp.opass.makespan >= opass_b.bound * 0.999
+
+    def test_opass_saturates_its_bound(self):
+        """A full matching meets the bound up to per-read seek latency."""
+        fs, placement, tasks, graph = build_single_data_graph(16, seed=2)
+        cmp = run_single_data_comparison(16, seed=2)
+        opass = optimize_single_data(graph, seed=2)
+        bound = makespan_bounds(opass.assignment, graph, fs.spec).bound
+        latency_total = 10 * fs.spec.seek_latency
+        assert cmp.opass.makespan <= bound + latency_total + 1e-6
+
+    def test_baseline_far_above_bound(self):
+        """The baseline's contention losses show up as slack over the bound."""
+        fs, placement, tasks, graph = build_single_data_graph(16, seed=2)
+        cmp = run_single_data_comparison(16, seed=2)
+        base = rank_interval_assignment(graph.num_tasks, graph.num_processes)
+        bound = makespan_bounds(base, graph, fs.spec).bound
+        assert cmp.base.makespan > 1.5 * bound

@@ -1,0 +1,69 @@
+"""Tests for the hottest-node (extreme value) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    empirical_max_served,
+    expected_max_served,
+    hotspot_summary,
+    max_served_cdf,
+    max_served_pmf,
+)
+
+
+class TestDistribution:
+    def test_cdf_monotone_and_bounded(self):
+        ks = np.arange(0, 30)
+        cdf = np.asarray(max_served_cdf(ks, 128, 3, 64))
+        assert (np.diff(cdf) >= -1e-12).all()
+        assert cdf[0] >= 0
+        assert cdf[-1] <= 1
+
+    def test_pmf_sums_to_one(self):
+        pmf = max_served_pmf(128, 3, 64)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (pmf >= -1e-12).all()
+
+    def test_max_stochastically_dominates_single_node(self):
+        """P(max ≤ k) ≤ P(Z ≤ k) for every k."""
+        from repro.analysis import cdf_served_chunks
+
+        ks = np.arange(0, 30)
+        max_cdf = np.asarray(max_served_cdf(ks, 128, 3, 64))
+        one_cdf = np.asarray(cdf_served_chunks(ks, 128, 3, 64))
+        assert (max_cdf <= one_cdf + 1e-12).all()
+
+    def test_expected_max_grows_with_nodes(self):
+        """More bins, same per-bin mean -> higher extreme."""
+        vals = [expected_max_served(m * 10, 3, m) for m in (16, 64, 256)]
+        assert vals == sorted(vals)
+
+
+class TestPaperNumbers:
+    def test_figure1_hotspot(self):
+        """Fig 1: 128 chunks / 64 nodes, ideal 2; 'node-43 serves more
+        than 6 chunks'."""
+        s = hotspot_summary(128, 3, 64)
+        assert s.ideal_share == 2.0
+        assert 5.0 < s.expected_max < 7.5
+        assert s.overload_factor > 2.5
+
+    def test_figure8c_hotspot(self):
+        """Fig 8(c): 640 chunks / 64 nodes, ideal 640 MB; hottest
+        '>1400 MB' (ours: ~18 chunks = ~1150 MB; same regime)."""
+        s = hotspot_summary(640, 3, 64)
+        assert s.ideal_share == 10.0
+        assert 15.0 < s.expected_max < 22.0
+
+
+class TestMonteCarloAgreement:
+    def test_independence_approx_close_to_exact(self, rng):
+        analytic = expected_max_served(640, 3, 64)
+        empirical = empirical_max_served(640, 3, 64, trials=150, rng=rng)
+        assert empirical == pytest.approx(analytic, rel=0.08)
+
+    def test_small_config(self, rng):
+        analytic = expected_max_served(40, 2, 8)
+        empirical = empirical_max_served(40, 2, 8, trials=300, rng=rng)
+        assert empirical == pytest.approx(analytic, rel=0.12)

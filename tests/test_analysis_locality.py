@@ -1,0 +1,95 @@
+"""Tests of the §III-A locality model, including the paper's printed numbers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cdf_local_chunks,
+    expected_local_chunks,
+    expected_local_fraction,
+    figure3_series,
+    local_read_probability,
+    paper_figure3_series,
+    prob_more_than,
+)
+
+
+class TestBasics:
+    def test_local_probability_is_r_over_m(self):
+        assert local_read_probability(3, 64) == 3 / 64
+        assert local_read_probability(1, 1) == 1.0
+
+    def test_expected_local_chunks(self):
+        assert expected_local_chunks(512, 3, 64) == pytest.approx(24.0)
+
+    def test_expected_local_fraction_decreases_with_m(self):
+        fracs = [expected_local_fraction(3, m) for m in (64, 128, 256, 512)]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_cdf_monotone_in_k(self):
+        ks = np.arange(0, 30)
+        cdf = cdf_local_chunks(ks, 512, 3, 128)
+        assert (np.diff(cdf) >= 0).all()
+
+    def test_cdf_bounds(self):
+        assert cdf_local_chunks(512, 512, 3, 64) == pytest.approx(1.0)
+        assert cdf_local_chunks(0, 512, 3, 64) >= 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            cdf_local_chunks(1, 0, 3, 64)
+        with pytest.raises(ValueError):
+            cdf_local_chunks(1, 512, 0, 64)
+        with pytest.raises(ValueError):
+            cdf_local_chunks(1, 512, 3, 2)  # m < r
+
+
+class TestScalingClaim:
+    """'The probability of reading data locally exponentially decreases as
+    the size of the cluster increases.'"""
+
+    def test_prob_more_than_decreases_with_cluster_size(self):
+        probs = [prob_more_than(5, 512, 3, m) for m in (64, 128, 256, 512)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_formula_prob_values(self):
+        """The written formula Binomial(n, r/m): P(X>5) near 1 for m=64."""
+        assert prob_more_than(5, 512, 3, 64) > 0.99
+        assert prob_more_than(5, 512, 3, 512) == pytest.approx(0.0839, abs=0.001)
+
+    def test_m128_more_than_9_is_small(self):
+        """§III-A: 'with m = 128, the probability of reading more than 9
+        chunks locally is about 2%' — true under the printed (r=1)
+        parameterisation read as P(X ≥ 9) (the paper's inclusive 'more
+        than'); P(X > 9) is ~0.8%."""
+        assert prob_more_than(8, 512, 1, 128) == pytest.approx(0.02, abs=0.005)
+        assert prob_more_than(9, 512, 1, 128) < 0.01
+
+
+class TestFigure3:
+    def test_series_shape(self):
+        rows = figure3_series(k_max=20)
+        assert [r.num_nodes for r in rows] == [64, 128, 256, 512]
+        for r in rows:
+            assert r.k.shape == (21,)
+            assert r.cdf.shape == (21,)
+            assert (np.diff(r.cdf) >= 0).all()
+
+    def test_paper_printed_percentages(self):
+        """The exact §III-A percentages (which match r=1, see DESIGN.md)."""
+        rows = {r.num_nodes: r for r in paper_figure3_series()}
+        assert rows[64].prob_more_than_5 == pytest.approx(0.8109, abs=2e-4)
+        assert rows[128].prob_more_than_5 == pytest.approx(0.2143, abs=2e-4)
+        assert rows[256].prob_more_than_5 == pytest.approx(0.0164, abs=2e-4)
+        # The paper's 0.46% for m=512 matches neither formula; the correct
+        # Binomial(512, 1/512) tail is ~0.06%.
+        assert rows[512].prob_more_than_5 == pytest.approx(0.0006, abs=2e-4)
+
+    def test_invalid_kmax(self):
+        with pytest.raises(ValueError):
+            figure3_series(k_max=-1)
+
+    def test_larger_cluster_cdf_dominates(self):
+        """Bigger clusters shift mass toward fewer local chunks."""
+        rows = {r.num_nodes: r for r in figure3_series()}
+        assert (rows[512].cdf >= rows[64].cdf - 1e-12).all()

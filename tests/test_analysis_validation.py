@@ -1,0 +1,48 @@
+"""Tests for the model-vs-simulation validation sweep."""
+
+import pytest
+
+from repro.analysis import ValidationRow, validate_configuration, validation_grid
+
+
+class TestValidateConfiguration:
+    def test_locality_agrees_with_model(self):
+        row = validate_configuration(8, 3, 10, trials=4, seed=1)
+        assert row.model_locality == pytest.approx(3 / 8)
+        assert row.locality_error < 0.08
+
+    def test_served_spread_same_order(self):
+        row = validate_configuration(8, 3, 10, trials=4, seed=1)
+        assert 0.5 < row.served_std_ratio < 1.6
+
+    def test_replication_one(self):
+        row = validate_configuration(8, 1, 5, trials=2, seed=2)
+        assert row.model_locality == pytest.approx(1 / 8)
+        assert row.locality_error < 0.1
+
+
+class TestGrid:
+    def test_grid_shape_and_skip(self):
+        rows = validation_grid(
+            cluster_sizes=(2, 8), replications=(2, 3), trials=1, seed=0
+        )
+        # (2,3) skipped: r > m.
+        assert len(rows) == 3
+        assert all(isinstance(r, ValidationRow) for r in rows)
+
+    def test_locality_decays_with_m_in_both_worlds(self):
+        rows = validation_grid(
+            cluster_sizes=(8, 16, 32), replications=(3,), trials=2, seed=3
+        )
+        model = [r.model_locality for r in rows]
+        sim = [r.simulated_locality for r in rows]
+        assert model == sorted(model, reverse=True)
+        assert sim == sorted(sim, reverse=True)
+
+    def test_all_configurations_close(self):
+        rows = validation_grid(
+            cluster_sizes=(8, 16), replications=(2, 3), trials=3, seed=4
+        )
+        for r in rows:
+            assert r.locality_error < 0.1, r
+            assert 0.4 < r.served_std_ratio < 1.8, r

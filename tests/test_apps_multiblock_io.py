@@ -1,0 +1,116 @@
+"""Tests for the .vtm-like MultiBlock meta-file format."""
+
+import pytest
+
+from repro.apps.multiblock_io import (
+    MultiBlockPiece,
+    meta_for_dataset,
+    meta_round_trip_equal,
+    meta_to_xml,
+    parse_meta_xml,
+    read_meta_file,
+    write_meta_file,
+)
+from repro.apps.paraview import MultiBlockMetaFile
+from repro.workloads import paraview_multiblock_series
+
+
+@pytest.fixture
+def meta():
+    return MultiBlockMetaFile("series", ("pdb/step-0", "pdb/step-1", "pdb/step-2"))
+
+
+class TestPiece:
+    def test_valid(self):
+        p = MultiBlockPiece(0, "PolyData", "a.vtp")
+        assert p.index == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            MultiBlockPiece(-1, "PolyData", "a.vtp")
+        with pytest.raises(ValueError):
+            MultiBlockPiece(0, "HexMesh", "a.vtp")
+        with pytest.raises(ValueError):
+            MultiBlockPiece(0, "PolyData", "")
+
+
+class TestSerialise:
+    def test_xml_structure(self, meta):
+        xml = meta_to_xml(meta)
+        assert '<VTKFile type="vtkMultiBlockDataSet"' in xml
+        assert xml.count("<DataSet ") == 3
+        assert 'file="pdb/step-1.vtp"' in xml
+
+    def test_dataset_type_selectable(self, meta):
+        xml = meta_to_xml(meta, dataset_type="UnstructuredGrid")
+        assert 'type="UnstructuredGrid"' in xml
+        assert ".vtu" in xml
+
+    def test_unknown_type_rejected(self, meta):
+        with pytest.raises(ValueError):
+            meta_to_xml(meta, dataset_type="Mystery")
+
+    def test_escaping(self):
+        m = MultiBlockMetaFile("s", ('weird"<name>&',))
+        xml = meta_to_xml(m)
+        assert "&quot;" in xml and "&lt;" in xml and "&amp;" in xml
+
+
+class TestParse:
+    def test_round_trip(self, meta):
+        parsed = parse_meta_xml(meta_to_xml(meta))
+        assert meta_round_trip_equal(meta, parsed)
+
+    def test_file_round_trip(self, meta, tmp_path):
+        path = write_meta_file(meta, tmp_path / "series.vtm")
+        loaded = read_meta_file(path)
+        assert meta_round_trip_equal(meta, loaded)
+        assert loaded.dataset_name == "series"
+
+    def test_rejects_malformed_xml(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_meta_xml("<oops")
+
+    def test_rejects_wrong_root(self):
+        with pytest.raises(ValueError, match="vtkMultiBlockDataSet"):
+            parse_meta_xml("<VTKFile type='PolyData'/>")
+
+    def test_rejects_missing_block(self):
+        with pytest.raises(ValueError, match="missing"):
+            parse_meta_xml('<VTKFile type="vtkMultiBlockDataSet"/>')
+
+    def test_rejects_bad_indices(self):
+        xml = (
+            '<VTKFile type="vtkMultiBlockDataSet"><vtkMultiBlockDataSet>'
+            '<DataSet index="1" type="PolyData" file="a.vtp"/>'
+            "</vtkMultiBlockDataSet></VTKFile>"
+        )
+        with pytest.raises(ValueError, match="indices"):
+            parse_meta_xml(xml)
+
+    def test_rejects_unknown_elements(self):
+        xml = (
+            '<VTKFile type="vtkMultiBlockDataSet"><vtkMultiBlockDataSet>'
+            "<Banana/></vtkMultiBlockDataSet></VTKFile>"
+        )
+        with pytest.raises(ValueError, match="unexpected element"):
+            parse_meta_xml(xml)
+
+    def test_rejects_missing_attributes(self):
+        xml = (
+            '<VTKFile type="vtkMultiBlockDataSet"><vtkMultiBlockDataSet>'
+            '<DataSet index="0" type="PolyData"/>'
+            "</vtkMultiBlockDataSet></VTKFile>"
+        )
+        with pytest.raises(ValueError, match="missing"):
+            parse_meta_xml(xml)
+
+
+class TestIntegration:
+    def test_series_dataset_round_trip(self, tmp_path):
+        series = paraview_multiblock_series(12)
+        meta = meta_for_dataset(series)
+        path = write_meta_file(meta, tmp_path / "pdb.vtm")
+        loaded = read_meta_file(path)
+        assert loaded.num_pieces == 12
+        assert meta_round_trip_equal(meta, loaded)

@@ -1,0 +1,107 @@
+"""Tests for the ParaView MultiBlock application model."""
+
+import pytest
+
+from repro.apps.paraview import (
+    MultiBlockMetaFile,
+    ParaViewConfig,
+    ParaViewMultiBlockReader,
+)
+from repro.core import ProcessPlacement
+from repro.dfs import ClusterSpec, DistributedFileSystem
+from repro.workloads import paraview_multiblock_series
+
+
+@pytest.fixture
+def env():
+    spec = ClusterSpec.homogeneous(8)
+    fs = DistributedFileSystem(spec, seed=29)
+    series = paraview_multiblock_series(40)
+    fs.put_dataset(series)
+    return fs, ProcessPlacement.one_per_node(8), series
+
+
+class TestMetaFile:
+    def test_from_dataset(self, env):
+        _, _, series = env
+        meta = MultiBlockMetaFile.from_dataset(series)
+        assert meta.num_pieces == 40
+        assert meta.pieces[0] == series.files[0].name
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        c = ParaViewConfig()
+        assert c.parse_bw > 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ParaViewConfig(parse_bw=0)
+        with pytest.raises(ValueError):
+            ParaViewConfig(render_time_per_step=-1)
+
+
+class TestAssignment:
+    def test_stock_reader_uses_rank_intervals(self, env):
+        fs, placement, series = env
+        reader = ParaViewMultiBlockReader(fs, placement, series, use_opass=False)
+        a = reader.read_xml_data()
+        assert a.tasks_of[0] == [0, 1, 2, 3, 4]
+        assert a.tasks_of[7] == [35, 36, 37, 38, 39]
+
+    def test_opass_reader_improves_locality(self, env):
+        from repro.core import graph_from_filesystem, locality_fraction
+
+        fs, placement, series = env
+        stock = ParaViewMultiBlockReader(fs, placement, series, use_opass=False)
+        opass = ParaViewMultiBlockReader(fs, placement, series, use_opass=True)
+        graph = graph_from_filesystem(fs, stock.tasks, placement)
+        assert locality_fraction(opass.read_xml_data(), graph) > locality_fraction(
+            stock.read_xml_data(), graph
+        )
+
+
+class TestRender:
+    def test_all_pieces_read(self, env):
+        fs, placement, series = env
+        result = ParaViewMultiBlockReader(fs, placement, series).render(seed=1)
+        assert result.run.tasks_completed == 40
+        assert result.reader_call_times.shape == (40,)
+        assert result.steps == 5
+
+    def test_call_time_includes_parse(self, env):
+        fs, placement, series = env
+        config = ParaViewConfig(parse_bw=1e6, render_time_per_step=0.0)  # 1 MB/s: slow parse
+        result = ParaViewMultiBlockReader(
+            fs, placement, series, config=config
+        ).render(seed=1)
+        # Pieces are ~56 MB: parse alone is ~56 s per call.
+        assert result.min_call_time > 50.0
+
+    def test_render_time_extends_total(self, env):
+        fs, placement, series = env
+        fast = ParaViewMultiBlockReader(
+            fs, placement, series,
+            config=ParaViewConfig(render_time_per_step=0.0),
+        ).render(seed=1)
+        fs.reset_counters()
+        slow = ParaViewMultiBlockReader(
+            fs, placement, series,
+            config=ParaViewConfig(render_time_per_step=3.0),
+        ).render(seed=1)
+        # 5 rendering steps -> at least +15 s.
+        assert slow.total_execution_time >= fast.total_execution_time + 15.0 - 1e-6
+
+    def test_opass_lowers_variance_and_total(self, env):
+        fs, placement, series = env
+        stock = ParaViewMultiBlockReader(fs, placement, series, use_opass=False).render(seed=1)
+        fs.reset_counters()
+        opass = ParaViewMultiBlockReader(fs, placement, series, use_opass=True).render(seed=1)
+        assert opass.std_call_time < stock.std_call_time
+        assert opass.avg_call_time < stock.avg_call_time
+        assert opass.total_execution_time < stock.total_execution_time
+
+    def test_stats_consistent(self, env):
+        fs, placement, series = env
+        r = ParaViewMultiBlockReader(fs, placement, series).render(seed=1)
+        assert r.min_call_time <= r.avg_call_time <= r.max_call_time

@@ -1,0 +1,95 @@
+"""Tests for the opass CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["single"])
+        assert args.nodes == 64
+        assert args.chunks_per_process == 10
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+
+class TestCommands:
+    def test_analyze(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "P(X > 5)" in out
+        assert "128" in out
+
+    def test_single_small(self, capsys):
+        assert main(["single", "--nodes", "8", "--chunks-per-process", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "w/o Opass" in out
+        assert "with Opass" in out
+
+    def test_multi_small(self, capsys):
+        assert main(["multi", "--nodes", "8", "--tasks", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "with Opass" in out
+
+    def test_dynamic_small(self, capsys):
+        assert main(["dynamic", "--nodes", "8", "--tasks", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Opass dynamic" in out
+
+    def test_paraview_small(self, capsys):
+        assert main(["paraview", "--nodes", "8", "--datasets", "16", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "total run" in out
+        assert "w/o Opass:" in out  # the trace series
+
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "--sizes", "4,8", "--chunks-per-process", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "base avg" in out
+        assert out.count("\n") >= 4  # header + 2 size rows
+
+    def test_export_writes_files(self, capsys, tmp_path):
+        outdir = tmp_path / "exp"
+        assert main([
+            "export", str(outdir), "--nodes", "4", "--chunks-per-process", "2"
+        ]) == 0
+        assert (outdir / "baseline_reads.csv").exists()
+        assert (outdir / "baseline_summary.json").exists()
+        assert (outdir / "opass_reads.csv").exists()
+        assert (outdir / "opass_summary.json").exists()
+
+    def test_validate_passes(self, capsys):
+        assert main(["validate", "--sizes", "8", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "worst deviation" in out
+
+    def test_hotspot(self, capsys):
+        assert main(["hotspot", "--chunks", "64", "--nodes", "16",
+                     "--trials", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "hottest node" in out
+        assert "overload factor" in out
+
+    def test_ingest(self, capsys):
+        assert main(["ingest", "--nodes", "4", "--chunks", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "ingest makespan" in out
+        assert "chunks written" in out
+
+    @pytest.mark.parametrize("fig", ["fig1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"])
+    def test_figure_command(self, capsys, fig):
+        nodes = ["--nodes", "8"] if fig != "fig1" else []
+        assert main(["figure", fig, *nodes]) == 0
+        out = capsys.readouterr().out
+        assert "Figure" in out
+
+    def test_figure_unknown_id(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])

@@ -1,0 +1,129 @@
+"""Tests for Assignment validation and scoring."""
+
+import pytest
+
+from repro.core.assignment import (
+    Assignment,
+    equal_quotas,
+    fully_local_tasks,
+    is_full_matching,
+    load_in_bytes,
+    load_in_tasks,
+    local_bytes,
+    locality_fraction,
+)
+from repro.core.bipartite import ProcessPlacement, build_locality_graph
+from repro.core.tasks import Task
+from repro.dfs.chunk import MB, ChunkId
+
+
+class TestEqualQuotas:
+    def test_even_split(self):
+        assert equal_quotas(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_interleaved_like_rank_intervals(self):
+        assert equal_quotas(14, 4) == [3, 4, 3, 4]
+
+    def test_fewer_tasks_than_processes(self):
+        assert equal_quotas(2, 4) == [0, 1, 0, 1]
+
+    def test_matches_rank_interval_loads(self):
+        from repro.core.baselines import rank_interval_assignment
+
+        for n in (1, 7, 13, 40):
+            for m in (1, 3, 4, 6):
+                a = rank_interval_assignment(n, m)
+                loads = [len(a.tasks_of[r]) for r in range(m)]
+                assert loads == equal_quotas(n, m)
+
+    def test_zero_tasks(self):
+        assert equal_quotas(0, 3) == [0, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            equal_quotas(-1, 2)
+        with pytest.raises(ValueError):
+            equal_quotas(4, 0)
+
+    def test_sum_equals_tasks(self):
+        for n in range(0, 30):
+            for m in range(1, 7):
+                assert sum(equal_quotas(n, m)) == n
+
+
+class TestAssignment:
+    def test_empty_and_assign(self):
+        a = Assignment.empty(3)
+        a.assign(0, 5)
+        a.assign(0, 6)
+        a.assign(2, 7)
+        assert a.num_tasks == 3
+        assert a.tasks_of[0] == [5, 6]
+
+    def test_process_of_inverse(self):
+        a = Assignment({0: [1, 2], 1: [0]})
+        assert a.process_of() == {1: 0, 2: 0, 0: 1}
+
+    def test_duplicate_assignment_detected(self):
+        a = Assignment({0: [1], 1: [1]})
+        with pytest.raises(ValueError, match="assigned to ranks"):
+            a.process_of()
+
+    def test_validate_coverage(self):
+        a = Assignment({0: [0, 1], 1: [2]})
+        a.validate(3)
+        with pytest.raises(ValueError, match="coverage"):
+            a.validate(4)
+
+    def test_validate_quota(self):
+        a = Assignment({0: [0, 1], 1: [2]})
+        a.validate(3, quotas=[2, 1])
+        with pytest.raises(ValueError, match="over quota"):
+            a.validate(3, quotas=[1, 2])
+
+    def test_validate_exact_quota(self):
+        a = Assignment({0: [0, 1], 1: [2]})
+        a.validate(3, quotas=[2, 1], exact_quota=True)
+        with pytest.raises(ValueError):
+            Assignment({0: [0, 1, 2], 1: []}).validate(
+                3, quotas=[2, 1], exact_quota=True
+            )
+
+    def test_quota_length_mismatch(self):
+        a = Assignment({0: [0]})
+        with pytest.raises(ValueError, match="length"):
+            a.validate(1, quotas=[1, 1])
+
+
+@pytest.fixture
+def scored_graph():
+    tasks = [Task(0, (ChunkId("a", 0),)), Task(1, (ChunkId("b", 0),))]
+    locations = {ChunkId("a", 0): (0,), ChunkId("b", 0): (1,)}
+    sizes = {ChunkId("a", 0): 2 * MB, ChunkId("b", 0): MB}
+    return build_locality_graph(tasks, locations, sizes, ProcessPlacement.one_per_node(2))
+
+
+class TestScoring:
+    def test_full_local(self, scored_graph):
+        a = Assignment({0: [0], 1: [1]})
+        assert local_bytes(a, scored_graph) == 3 * MB
+        assert locality_fraction(a, scored_graph) == 1.0
+        assert is_full_matching(a, scored_graph)
+        assert fully_local_tasks(a, scored_graph) == {0, 1}
+
+    def test_fully_remote(self, scored_graph):
+        a = Assignment({0: [1], 1: [0]})
+        assert local_bytes(a, scored_graph) == 0
+        assert locality_fraction(a, scored_graph) == 0.0
+        assert not is_full_matching(a, scored_graph)
+        assert fully_local_tasks(a, scored_graph) == set()
+
+    def test_partial(self, scored_graph):
+        a = Assignment({0: [0, 1], 1: []})
+        assert local_bytes(a, scored_graph) == 2 * MB
+        assert locality_fraction(a, scored_graph) == pytest.approx(2 / 3)
+
+    def test_loads(self, scored_graph):
+        a = Assignment({0: [0, 1], 1: []})
+        assert load_in_tasks(a) == {0: 2, 1: 0}
+        assert load_in_bytes(a, scored_graph) == {0: 3 * MB, 1: 0}

@@ -1,0 +1,89 @@
+"""Tests for the baseline assignment strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import equal_quotas
+from repro.core.baselines import (
+    DefaultDynamicPolicy,
+    random_assignment,
+    rank_interval_assignment,
+)
+
+
+class TestRankInterval:
+    def test_paper_formula_even(self):
+        a = rank_interval_assignment(8, 4)
+        assert a.tasks_of == {0: [0, 1], 1: [2, 3], 2: [4, 5], 3: [6, 7]}
+
+    def test_paper_formula_uneven(self):
+        a = rank_interval_assignment(7, 3)
+        # floor(i*7/3): [0,2), [2,4), [4,7)
+        assert a.tasks_of == {0: [0, 1], 1: [2, 3], 2: [4, 5, 6]}
+        a.validate(7)
+
+    def test_intervals_are_contiguous(self):
+        a = rank_interval_assignment(100, 7)
+        flat = [t for r in range(7) for t in a.tasks_of[r]]
+        assert flat == list(range(100))
+
+    def test_loads_within_one(self):
+        a = rank_interval_assignment(100, 7)
+        loads = [len(ts) for ts in a.tasks_of.values()]
+        assert max(loads) - min(loads) <= 1
+
+    def test_zero_tasks(self):
+        a = rank_interval_assignment(0, 3)
+        assert a.num_tasks == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            rank_interval_assignment(-1, 3)
+        with pytest.raises(ValueError):
+            rank_interval_assignment(3, 0)
+
+
+class TestRandomAssignment:
+    def test_valid_and_quota_exact(self):
+        a = random_assignment(20, 6, seed=1)
+        a.validate(20, quotas=equal_quotas(20, 6), exact_quota=True)
+
+    def test_seeded_reproducible(self):
+        assert random_assignment(20, 4, seed=5).tasks_of == \
+            random_assignment(20, 4, seed=5).tasks_of
+
+    def test_different_seeds_differ(self):
+        assert random_assignment(20, 4, seed=5).tasks_of != \
+            random_assignment(20, 4, seed=6).tasks_of
+
+    def test_accepts_generator(self):
+        gen = np.random.default_rng(0)
+        a = random_assignment(10, 2, seed=gen)
+        a.validate(10)
+
+
+class TestDefaultDynamicPolicy:
+    def test_fifo_order(self):
+        p = DefaultDynamicPolicy(4, mode="fifo")
+        assert [p.next_task(0) for _ in range(4)] == [0, 1, 2, 3]
+        assert p.next_task(0) is None
+
+    def test_random_covers_all(self):
+        p = DefaultDynamicPolicy(10, mode="random", seed=2)
+        got = [p.next_task(i % 3) for i in range(10)]
+        assert sorted(got) == list(range(10))
+        assert p.next_task(0) is None
+
+    def test_random_is_shuffled(self):
+        p = DefaultDynamicPolicy(20, mode="random", seed=2)
+        got = [p.next_task(0) for _ in range(20)]
+        assert got != list(range(20))
+
+    def test_remaining(self):
+        p = DefaultDynamicPolicy(3, mode="fifo")
+        p.next_task(0)
+        assert p.remaining == 2
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            DefaultDynamicPolicy(3, mode="lifo")

@@ -1,0 +1,148 @@
+"""Tests for the delay-scheduling and locality-greedy baselines."""
+
+import pytest
+
+from repro.core import (
+    DelaySchedulingPolicy,
+    LocalityGreedyPolicy,
+    ProcessPlacement,
+    graph_from_filesystem,
+    tasks_from_dataset,
+)
+from repro.core.bipartite import build_locality_graph
+from repro.core.tasks import Task
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+from repro.dfs.chunk import MB, ChunkId
+from repro.simulate import ParallelReadRun, Wait
+
+
+def _tiny_graph():
+    """3 tasks: t0 on node 0, t1 on node 1, t2 on node 1 (bigger)."""
+    tasks = [Task(i, (ChunkId(f"c{i}", 0),)) for i in range(3)]
+    locations = {
+        ChunkId("c0", 0): (0,),
+        ChunkId("c1", 0): (1,),
+        ChunkId("c2", 0): (1,),
+    }
+    sizes = {ChunkId("c0", 0): MB, ChunkId("c1", 0): MB, ChunkId("c2", 0): 2 * MB}
+    return build_locality_graph(tasks, locations, sizes, ProcessPlacement.one_per_node(2))
+
+
+class TestLocalityGreedy:
+    def test_prefers_local_and_biggest(self):
+        policy = LocalityGreedyPolicy(_tiny_graph())
+        assert policy.next_task(1) == 2  # 2 MB local beats 1 MB local
+        assert policy.next_task(1) == 1
+        assert policy.next_task(0) == 0
+        assert policy.next_task(0) is None
+
+    def test_falls_back_to_remote(self):
+        policy = LocalityGreedyPolicy(_tiny_graph(), seed=1)
+        assert policy.next_task(0) == 0  # its only local task
+        got = policy.next_task(0)  # nothing local left -> any remaining
+        assert got in (1, 2)
+
+    def test_each_task_dispatched_once(self):
+        policy = LocalityGreedyPolicy(_tiny_graph())
+        got = [policy.next_task(i % 2) for i in range(3)]
+        assert sorted(got) == [0, 1, 2]
+        assert policy.remaining == 0
+
+
+class TestDelayScheduling:
+    def test_waits_then_concedes(self):
+        policy = DelaySchedulingPolicy(
+            _tiny_graph(), max_delay=1.0, poll_interval=0.5
+        )
+        assert policy.next_task(0) == 0
+        # No local task left for rank 0: two waits, then a remote task.
+        assert isinstance(policy.next_task(0), Wait)
+        assert isinstance(policy.next_task(0), Wait)
+        got = policy.next_task(0)
+        assert got in (1, 2)
+        assert policy.concessions == 1
+
+    def test_budget_resets_after_dispatch(self):
+        policy = DelaySchedulingPolicy(
+            _tiny_graph(), max_delay=0.5, poll_interval=0.5
+        )
+        policy.next_task(0)
+        assert isinstance(policy.next_task(0), Wait)
+        policy.next_task(0)  # concession
+        # Fresh budget: waits again before the next concession.
+        assert isinstance(policy.next_task(0), Wait)
+
+    def test_zero_delay_is_pure_greedy(self):
+        policy = DelaySchedulingPolicy(_tiny_graph(), max_delay=0.0)
+        policy.next_task(0)
+        got = policy.next_task(0)
+        assert got in (1, 2)  # no Wait ever
+
+    def test_exhausted_pool_returns_none(self):
+        policy = DelaySchedulingPolicy(_tiny_graph(), max_delay=1.0, poll_interval=0.5)
+        dispatched = []
+        for _ in range(20):
+            got = policy.next_task(1)
+            if got is None:
+                break
+            if not isinstance(got, Wait):
+                dispatched.append(got)
+        assert sorted(dispatched) == [0, 1, 2]
+        assert policy.next_task(1) is None
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DelaySchedulingPolicy(_tiny_graph(), max_delay=-1)
+        with pytest.raises(ValueError):
+            DelaySchedulingPolicy(_tiny_graph(), poll_interval=0)
+        with pytest.raises(ValueError):
+            Wait(0)
+
+
+class TestEndToEnd:
+    @pytest.fixture
+    def env(self):
+        fs = DistributedFileSystem(ClusterSpec.homogeneous(8), seed=53)
+        fs.put_dataset(uniform_dataset("d", 40))
+        placement = ProcessPlacement.one_per_node(8)
+        tasks = tasks_from_dataset(fs.dataset("d"))
+        graph = graph_from_filesystem(fs, tasks, placement)
+        return fs, placement, tasks, graph
+
+    def test_greedy_run_completes_with_high_locality(self, env):
+        fs, placement, tasks, graph = env
+        policy = LocalityGreedyPolicy(graph, seed=2)
+        result = ParallelReadRun(fs, placement, tasks, policy, seed=2).run()
+        assert result.tasks_completed == 40
+        # Greedy gets most reads local (r=3 on 8 nodes is replica-rich).
+        assert result.locality_fraction > 0.6
+
+    def test_delay_run_waits_and_completes(self, env):
+        fs, placement, tasks, graph = env
+        policy = DelaySchedulingPolicy(graph, max_delay=1.0, poll_interval=0.25, seed=2)
+        run = ParallelReadRun(fs, placement, tasks, policy, seed=2)
+        result = run.run()
+        assert result.tasks_completed == 40
+        assert run.waits > 0
+
+    def test_wait_rejected_in_barrier_mode(self, env):
+        fs, placement, tasks, graph = env
+
+        class AlwaysWait:
+            def next_task(self, rank):
+                return Wait(1.0)
+
+        from repro.core import Assignment
+        from repro.simulate import StaticSource
+
+        # Barrier mode only accepts StaticSource, which never Waits — the
+        # guard is therefore unreachable through public config; verify the
+        # runner's internal check directly.
+        run = ParallelReadRun(
+            fs, placement, tasks,
+            StaticSource(Assignment({r: [] for r in range(8)})),
+            barrier=True,
+        )
+        run.source = AlwaysWait()
+        with pytest.raises(ValueError, match="barrier"):
+            run.run()

@@ -1,0 +1,104 @@
+"""Tests for the §IV-D dynamic scheduler (guided lists + stealing)."""
+
+import pytest
+
+from repro.core.assignment import Assignment
+from repro.core.bipartite import ProcessPlacement, build_locality_graph
+from repro.core.dynamic import plan_dynamic
+from repro.core.tasks import Task
+from repro.dfs.chunk import MB, ChunkId
+
+
+@pytest.fixture
+def graph():
+    """3 processes; tasks 0-5; each task's chunk on one node."""
+    locations = {
+        ChunkId(f"c{i}", 0): (i % 3,) for i in range(6)
+    }
+    sizes = {cid: (int(cid.file[1]) + 1) * MB for cid in locations}
+    tasks = [Task(i, (ChunkId(f"c{i}", 0),)) for i in range(6)]
+    return build_locality_graph(
+        tasks, locations, sizes, ProcessPlacement.one_per_node(3)
+    )
+
+
+@pytest.fixture
+def assignment():
+    return Assignment({0: [0, 3], 1: [1, 4], 2: [2, 5]})
+
+
+class TestPlanConstruction:
+    def test_lists_follow_assignment(self, graph, assignment):
+        plan = plan_dynamic(graph, assignment, order="as_assigned")
+        assert plan.lists == {0: [0, 3], 1: [1, 4], 2: [2, 5]}
+
+    def test_locality_order_sorts_by_colocated_bytes(self, graph, assignment):
+        plan = plan_dynamic(graph, assignment, order="locality")
+        # Task 3's chunk (4 MB) on node 0 outweighs task 0's (1 MB).
+        assert plan.lists[0] == [3, 0]
+
+    def test_invalid_order(self, graph, assignment):
+        with pytest.raises(ValueError):
+            plan_dynamic(graph, assignment, order="nope")
+
+    def test_remaining(self, graph, assignment):
+        plan = plan_dynamic(graph, assignment)
+        assert plan.remaining == 6
+
+
+class TestDispatch:
+    def test_own_list_first(self, graph, assignment):
+        plan = plan_dynamic(graph, assignment, order="as_assigned")
+        assert plan.next_task(0) == 0
+        assert plan.next_task(0) == 3
+        assert plan.steals == 0
+
+    def test_steal_from_longest_list(self, graph, assignment):
+        plan = plan_dynamic(graph, assignment, order="as_assigned")
+        plan.next_task(0)
+        plan.next_task(0)  # rank 0's list empty now
+        # Both donors have length 2; tie breaks to lower rank (1).
+        task = plan.next_task(0)
+        assert task in (1, 4)
+        assert plan.steals == 1
+        assert plan.remaining == 3
+
+    def test_steal_picks_max_colocated(self, graph):
+        # Rank 0's list empty; rank 1 holds tasks 0 (on node 0, 1 MB) and
+        # 3 (on node 0, 4 MB): rank 0 steals 3, its larger co-located task.
+        assignment = Assignment({0: [], 1: [0, 3, 1], 2: [2]})
+        plan = plan_dynamic(graph, assignment, order="as_assigned")
+        task = plan.next_task(0)
+        assert task == 3
+        assert plan.steals == 1
+
+    def test_exhaustion_returns_none(self, graph, assignment):
+        plan = plan_dynamic(graph, assignment)
+        for _ in range(6):
+            assert plan.next_task(0) is not None
+        assert plan.next_task(0) is None
+        assert plan.next_task(1) is None
+        assert plan.remaining == 0
+
+    def test_every_task_dispatched_once(self, graph, assignment):
+        plan = plan_dynamic(graph, assignment)
+        seen = []
+        rank = 0
+        while True:
+            t = plan.next_task(rank)
+            if t is None:
+                break
+            seen.append(t)
+            rank = (rank + 1) % 3
+        assert sorted(seen) == list(range(6))
+        assert plan.dispatched == 6
+
+    def test_dispatched_local_bytes_tracked(self, graph, assignment):
+        plan = plan_dynamic(graph, assignment, order="as_assigned")
+        plan.next_task(0)  # task 0, on node 0: +1 MB
+        assert plan.dispatched_local_bytes == MB
+
+    def test_unknown_rank_rejected(self, graph, assignment):
+        plan = plan_dynamic(graph, assignment)
+        with pytest.raises(KeyError):
+            plan.next_task(9)

@@ -1,0 +1,108 @@
+"""Tests for heterogeneous-cluster quota shaping."""
+
+import pytest
+
+from repro.core import ProcessPlacement, graph_from_filesystem, tasks_from_dataset
+from repro.core.heterogeneous import (
+    node_speed_weights,
+    plan_heterogeneous,
+    proportional_quotas,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem, NodeSpec, uniform_dataset
+
+
+class TestProportionalQuotas:
+    def test_equal_weights_equal_quotas(self):
+        assert proportional_quotas([1, 1, 1, 1], 12) == [3, 3, 3, 3]
+
+    def test_proportional(self):
+        assert proportional_quotas([2, 1, 1], 8) == [4, 2, 2]
+
+    def test_sum_always_exact(self):
+        for n in (0, 1, 7, 13, 100):
+            q = proportional_quotas([3.3, 1.1, 2.7, 0.5], n)
+            assert sum(q) == n
+
+    def test_within_one_of_real_share(self):
+        weights = [5.0, 3.0, 2.0]
+        q = proportional_quotas(weights, 17)
+        shares = [w / 10 * 17 for w in weights]
+        for got, share in zip(q, shares):
+            assert abs(got - share) < 1
+
+    def test_zero_weight_gets_nothing_unless_remainder(self):
+        q = proportional_quotas([1, 0], 4)
+        assert q == [4, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            proportional_quotas([], 3)
+        with pytest.raises(ValueError):
+            proportional_quotas([1], -1)
+        with pytest.raises(ValueError):
+            proportional_quotas([-1, 2], 3)
+        with pytest.raises(ValueError):
+            proportional_quotas([0, 0], 3)
+
+
+class TestNodeSpeedWeights:
+    def test_disk_bw_proxy(self):
+        spec = ClusterSpec(
+            nodes=(
+                NodeSpec(0, disk_bw=100.0),
+                NodeSpec(1, disk_bw=50.0),
+            )
+        )
+        placement = ProcessPlacement.one_per_node(2)
+        assert node_speed_weights(spec, placement) == [100.0, 50.0]
+
+    def test_split_among_corank_processes(self):
+        spec = ClusterSpec(nodes=(NodeSpec(0, disk_bw=100.0),))
+        placement = ProcessPlacement.k_per_node(1, 2)
+        assert node_speed_weights(spec, placement) == [50.0, 50.0]
+
+    def test_explicit_speeds_override(self):
+        spec = ClusterSpec.homogeneous(2)
+        placement = ProcessPlacement.one_per_node(2)
+        w = node_speed_weights(spec, placement, speeds={0: 3.0, 1: 1.0})
+        assert w == [3.0, 1.0]
+
+    def test_negative_speed_rejected(self):
+        spec = ClusterSpec.homogeneous(1)
+        placement = ProcessPlacement.one_per_node(1)
+        with pytest.raises(ValueError):
+            node_speed_weights(spec, placement, speeds={0: -1.0})
+
+
+class TestPlanHeterogeneous:
+    @pytest.fixture
+    def env(self):
+        nodes = tuple(
+            NodeSpec(i, disk_bw=140e6 if i < 4 else 70e6) for i in range(8)
+        )
+        spec = ClusterSpec(nodes=nodes)
+        fs = DistributedFileSystem(spec, seed=5)
+        ds = uniform_dataset("d", 48)
+        fs.put_dataset(ds)
+        placement = ProcessPlacement.one_per_node(8)
+        graph = graph_from_filesystem(fs, tasks_from_dataset(ds), placement)
+        return spec, graph
+
+    def test_fast_nodes_get_more_tasks(self, env):
+        spec, graph = env
+        plan = plan_heterogeneous(graph, spec)
+        # 2:1 speed ratio, 48 tasks -> 8 each for fast, 4 each for slow.
+        assert plan.quotas[:4] == [8, 8, 8, 8]
+        assert plan.quotas[4:] == [4, 4, 4, 4]
+
+    def test_assignment_valid_and_lists_match(self, env):
+        spec, graph = env
+        plan = plan_heterogeneous(graph, spec)
+        plan.matching.assignment.validate(48, quotas=plan.quotas)
+        listed = sorted(t for lst in plan.plan.lists.values() for t in lst)
+        assert listed == list(range(48))
+
+    def test_explicit_speeds(self, env):
+        spec, graph = env
+        plan = plan_heterogeneous(graph, spec, speeds={i: 1.0 for i in range(8)})
+        assert plan.quotas == [6] * 8

@@ -1,0 +1,127 @@
+"""Tests for incremental re-matching (§V-C future work)."""
+
+import pytest
+
+from repro.core import (
+    ProcessPlacement,
+    equal_quotas,
+    graph_from_filesystem,
+    locality_fraction,
+    optimize_single_data,
+    rematch_incremental,
+    tasks_from_dataset,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+
+
+def build(nodes=16, chunks=160, seed=5):
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(nodes), seed=seed)
+    fs.put_dataset(uniform_dataset("d", chunks))
+    placement = ProcessPlacement.one_per_node(nodes)
+    tasks = tasks_from_dataset(fs.dataset("d"))
+    graph = graph_from_filesystem(fs, tasks, placement)
+    return fs, placement, tasks, graph
+
+
+class TestNoChange:
+    def test_unchanged_graph_zero_churn(self):
+        fs, placement, tasks, graph = build()
+        base = optimize_single_data(graph, seed=0)
+        result = rematch_incremental(graph, base.assignment, seed=0)
+        assert result.churn == 0
+        assert result.assignment.tasks_of == base.assignment.tasks_of
+
+
+class TestNodeLoss:
+    def test_disk_loss_with_full_quotas_is_churn_free(self):
+        """Losing node 0's replicas while every other process stays at
+        quota leaves nowhere better for the displaced tasks: they return
+        to their owner (still remote either way) — zero gratuitous churn,
+        same quality as a from-scratch rematch."""
+        fs, placement, tasks, graph = build()
+        base = optimize_single_data(graph, seed=0)
+        fs.namenode.drop_node_replicas(0)
+        new_graph = graph_from_filesystem(fs, tasks, placement)
+        result = rematch_incremental(new_graph, base.assignment, seed=0)
+        result.assignment.validate(160, quotas=equal_quotas(160, 16))
+        assert result.churn == 0
+        scratch = optimize_single_data(new_graph, seed=0)
+        inc_loc = locality_fraction(result.assignment, new_graph)
+        scr_loc = locality_fraction(scratch.assignment, new_graph)
+        assert inc_loc >= scr_loc - 1e-9
+
+    def test_process_loss_moves_only_its_tasks(self):
+        """Node 0 dies entirely (replicas AND process): its quota drops to
+        zero and exactly its tasks — plus bounded ripple — move."""
+        fs, placement, tasks, graph = build()
+        base = optimize_single_data(graph, seed=0)
+        fs.namenode.drop_node_replicas(0)
+        new_graph = graph_from_filesystem(fs, tasks, placement)
+        quotas = [0] + [11] * 15  # 165 >= 160 capacity without rank 0
+        result = rematch_incremental(new_graph, base.assignment, quotas=quotas, seed=0)
+        result.assignment.validate(160, quotas=quotas)
+        assert len(result.assignment.tasks_of[0]) == 0
+        # Rank 0 owned 10 tasks; churn is those plus a small ripple.
+        assert 10 <= result.churn <= 30
+        inc_loc = locality_fraction(result.assignment, new_graph)
+        scratch = optimize_single_data(new_graph, quotas=quotas, seed=0)
+        scr_loc = locality_fraction(scratch.assignment, new_graph)
+        assert inc_loc >= scr_loc - 0.08
+
+    def test_kept_tasks_do_not_move(self):
+        fs, placement, tasks, graph = build()
+        base = optimize_single_data(graph, seed=0)
+        old_owner = base.assignment.process_of()
+        fs.namenode.drop_node_replicas(3)
+        new_graph = graph_from_filesystem(fs, tasks, placement)
+        result = rematch_incremental(new_graph, base.assignment, seed=0)
+        new_owner = result.assignment.process_of()
+        for t in result.kept_tasks:
+            assert new_owner[t] == old_owner[t]
+        for t in result.moved_tasks:
+            assert new_owner[t] != old_owner[t]
+
+
+class TestQuotaChange:
+    def test_shrunk_quota_evicts_least_local(self):
+        fs, placement, tasks, graph = build(nodes=4, chunks=16)
+        base = optimize_single_data(graph, seed=0)
+        # Rank 0 may now hold only 1 task; the others absorb the rest.
+        quotas = [1, 6, 6, 6]
+        result = rematch_incremental(graph, base.assignment, quotas=quotas, seed=0)
+        result.assignment.validate(16, quotas=quotas)
+        assert len(result.assignment.tasks_of[0]) <= 1
+
+    def test_insufficient_quota_rejected(self):
+        fs, placement, tasks, graph = build(nodes=4, chunks=16)
+        base = optimize_single_data(graph, seed=0)
+        with pytest.raises(ValueError, match="total quota"):
+            rematch_incremental(graph, base.assignment, quotas=[1, 1, 1, 1])
+
+    def test_wrong_coverage_rejected(self):
+        fs, placement, tasks, graph = build(nodes=4, chunks=16)
+        from repro.core import Assignment
+
+        bad = Assignment({0: [0, 1], 1: [], 2: [], 3: []})
+        with pytest.raises(ValueError, match="cover"):
+            rematch_incremental(graph, bad)
+
+
+class TestChurnBound:
+    def test_churn_much_smaller_than_full_rematch_distance(self):
+        """Losing one node moves far fewer tasks than recomputing from
+        scratch with a different seed would."""
+        fs, placement, tasks, graph = build(nodes=32, chunks=320, seed=9)
+        base = optimize_single_data(graph, seed=0)
+        fs.namenode.drop_node_replicas(5)
+        new_graph = graph_from_filesystem(fs, tasks, placement)
+
+        inc = rematch_incremental(new_graph, base.assignment, seed=0)
+        scratch = optimize_single_data(new_graph, seed=1)
+        old_owner = base.assignment.process_of()
+        scratch_owner = scratch.assignment.process_of()
+        scratch_churn = sum(
+            1 for t in range(320) if scratch_owner[t] != old_owner[t]
+        )
+        assert inc.churn < scratch_churn
+        assert inc.churn <= 40  # ~10 lost tasks + bounded ripple

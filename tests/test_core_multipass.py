@@ -1,0 +1,83 @@
+"""Tests for multi-pass scan workloads (multi-query mpiBLAST shape)."""
+
+import pytest
+
+from repro.core import (
+    ProcessPlacement,
+    equal_quotas,
+    graph_from_filesystem,
+    locality_fraction,
+    multi_pass_scan_tasks,
+    optimize_single_data,
+    tasks_from_dataset,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+from repro.dfs.chunk import MB
+from repro.simulate import ParallelReadRun, StaticSource
+
+
+@pytest.fixture
+def env():
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(8), seed=59)
+    db = uniform_dataset("db", 24, chunk_size=8 * MB)
+    fs.put_dataset(db)
+    return fs, ProcessPlacement.one_per_node(8), db
+
+
+class TestConstruction:
+    def test_task_count_and_ids(self, env):
+        _, _, db = env
+        tasks = multi_pass_scan_tasks(db, 3)
+        assert len(tasks) == 72
+        assert [t.task_id for t in tasks] == list(range(72))
+
+    def test_pass_major_ordering(self, env):
+        _, _, db = env
+        tasks = multi_pass_scan_tasks(db, 2)
+        # Task 24+f scans the same file as task f.
+        for f in range(24):
+            assert tasks[24 + f].inputs == tasks[f].inputs
+
+    def test_single_pass_equals_plain(self, env):
+        _, _, db = env
+        assert [t.inputs for t in multi_pass_scan_tasks(db, 1)] == [
+            t.inputs for t in tasks_from_dataset(db)
+        ]
+
+    def test_invalid_passes(self, env):
+        _, _, db = env
+        with pytest.raises(ValueError):
+            multi_pass_scan_tasks(db, 0)
+
+
+class TestMatching:
+    def test_shared_chunks_still_fully_matchable(self, env):
+        """With r replicas and quota headroom, even Q > r scans of a chunk
+        can all be local: a holder takes several of them."""
+        fs, placement, db = env
+        tasks = multi_pass_scan_tasks(db, 4)  # 4 scans > r=3 replicas
+        graph = graph_from_filesystem(fs, tasks, placement)
+        result = optimize_single_data(graph, seed=1)
+        assert result.full_matching
+        assert locality_fraction(result.assignment, graph) == 1.0
+        result.assignment.validate(96, quotas=equal_quotas(96, 8))
+
+    def test_graph_edges_scale_with_passes(self, env):
+        fs, placement, db = env
+        g1 = graph_from_filesystem(fs, multi_pass_scan_tasks(db, 1), placement)
+        g3 = graph_from_filesystem(fs, multi_pass_scan_tasks(db, 3), placement)
+        assert g3.num_edges == 3 * g1.num_edges
+
+
+class TestExecution:
+    def test_multi_pass_run_reads_everything(self, env):
+        fs, placement, db = env
+        tasks = multi_pass_scan_tasks(db, 2)
+        graph = graph_from_filesystem(fs, tasks, placement)
+        result = optimize_single_data(graph, seed=1)
+        run = ParallelReadRun(
+            fs, placement, tasks, StaticSource(result.assignment), seed=1
+        ).run()
+        assert run.tasks_completed == 48
+        assert run.local_bytes + run.remote_bytes == 48 * 8 * MB
+        assert run.locality_fraction == 1.0

@@ -1,0 +1,67 @@
+"""Tests for the top-level Opass API."""
+
+import pytest
+
+from repro.core import (
+    ProcessPlacement,
+    locality_fraction,
+    opass_dynamic_plan,
+    opass_multi_data,
+    opass_single_data,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+from repro.workloads import multi_input_datasets
+
+
+@pytest.fixture
+def fs():
+    f = DistributedFileSystem(ClusterSpec.homogeneous(8), seed=17)
+    f.put_dataset(uniform_dataset("single", 40))
+    for ds in multi_input_datasets(40, name_prefix="multi"):
+        f.put_dataset(ds)
+    return f
+
+
+@pytest.fixture
+def placement():
+    return ProcessPlacement.one_per_node(8)
+
+
+class TestSingleData:
+    def test_by_name(self, fs, placement):
+        result, graph, tasks = opass_single_data(fs, "single", placement)
+        assert len(tasks) == 40
+        assert locality_fraction(result.assignment, graph) > 0.9
+
+    def test_by_object(self, fs, placement):
+        ds = fs.dataset("single")
+        result, graph, tasks = opass_single_data(fs, ds, placement)
+        result.assignment.validate(40)
+
+    def test_unknown_dataset(self, fs, placement):
+        with pytest.raises(KeyError):
+            opass_single_data(fs, "nope", placement)
+
+
+class TestMultiData:
+    def test_three_datasets(self, fs, placement):
+        names = ["multi-0", "multi-1", "multi-2"]
+        result, graph, tasks = opass_multi_data(fs, names, placement)
+        assert len(tasks) == 40
+        assert all(len(t.inputs) == 3 for t in tasks)
+        result.assignment.validate(40)
+        assert result.local_bytes > 0
+
+
+class TestDynamicPlan:
+    def test_plan_lists_cover_tasks(self, fs, placement):
+        plan, graph, tasks = opass_dynamic_plan(fs, "single", placement)
+        all_tasks = sorted(t for lst in plan.lists.values() for t in lst)
+        assert all_tasks == [t.task_id for t in tasks]
+
+    def test_plan_dispatchable(self, fs, placement):
+        plan, _, _ = opass_dynamic_plan(fs, "single", placement)
+        count = 0
+        while plan.next_task(count % 8) is not None:
+            count += 1
+        assert count == 40

@@ -1,0 +1,125 @@
+"""Tests for the Quincy-style min-cost-flow scheduler."""
+
+import pytest
+
+from repro.core import (
+    ProcessPlacement,
+    equal_quotas,
+    fully_local_tasks,
+    graph_from_filesystem,
+    local_bytes,
+    locality_fraction,
+    optimize_quincy,
+    optimize_single_data,
+    tasks_from_dataset,
+)
+from repro.core.bipartite import build_locality_graph
+from repro.core.tasks import Task
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+from repro.dfs.chunk import MB, ChunkId, dataset_from_sizes
+
+
+@pytest.fixture
+def graph():
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(8), seed=89)
+    fs.put_dataset(uniform_dataset("d", 40))
+    placement = ProcessPlacement.one_per_node(8)
+    return graph_from_filesystem(fs, tasks_from_dataset(fs.dataset("d")), placement)
+
+
+class TestQuincy:
+    def test_valid_full_coverage(self, graph):
+        assignment, cost = optimize_quincy(graph)
+        assignment.validate(40, quotas=equal_quotas(40, 8))
+        assert cost >= 0
+
+    def test_matches_flow_optimum_on_equal_chunks(self, graph):
+        """On equal-size chunk files byte-optimality == count-optimality."""
+        quincy, _ = optimize_quincy(graph)
+        flow = optimize_single_data(graph, seed=0)
+        assert len(fully_local_tasks(quincy, graph)) == len(
+            fully_local_tasks(flow.assignment, graph)
+        )
+
+    def test_zero_cost_iff_full_matching(self, graph):
+        assignment, cost = optimize_quincy(graph)
+        if locality_fraction(assignment, graph) == 1.0:
+            assert cost == 0
+
+    def test_byte_optimality_beats_count_optimality(self):
+        """With unequal task sizes, Quincy minimises remote *bytes*, which
+        can beat the unit matching's remote-byte total."""
+        # One big (40 MB) and two small (1 MB) tasks; node 0 holds all
+        # three, node 1 holds only the small ones.  Quotas [2, 1]:
+        # byte-optimal keeps the big task on node 0.
+        locations = {
+            ChunkId("big", 0): (0,),
+            ChunkId("s1", 0): (0, 1),
+            ChunkId("s2", 0): (0, 1),
+        }
+        sizes = {ChunkId("big", 0): 40 * MB, ChunkId("s1", 0): MB, ChunkId("s2", 0): MB}
+        tasks = [Task(0, (ChunkId("big", 0),)), Task(1, (ChunkId("s1", 0),)),
+                 Task(2, (ChunkId("s2", 0),))]
+        g = build_locality_graph(tasks, locations, sizes, ProcessPlacement.one_per_node(2))
+        quincy, cost = optimize_quincy(g, quotas=[2, 1])
+        assert local_bytes(quincy, g) == 42 * MB  # everything local
+        assert cost == 0
+        owner = quincy.process_of()
+        assert owner[0] == 0  # the big task stays with its only holder
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            optimize_quincy(graph, quotas=[1] * 8)  # sum < n
+        with pytest.raises(ValueError):
+            optimize_quincy(graph, quotas=[5] * 4)  # wrong length
+        with pytest.raises(ValueError):
+            optimize_quincy(graph, cost_granularity=0)
+
+    def test_unmatchable_tasks_still_assigned(self):
+        """Tasks with no co-located process get assigned remotely at cost."""
+        locations = {ChunkId("a", 0): (3,)}
+        sizes = {ChunkId("a", 0): 4 * MB}
+        tasks = [Task(0, (ChunkId("a", 0),))]
+        g = build_locality_graph(tasks, locations, sizes, ProcessPlacement((0,)))
+        assignment, cost = optimize_quincy(g)
+        assignment.validate(1)
+        assert cost == 4  # 4 MB remote at 1 MB granularity
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_remote_bytes_never_worse_than_random(self, seed):
+        """Quincy minimises remote bytes over ALL quota-feasible
+        assignments, so any random deal is an upper bound."""
+        from repro.core import random_assignment
+
+        fs = DistributedFileSystem(ClusterSpec.homogeneous(6), seed=seed)
+        fs.put_dataset(dataset_from_sizes(
+            "v", [(i % 5 + 1) * MB for i in range(18)], chunk_size=8 * MB
+        ))
+        placement = ProcessPlacement.one_per_node(6)
+        g = graph_from_filesystem(
+            fs, tasks_from_dataset(fs.dataset("v")), placement
+        )
+        quincy, _ = optimize_quincy(g, cost_granularity=1)
+        quincy_remote = g.total_bytes() - local_bytes(quincy, g)
+        for sub in range(4):
+            rand = random_assignment(18, 6, seed=seed * 10 + sub)
+            rand_remote = g.total_bytes() - local_bytes(rand, g)
+            assert quincy_remote <= rand_remote
+
+    def test_remote_bytes_never_worse_than_flow_matching(self):
+        """Byte-optimality dominates the count-optimal flow matching too."""
+        fs = DistributedFileSystem(ClusterSpec.homogeneous(6), seed=97)
+        fs.put_dataset(dataset_from_sizes(
+            "w", [(i % 7 + 1) * MB for i in range(24)], chunk_size=8 * MB
+        ))
+        placement = ProcessPlacement.one_per_node(6)
+        g = graph_from_filesystem(
+            fs, tasks_from_dataset(fs.dataset("w")), placement
+        )
+        quincy, _ = optimize_quincy(g, cost_granularity=1)
+        flow = optimize_single_data(g, seed=0)
+        assert (g.total_bytes() - local_bytes(quincy, g)) <= (
+            g.total_bytes() - local_bytes(flow.assignment, g)
+        )

@@ -1,0 +1,113 @@
+"""Tests for balanced remote-read planning (the Opass+ extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.remote_balance import (
+    PlannedReplicaChoice,
+    RemoteBalanceResult,
+    plan_remote_reads,
+)
+from repro.dfs.chunk import ChunkId
+
+
+def cid(i: int) -> ChunkId:
+    return ChunkId(f"c{i}", 0)
+
+
+class TestPlanning:
+    def test_empty(self):
+        plan = plan_remote_reads([], {})
+        assert plan.server_of == {}
+        assert plan.max_load == 0
+
+    def test_single_chunk(self):
+        plan = plan_remote_reads([cid(0)], {cid(0): (3, 5)})
+        assert plan.server_of[cid(0)] in (3, 5)
+        assert plan.max_load == 1
+
+    def test_perfectly_balanceable(self):
+        """4 chunks, each on both of 2 nodes: optimal is 2 per node."""
+        locations = {cid(i): (0, 1) for i in range(4)}
+        plan = plan_remote_reads([cid(i) for i in range(4)], locations)
+        assert plan.max_load == 2
+        assert sorted(plan.load_per_node.values()) == [2, 2]
+
+    def test_constrained_hot_node(self):
+        """Every chunk only on node 0: all load must land there."""
+        locations = {cid(i): (0,) for i in range(3)}
+        plan = plan_remote_reads([cid(i) for i in range(3)], locations)
+        assert plan.load_per_node == {0: 3}
+        assert plan.max_load == 3
+
+    def test_spreads_when_possible(self):
+        """Chain structure: c0 on {0,1}, c1 on {1,2}, c2 on {2,0}; optimum
+        puts one chunk on each node."""
+        locations = {cid(0): (0, 1), cid(1): (1, 2), cid(2): (2, 0)}
+        plan = plan_remote_reads([cid(i) for i in range(3)], locations)
+        assert plan.max_load == 1
+        assert sorted(plan.load_per_node.values()) == [1, 1, 1]
+
+    def test_every_chunk_served_by_a_replica(self):
+        rng = np.random.default_rng(3)
+        chunks = [cid(i) for i in range(30)]
+        locations = {
+            c: tuple(int(x) for x in rng.choice(10, size=3, replace=False))
+            for c in chunks
+        }
+        plan = plan_remote_reads(chunks, locations)
+        assert set(plan.server_of) == set(chunks)
+        for c, server in plan.server_of.items():
+            assert server in locations[c]
+
+    def test_beats_random_choice_on_max_load(self):
+        rng = np.random.default_rng(5)
+        chunks = [cid(i) for i in range(60)]
+        locations = {
+            c: tuple(int(x) for x in rng.choice(12, size=3, replace=False))
+            for c in chunks
+        }
+        plan = plan_remote_reads(chunks, locations)
+        worst_random = 0
+        for trial in range(10):
+            rng2 = np.random.default_rng(trial)
+            load = np.zeros(12, dtype=int)
+            for c in chunks:
+                load[locations[c][int(rng2.integers(3))]] += 1
+            worst_random = max(worst_random, int(load.max()))
+        assert plan.max_load <= worst_random
+
+    def test_duplicate_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            plan_remote_reads([cid(0), cid(0)], {cid(0): (0,)})
+
+    def test_missing_replica_rejected(self):
+        with pytest.raises((ValueError, KeyError)):
+            plan_remote_reads([cid(0)], {cid(0): ()})
+
+
+class TestPlannedReplicaChoice:
+    def test_follows_plan(self, rng):
+        plan = RemoteBalanceResult({cid(0): 4}, {4: 1}, 1, 1)
+        policy = PlannedReplicaChoice(plan)
+        assert policy.choose(cid(0), (2, 4, 6), 0, rng) == 4
+
+    def test_fallback_for_unplanned_chunk(self, rng):
+        plan = RemoteBalanceResult({}, {}, 0, 0)
+        policy = PlannedReplicaChoice(plan)
+        assert policy.choose(cid(1), (7,), 0, rng) == 7
+
+    def test_fallback_when_planned_server_not_in_replicas(self, rng):
+        """E.g. the planned node died: replicas no longer include it."""
+        plan = RemoteBalanceResult({cid(0): 4}, {4: 1}, 1, 1)
+        policy = PlannedReplicaChoice(plan)
+        assert policy.choose(cid(0), (2, 6), 0, rng) in (2, 6)
+
+    def test_reset_propagates(self, rng):
+        from repro.dfs.policies import LeastLoaded
+
+        fallback = LeastLoaded()
+        policy = PlannedReplicaChoice(RemoteBalanceResult({}, {}, 0, 0), fallback)
+        policy.choose(cid(0), (1, 2), 0, rng)
+        policy.reset()
+        assert policy.choose(cid(0), (1, 2), 0, rng) == 1

@@ -1,0 +1,133 @@
+"""Tests for assignment/plan persistence."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    ProcessPlacement,
+    graph_from_filesystem,
+    opass_dynamic_plan,
+    optimize_single_data,
+    plan_from_dict,
+    plan_to_dict,
+    tasks_from_dataset,
+)
+from repro.core.serialization import (
+    assignment_from_dict,
+    assignment_to_dict,
+    layout_fingerprint,
+    load_assignment,
+    save_assignment,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+
+
+@pytest.fixture
+def env():
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(8), seed=8)
+    fs.put_dataset(uniform_dataset("d", 40))
+    placement = ProcessPlacement.one_per_node(8)
+    tasks = tasks_from_dataset(fs.dataset("d"))
+    graph = graph_from_filesystem(fs, tasks, placement)
+    return fs, placement, tasks, graph
+
+
+class TestFingerprint:
+    def test_deterministic(self, env):
+        fs, *_ = env
+        a = layout_fingerprint(fs.layout_snapshot())
+        b = layout_fingerprint(fs.layout_snapshot())
+        assert a == b
+        assert len(a) == 16
+
+    def test_changes_with_layout(self, env):
+        fs, *_ = env
+        before = layout_fingerprint(fs.layout_snapshot())
+        fs.namenode.drop_node_replicas(0)
+        after = layout_fingerprint(fs.layout_snapshot())
+        assert before != after
+
+
+class TestAssignmentRoundTrip:
+    def test_dict_round_trip(self, env):
+        _, _, _, graph = env
+        a = optimize_single_data(graph, seed=0).assignment
+        data = assignment_to_dict(a, num_tasks=40)
+        back = assignment_from_dict(data)
+        assert back.tasks_of == a.tasks_of
+
+    def test_file_round_trip_with_fingerprint(self, env, tmp_path):
+        fs, _, _, graph = env
+        a = optimize_single_data(graph, seed=0).assignment
+        path = save_assignment(
+            a, tmp_path / "plan.json", num_tasks=40, locations=fs.layout_snapshot()
+        )
+        back = load_assignment(path, locations=fs.layout_snapshot())
+        assert back.tasks_of == a.tasks_of
+
+    def test_stale_fingerprint_refused(self, env, tmp_path):
+        fs, _, _, graph = env
+        a = optimize_single_data(graph, seed=0).assignment
+        path = save_assignment(
+            a, tmp_path / "plan.json", num_tasks=40, locations=fs.layout_snapshot()
+        )
+        fs.namenode.drop_node_replicas(0)  # layout changed
+        with pytest.raises(ValueError, match="layout changed"):
+            load_assignment(path, locations=fs.layout_snapshot())
+
+    def test_load_without_check_still_works(self, env, tmp_path):
+        fs, _, _, graph = env
+        a = optimize_single_data(graph, seed=0).assignment
+        path = save_assignment(a, tmp_path / "plan.json", num_tasks=40)
+        assert load_assignment(path).tasks_of == a.tasks_of
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not an assignment"):
+            assignment_from_dict({"format": 1, "kind": "dynamic_plan"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            assignment_from_dict({"format": 99, "kind": "assignment"})
+
+    def test_invalid_assignment_rejected_at_save(self, env):
+        from repro.core import Assignment
+
+        bad = Assignment({0: [0], 1: [0]})  # duplicate task
+        with pytest.raises(ValueError):
+            assignment_to_dict(bad, num_tasks=2)
+
+
+class TestPlanRoundTrip:
+    def test_round_trip(self, env):
+        fs, placement, _, graph = env
+        plan, graph2, _ = opass_dynamic_plan(fs, "d", placement)
+        data = plan_to_dict(plan)
+        json.dumps(data)  # serialisable
+        back = plan_from_dict(data, graph2)
+        assert back.lists == plan.lists
+
+    def test_mismatched_process_set_rejected(self, env):
+        fs, placement, _, graph = env
+        plan, graph2, _ = opass_dynamic_plan(fs, "d", placement)
+        data = plan_to_dict(plan)
+        del data["lists"]["7"]
+        with pytest.raises(ValueError, match="process set"):
+            plan_from_dict(data, graph2)
+
+    def test_unknown_task_rejected(self, env):
+        fs, placement, _, graph = env
+        plan, graph2, _ = opass_dynamic_plan(fs, "d", placement)
+        data = plan_to_dict(plan)
+        data["lists"]["0"].append(999)
+        with pytest.raises(ValueError, match="unknown task"):
+            plan_from_dict(data, graph2)
+
+    def test_rehydrated_plan_dispatches(self, env):
+        fs, placement, _, _ = env
+        plan, graph2, _ = opass_dynamic_plan(fs, "d", placement)
+        back = plan_from_dict(plan_to_dict(plan), graph2)
+        count = 0
+        while back.next_task(count % 8) is not None:
+            count += 1
+        assert count == 40

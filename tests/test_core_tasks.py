@@ -1,0 +1,71 @@
+"""Tests for task construction."""
+
+import pytest
+
+from repro.core.tasks import Task, tasks_from_dataset, tasks_from_datasets, total_task_bytes
+from repro.dfs.chunk import MB, ChunkId, dataset_from_sizes, uniform_dataset
+
+
+class TestTask:
+    def test_valid(self):
+        t = Task(0, (ChunkId("a", 0), ChunkId("b", 0)))
+        assert len(t.inputs) == 2
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Task(-1, (ChunkId("a", 0),))
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Task(0, ())
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            Task(0, (ChunkId("a", 0), ChunkId("a", 0)))
+
+
+class TestFromDataset:
+    def test_one_task_per_file(self):
+        ds = uniform_dataset("d", 5, chunk_size=MB)
+        tasks = tasks_from_dataset(ds)
+        assert len(tasks) == 5
+        assert [t.task_id for t in tasks] == [0, 1, 2, 3, 4]
+        assert all(len(t.inputs) == 1 for t in tasks)
+
+    def test_multi_chunk_file_has_all_chunks(self):
+        ds = dataset_from_sizes("d", [3 * MB], chunk_size=MB)
+        tasks = tasks_from_dataset(ds)
+        assert len(tasks) == 1
+        assert len(tasks[0].inputs) == 3
+
+
+class TestFromDatasets:
+    def test_zip_shape(self):
+        d1 = uniform_dataset("a", 4, chunk_size=MB)
+        d2 = uniform_dataset("b", 4, chunk_size=MB)
+        d3 = uniform_dataset("c", 4, chunk_size=MB)
+        tasks = tasks_from_datasets([d1, d2, d3])
+        assert len(tasks) == 4
+        assert all(len(t.inputs) == 3 for t in tasks)
+        # Task i reads the i-th file of every dataset.
+        assert tasks[2].inputs[0].file == "a/part-00002"
+        assert tasks[2].inputs[1].file == "b/part-00002"
+        assert tasks[2].inputs[2].file == "c/part-00002"
+
+    def test_count_mismatch_rejected(self):
+        d1 = uniform_dataset("a", 4, chunk_size=MB)
+        d2 = uniform_dataset("b", 5, chunk_size=MB)
+        with pytest.raises(ValueError, match="differing file counts"):
+            tasks_from_datasets([d1, d2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tasks_from_datasets([])
+
+
+class TestTotals:
+    def test_total_task_bytes(self):
+        d1 = dataset_from_sizes("a", [MB, 2 * MB])
+        tasks = tasks_from_dataset(d1)
+        sizes = {c.id: c.size for c in d1.iter_chunks()}
+        assert total_task_bytes(tasks, sizes) == 3 * MB

@@ -1,0 +1,128 @@
+"""Unit tests for chunk/file/dataset value types."""
+
+import pytest
+
+from repro.dfs.chunk import (
+    DEFAULT_CHUNK_SIZE,
+    MB,
+    Chunk,
+    ChunkId,
+    Dataset,
+    dataset_from_sizes,
+    make_file,
+    uniform_dataset,
+)
+
+
+class TestChunk:
+    def test_chunk_id_identity(self):
+        a = ChunkId("f", 0)
+        b = ChunkId("f", 0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_chunk_id_distinct_by_index(self):
+        assert ChunkId("f", 0) != ChunkId("f", 1)
+
+    def test_chunk_requires_positive_size(self):
+        with pytest.raises(ValueError):
+            Chunk(ChunkId("f", 0), 0)
+        with pytest.raises(ValueError):
+            Chunk(ChunkId("f", 0), -5)
+
+    def test_chunk_str(self):
+        assert str(ChunkId("f", 3)) == "f#3"
+
+
+class TestMakeFile:
+    def test_exact_multiple_splits_evenly(self):
+        meta = make_file("f", 4 * DEFAULT_CHUNK_SIZE)
+        assert meta.num_chunks == 4
+        assert all(c.size == DEFAULT_CHUNK_SIZE for c in meta.chunks)
+
+    def test_tail_chunk_smaller(self):
+        meta = make_file("f", DEFAULT_CHUNK_SIZE + 1)
+        assert meta.num_chunks == 2
+        assert meta.chunks[0].size == DEFAULT_CHUNK_SIZE
+        assert meta.chunks[1].size == 1
+
+    def test_small_file_single_chunk(self):
+        meta = make_file("f", 10)
+        assert meta.num_chunks == 1
+        assert meta.chunks[0].size == 10
+
+    def test_total_size_preserved(self):
+        size = 3 * DEFAULT_CHUNK_SIZE + 12345
+        assert make_file("f", size).size == size
+
+    def test_chunk_indices_sequential(self):
+        meta = make_file("f", 5 * DEFAULT_CHUNK_SIZE)
+        assert [c.id.index for c in meta.chunks] == [0, 1, 2, 3, 4]
+        assert all(c.id.file == "f" for c in meta.chunks)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            make_file("f", 0)
+
+    def test_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(ValueError):
+            make_file("f", 100, chunk_size=0)
+
+    def test_custom_chunk_size(self):
+        meta = make_file("f", 100, chunk_size=30)
+        assert [c.size for c in meta.chunks] == [30, 30, 30, 10]
+
+
+class TestDataset:
+    def test_add_file_and_totals(self):
+        ds = Dataset("d")
+        ds.add_file(make_file("d/a", 2 * MB, chunk_size=MB))
+        ds.add_file(make_file("d/b", 3 * MB, chunk_size=MB))
+        assert ds.size == 5 * MB
+        assert ds.num_chunks == 5
+
+    def test_duplicate_file_rejected(self):
+        ds = Dataset("d")
+        ds.add_file(make_file("d/a", MB))
+        with pytest.raises(ValueError, match="duplicate"):
+            ds.add_file(make_file("d/a", MB))
+
+    def test_iter_chunks_order(self):
+        ds = Dataset("d")
+        ds.add_file(make_file("d/a", 2 * MB, chunk_size=MB))
+        ds.add_file(make_file("d/b", MB, chunk_size=MB))
+        ids = [c.id for c in ds.iter_chunks()]
+        assert ids == [ChunkId("d/a", 0), ChunkId("d/a", 1), ChunkId("d/b", 0)]
+
+    def test_chunk_ids_matches_iter(self):
+        ds = uniform_dataset("d", 4, chunk_size=MB)
+        assert ds.chunk_ids() == [c.id for c in ds.iter_chunks()]
+
+
+class TestUniformDataset:
+    def test_shape(self):
+        ds = uniform_dataset("u", 10, chunk_size=MB)
+        assert len(ds.files) == 10
+        assert ds.num_chunks == 10
+        assert all(f.num_chunks == 1 for f in ds.files)
+        assert ds.size == 10 * MB
+
+    def test_file_names_unique_and_ordered(self):
+        ds = uniform_dataset("u", 3)
+        names = [f.name for f in ds.files]
+        assert names == sorted(names)
+        assert len(set(names)) == 3
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ValueError):
+            uniform_dataset("u", 0)
+
+
+class TestDatasetFromSizes:
+    def test_sizes_respected(self):
+        ds = dataset_from_sizes("d", [MB, 2 * MB, 3 * MB])
+        assert [f.size for f in ds.files] == [MB, 2 * MB, 3 * MB]
+
+    def test_large_file_multi_chunk(self):
+        ds = dataset_from_sizes("d", [DEFAULT_CHUNK_SIZE * 2 + 1])
+        assert ds.files[0].num_chunks == 3

@@ -1,0 +1,121 @@
+"""Unit tests for cluster and node specifications."""
+
+import pytest
+
+from repro.dfs.cluster import (
+    DEFAULT_DISK_BW,
+    DEFAULT_NIC_BW,
+    Cluster,
+    ClusterSpec,
+    NodeSpec,
+)
+
+
+class TestNodeSpec:
+    def test_defaults(self):
+        n = NodeSpec(0)
+        assert n.disk_bw == DEFAULT_DISK_BW
+        assert n.nic_bw == DEFAULT_NIC_BW
+        assert n.rack == 0
+
+    def test_invalid_id(self):
+        with pytest.raises(ValueError):
+            NodeSpec(-1)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            NodeSpec(0, disk_bw=0)
+        with pytest.raises(ValueError):
+            NodeSpec(0, nic_bw=-1)
+
+    def test_invalid_penalty(self):
+        with pytest.raises(ValueError):
+            NodeSpec(0, disk_concurrency_penalty=-0.1)
+
+
+class TestClusterSpec:
+    def test_homogeneous_basic(self):
+        spec = ClusterSpec.homogeneous(4)
+        assert spec.num_nodes == 4
+        assert len(spec) == 4
+        assert [n.node_id for n in spec] == [0, 1, 2, 3]
+
+    def test_homogeneous_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ClusterSpec.homogeneous(0)
+
+    def test_racks(self):
+        spec = ClusterSpec.homogeneous(8, nodes_per_rack=3)
+        assert spec.num_racks == 3
+        assert spec.rack_of(0) == 0
+        assert spec.rack_of(3) == 1
+        assert spec.rack_of(7) == 2
+        assert spec.nodes_in_rack(0) == [0, 1, 2]
+
+    def test_single_rack_by_default(self):
+        assert ClusterSpec.homogeneous(5).num_racks == 1
+
+    def test_node_lookup(self):
+        spec = ClusterSpec.homogeneous(3)
+        assert spec.node(2).node_id == 2
+        with pytest.raises(KeyError):
+            spec.node(3)
+        with pytest.raises(KeyError):
+            spec.node(-1)
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=(NodeSpec(0), NodeSpec(0)))
+
+    def test_nonsequential_ids_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=(NodeSpec(0), NodeSpec(2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=())
+
+    def test_invalid_remote_stream_bw(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(nodes=(NodeSpec(0),), remote_stream_bw=0)
+
+    def test_custom_bandwidths_propagate(self):
+        spec = ClusterSpec.homogeneous(2, disk_bw=10.0, nic_bw=20.0)
+        assert all(n.disk_bw == 10.0 for n in spec)
+        assert all(n.nic_bw == 20.0 for n in spec)
+
+
+class TestCluster:
+    def test_all_active_initially(self):
+        c = Cluster(ClusterSpec.homogeneous(4))
+        assert c.active_nodes == [0, 1, 2, 3]
+        assert c.num_active == 4
+        assert c.is_active(2)
+
+    def test_decommission(self):
+        c = Cluster(ClusterSpec.homogeneous(4))
+        c.decommission(1)
+        assert not c.is_active(1)
+        assert c.active_nodes == [0, 2, 3]
+
+    def test_double_decommission_rejected(self):
+        c = Cluster(ClusterSpec.homogeneous(4))
+        c.decommission(1)
+        with pytest.raises(ValueError):
+            c.decommission(1)
+
+    def test_cannot_remove_last_node(self):
+        c = Cluster(ClusterSpec.homogeneous(1))
+        with pytest.raises(ValueError):
+            c.decommission(0)
+
+    def test_recommission(self):
+        c = Cluster(ClusterSpec.homogeneous(3))
+        c.decommission(2)
+        c.recommission(2)
+        assert c.is_active(2)
+
+    def test_unknown_node_rejected(self):
+        c = Cluster(ClusterSpec.homogeneous(2))
+        with pytest.raises(KeyError):
+            c.is_active(9)

@@ -1,0 +1,79 @@
+"""Unit tests for DataNode inventory and serve accounting."""
+
+import pytest
+
+from repro.dfs.chunk import ChunkId
+from repro.dfs.datanode import DataNode
+
+
+@pytest.fixture
+def node():
+    dn = DataNode(3)
+    dn.add_replica(ChunkId("f", 0), 100)
+    dn.add_replica(ChunkId("f", 1), 200)
+    return dn
+
+
+class TestInventory:
+    def test_holds(self, node):
+        assert node.holds(ChunkId("f", 0))
+        assert not node.holds(ChunkId("f", 9))
+
+    def test_stored_bytes(self, node):
+        assert node.stored_bytes == 300
+        assert node.num_replicas == 2
+
+    def test_duplicate_replica_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.add_replica(ChunkId("f", 0), 100)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError):
+            DataNode(0).add_replica(ChunkId("f", 0), 0)
+
+    def test_drop_replica(self, node):
+        node.drop_replica(ChunkId("f", 0))
+        assert not node.holds(ChunkId("f", 0))
+        assert node.stored_bytes == 200
+
+    def test_drop_missing_rejected(self, node):
+        with pytest.raises(KeyError):
+            node.drop_replica(ChunkId("g", 0))
+
+    def test_replica_size(self, node):
+        assert node.replica_size(ChunkId("f", 1)) == 200
+
+
+class TestServeAccounting:
+    def test_local_serve(self, node):
+        node.record_serve(ChunkId("f", 0), local=True)
+        assert node.bytes_served == 100
+        assert node.local_bytes_served == 100
+        assert node.remote_bytes_served == 0
+        assert node.requests_served == 1
+
+    def test_remote_serve(self, node):
+        node.record_serve(ChunkId("f", 1), local=False)
+        assert node.remote_bytes_served == 200
+        assert node.local_bytes_served == 0
+
+    def test_accumulates(self, node):
+        node.record_serve(ChunkId("f", 0), local=True)
+        node.record_serve(ChunkId("f", 1), local=False)
+        node.record_serve(ChunkId("f", 0), local=False)
+        assert node.bytes_served == 400
+        assert node.requests_served == 3
+
+    def test_cannot_serve_missing_chunk(self, node):
+        with pytest.raises(KeyError):
+            node.record_serve(ChunkId("nope", 0), local=True)
+
+    def test_reset(self, node):
+        node.record_serve(ChunkId("f", 0), local=True)
+        node.reset_counters()
+        assert node.bytes_served == 0
+        assert node.requests_served == 0
+        assert node.local_bytes_served == 0
+        assert node.remote_bytes_served == 0
+        # Inventory untouched by reset.
+        assert node.num_replicas == 2

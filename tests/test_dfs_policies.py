@@ -1,0 +1,61 @@
+"""Unit tests for replica-selection policies."""
+
+import numpy as np
+import pytest
+
+from repro.dfs.chunk import ChunkId
+from repro.dfs.policies import FirstListed, LeastLoaded, RandomRemote
+
+
+CID = ChunkId("f", 0)
+
+
+class TestRandomRemote:
+    def test_picks_from_replicas(self, rng):
+        policy = RandomRemote()
+        for _ in range(50):
+            assert policy.choose(CID, (3, 5, 7), 0, rng) in (3, 5, 7)
+
+    def test_roughly_uniform(self, rng):
+        policy = RandomRemote()
+        picks = [policy.choose(CID, (1, 2, 3), 0, rng) for _ in range(3000)]
+        counts = np.bincount(picks, minlength=4)[1:]
+        assert (counts > 800).all()
+
+    def test_empty_replicas_rejected(self, rng):
+        with pytest.raises(ValueError):
+            RandomRemote().choose(CID, (), 0, rng)
+
+
+class TestFirstListed:
+    def test_deterministic(self, rng):
+        policy = FirstListed()
+        assert all(policy.choose(CID, (4, 2, 9), 0, rng) == 4 for _ in range(10))
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            FirstListed().choose(CID, (), 0, rng)
+
+
+class TestLeastLoaded:
+    def test_round_robins_over_equal_load(self, rng):
+        policy = LeastLoaded()
+        picks = [policy.choose(CID, (1, 2, 3), 0, rng) for _ in range(6)]
+        assert picks == [1, 2, 3, 1, 2, 3]
+
+    def test_prefers_lightly_loaded(self, rng):
+        policy = LeastLoaded()
+        # Load node 1 heavily via a different replica set.
+        for _ in range(5):
+            policy.choose(CID, (1,), 0, rng)
+        assert policy.choose(CID, (1, 2), 0, rng) == 2
+
+    def test_reset_clears_state(self, rng):
+        policy = LeastLoaded()
+        policy.choose(CID, (1, 2), 0, rng)
+        policy.reset()
+        assert policy.choose(CID, (1, 2), 0, rng) == 1
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            LeastLoaded().choose(CID, (), 0, rng)

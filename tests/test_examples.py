@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation; these tests keep them from rotting.  Scripts
+with CLI flags run at reduced scale; fixed-scale scripts run as shipped
+(each finishes in a few seconds on the fluid simulator).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", []),
+    ("scaling_analysis.py", []),
+    ("paraview_rendering.py", ["--nodes", "8", "--datasets", "16"]),
+    ("genome_comparison.py", ["--nodes", "8", "--tasks", "16"]),
+    ("mpiblast_dynamic.py", ["--nodes", "8", "--fragments", "16"]),
+    ("failure_and_repair.py", []),
+    ("data_lifecycle.py", []),
+    ("shared_cluster.py", []),
+    ("custom_scheduler.py", []),
+]
+
+EXPECT = {
+    "quickstart.py": "average I/O-time improvement",
+    "scaling_analysis.py": "Figure 3",
+    "paraview_rendering.py": "total (s)",
+    "genome_comparison.py": "Algorithm 1",
+    "mpiblast_dynamic.py": "average I/O improvement",
+    "failure_and_repair.py": "incremental plan repair",
+    "data_lifecycle.py": "reading the ingested dataset",
+    "shared_cluster.py": "opass advantage",
+    "custom_scheduler.py": "Opass guided lists",
+}
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECT[script] in result.stdout, result.stdout[-500:]
+
+
+def test_all_examples_listed():
+    """Every shipped example has a smoke test (and vice versa)."""
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    covered = {c[0] for c in CASES}
+    assert shipped == covered

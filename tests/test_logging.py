@@ -1,0 +1,111 @@
+"""Tests that the library emits useful structured log records."""
+
+import logging
+
+import pytest
+
+from repro.core import (
+    ProcessPlacement,
+    graph_from_filesystem,
+    optimize_multi_data,
+    optimize_single_data,
+    rematch_incremental,
+    tasks_from_dataset,
+    tasks_from_datasets,
+)
+from repro.dfs import (
+    ClusterSpec,
+    DistributedFileSystem,
+    Rebalancer,
+    SkewedPlacement,
+    reconstruct_for_tasks,
+    uniform_dataset,
+)
+from repro.workloads import multi_input_datasets
+
+
+@pytest.fixture
+def env():
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(8), seed=61)
+    fs.put_dataset(uniform_dataset("d", 24))
+    placement = ProcessPlacement.one_per_node(8)
+    tasks = tasks_from_dataset(fs.dataset("d"))
+    graph = graph_from_filesystem(fs, tasks, placement)
+    return fs, placement, tasks, graph
+
+
+class TestMatchingLogs:
+    def test_single_data_logs_summary(self, env, caplog):
+        _, _, _, graph = env
+        with caplog.at_level(logging.INFO, logger="repro.core.single_data"):
+            optimize_single_data(graph, seed=0)
+        assert any("single-data matching" in r.message for r in caplog.records)
+        assert any("max_flow=" in r.message for r in caplog.records)
+
+    def test_multi_data_logs_summary(self, caplog):
+        fs = DistributedFileSystem(ClusterSpec.homogeneous(8), seed=61)
+        datasets = multi_input_datasets(16)
+        for ds in datasets:
+            fs.put_dataset(ds)
+        placement = ProcessPlacement.one_per_node(8)
+        graph = graph_from_filesystem(fs, tasks_from_datasets(datasets), placement)
+        with caplog.at_level(logging.INFO, logger="repro.core.multi_data"):
+            optimize_multi_data(graph)
+        assert any("multi-data matching" in r.message for r in caplog.records)
+        assert any("reassignments" in r.message for r in caplog.records)
+
+    def test_incremental_logs_churn(self, env, caplog):
+        fs, placement, tasks, graph = env
+        base = optimize_single_data(graph, seed=0)
+        fs.namenode.drop_node_replicas(0)
+        new_graph = graph_from_filesystem(fs, tasks, placement)
+        with caplog.at_level(logging.INFO, logger="repro.core.incremental"):
+            rematch_incremental(new_graph, base.assignment, seed=0)
+        assert any("incremental rematch" in r.message for r in caplog.records)
+
+
+class TestMaintenanceLogs:
+    def test_rebalancer_logs_moves(self, caplog):
+        fs = DistributedFileSystem(
+            ClusterSpec.homogeneous(8),
+            placement=SkewedPlacement(excluded_fraction=0.5),
+            seed=61,
+        )
+        fs.put_dataset(uniform_dataset("d", 40))
+        with caplog.at_level(logging.INFO, logger="repro.dfs.rebalancer"):
+            Rebalancer(fs, threshold=0.2).run()
+        assert any("rebalance:" in r.message for r in caplog.records)
+
+    def test_reconstruction_logs_copies(self, caplog):
+        fs = DistributedFileSystem(ClusterSpec.homogeneous(8), seed=61)
+        datasets = multi_input_datasets(16)
+        for ds in datasets:
+            fs.put_dataset(ds)
+        tasks = tasks_from_datasets(datasets)
+        with caplog.at_level(logging.INFO, logger="repro.dfs.reconstruction"):
+            reconstruct_for_tasks(fs, tasks)
+        assert any("reconstruction:" in r.message for r in caplog.records)
+
+
+class TestRunnerLogs:
+    def test_retry_logged_on_failure(self, caplog):
+        from repro.core import rank_interval_assignment
+        from repro.simulate import FaultPlan, ParallelReadRun, StaticSource
+
+        found = False
+        for victim in range(8):
+            fs = DistributedFileSystem(ClusterSpec.homogeneous(8), seed=61)
+            fs.put_dataset(uniform_dataset("f", 24))
+            placement = ProcessPlacement.one_per_node(8)
+            tasks = tasks_from_dataset(fs.dataset("f"))
+            run = ParallelReadRun(
+                fs, placement, tasks,
+                StaticSource(rank_interval_assignment(24, 8)), seed=61,
+            )
+            FaultPlan().fail(0.1, victim).attach(run)
+            with caplog.at_level(logging.INFO, logger="repro.simulate.runner"):
+                result = run.run()
+            if result.read_retries:
+                found = any("retrying read" in r.message for r in caplog.records)
+                break
+        assert found

@@ -1,0 +1,86 @@
+"""Tests for result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core import ProcessPlacement, rank_interval_assignment, tasks_from_dataset
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+from repro.dfs.chunk import MB
+from repro.metrics.export import (
+    READ_RECORD_FIELDS,
+    records_to_rows,
+    run_summary,
+    write_records_csv,
+    write_run_json,
+    write_series_csv,
+)
+from repro.simulate import ParallelReadRun, StaticSource
+
+
+@pytest.fixture
+def result():
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(4), seed=6)
+    fs.put_dataset(uniform_dataset("d", 8, chunk_size=4 * MB))
+    placement = ProcessPlacement.one_per_node(4)
+    tasks = tasks_from_dataset(fs.dataset("d"))
+    return ParallelReadRun(
+        fs, placement, tasks, StaticSource(rank_interval_assignment(8, 4)), seed=6
+    ).run()
+
+
+class TestRecords:
+    def test_rows_sorted_by_completion(self, result):
+        rows = records_to_rows(result)
+        assert len(rows) == 8
+        ends = [r["end_time"] for r in rows]
+        assert ends == sorted(ends)
+        assert set(rows[0]) == set(READ_RECORD_FIELDS)
+
+    def test_csv_round_trip(self, result, tmp_path):
+        path = write_records_csv(result, tmp_path / "reads.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 8
+        assert rows[0].keys() == set(READ_RECORD_FIELDS)
+        assert float(rows[0]["duration"]) > 0
+
+
+class TestSummary:
+    def test_fields(self, result):
+        s = run_summary(result)
+        assert s["tasks_completed"] == 8
+        assert s["local_bytes"] + s["remote_bytes"] == 8 * 4 * MB
+        assert "served_mb_per_node" not in s
+
+    def test_with_nodes(self, result):
+        s = run_summary(result, num_nodes=4)
+        assert len(s["served_mb_per_node"]) == 4
+        assert sum(s["served_mb_per_node"]) == pytest.approx(32.0)
+
+    def test_json_round_trip(self, result, tmp_path):
+        path = write_run_json(result, tmp_path / "run.json", num_nodes=4)
+        data = json.loads(path.read_text())
+        assert data["reads"] == 8
+        assert data["io_time"]["min"] <= data["io_time"]["avg"]
+
+
+class TestSeries:
+    def test_write_and_read(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "fig.csv", {"base": [1.0, 2.0], "opass": [0.5, 0.5]}
+        )
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["index", "base", "opass"]
+        assert rows[1] == ["0", "1.0", "0.5"]
+        assert len(rows) == 3
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="lengths differ"):
+            write_series_csv(tmp_path / "x.csv", {"a": [1], "b": [1, 2]})
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series_csv(tmp_path / "x.csv", {})

@@ -1,0 +1,60 @@
+"""Tests for the serve monitor."""
+
+import pytest
+
+from repro.dfs.chunk import MB, ChunkId
+from repro.metrics.recorder import ServeMonitor
+
+
+class TestServeMonitor:
+    def test_requires_start(self, fs8):
+        mon = ServeMonitor(fs8)
+        with pytest.raises(RuntimeError):
+            mon.bytes_served()
+
+    def test_counts_deltas_only(self, fs8):
+        cid = ChunkId("data/part-00000", 0)
+        node = fs8.layout_snapshot()[cid][0]
+        fs8.resolve_read(cid, node)  # before start: excluded
+
+        mon = ServeMonitor(fs8)
+        mon.start()
+        fs8.resolve_read(cid, node)
+        served = mon.bytes_served()
+        assert served[node] == 16 * MB
+        assert sum(served.values()) == 16 * MB
+
+    def test_requests_served(self, fs8):
+        cid = ChunkId("data/part-00000", 0)
+        node = fs8.layout_snapshot()[cid][0]
+        mon = ServeMonitor(fs8)
+        mon.start()
+        fs8.resolve_read(cid, node)
+        fs8.resolve_read(cid, node)
+        assert mon.requests_served()[node] == 2
+        assert mon.chunks_served_array()[node] == 2
+
+    def test_served_mb_array_indexing(self, fs8):
+        cid = ChunkId("data/part-00001", 0)
+        node = fs8.layout_snapshot()[cid][0]
+        mon = ServeMonitor(fs8)
+        mon.start()
+        fs8.resolve_read(cid, node)
+        arr = mon.served_mb_array()
+        assert arr.shape == (8,)
+        assert arr[node] == pytest.approx(16.0)
+
+    def test_summary(self, fs8):
+        mon = ServeMonitor(fs8)
+        mon.start()
+        s = mon.served_summary_mb()
+        assert s.avg == 0.0 and s.n == 8
+
+    def test_restart_rebaselines(self, fs8):
+        cid = ChunkId("data/part-00000", 0)
+        node = fs8.layout_snapshot()[cid][0]
+        mon = ServeMonitor(fs8)
+        mon.start()
+        fs8.resolve_read(cid, node)
+        mon.start()
+        assert sum(mon.bytes_served().values()) == 0

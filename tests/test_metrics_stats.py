@@ -1,0 +1,111 @@
+"""Tests for summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    Summary,
+    coefficient_of_variation,
+    imbalance_factor,
+    jains_fairness,
+    percentile_summary,
+    summarize,
+    windowed_means,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4])
+        assert s.avg == 2.5
+        assert s.max == 4
+        assert s.min == 1
+        assert s.n == 4
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.avg == 0 and s.n == 0
+
+    def test_as_dict(self):
+        d = summarize([2, 2]).as_dict()
+        assert d == {"avg": 2.0, "max": 2.0, "min": 2.0, "std": 0.0}
+
+    def test_accepts_generator(self):
+        assert summarize(x for x in (1.0, 3.0)).avg == 2.0
+
+
+class TestImbalance:
+    def test_ratio(self):
+        assert imbalance_factor([1, 2, 9]) == 9.0
+
+    def test_zero_min_inf(self):
+        assert imbalance_factor([0, 5]) == float("inf")
+
+    def test_all_zero_is_one(self):
+        assert imbalance_factor([0, 0]) == 1.0
+
+    def test_summary_property(self):
+        assert Summary(avg=2, max=8, min=2, std=0, n=3).imbalance == 4.0
+
+
+class TestFairness:
+    def test_perfectly_fair(self):
+        assert jains_fairness([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        assert jains_fairness([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty(self):
+        assert jains_fairness([]) == 1.0
+
+    def test_all_zero(self):
+        assert jains_fairness([0, 0]) == 1.0
+
+    def test_between_bounds(self, rng):
+        vals = rng.random(50)
+        f = jains_fairness(vals)
+        assert 1 / 50 <= f <= 1.0
+
+
+class TestCv:
+    def test_zero_spread(self):
+        assert coefficient_of_variation([3, 3, 3]) == 0.0
+
+    def test_zero_mean(self):
+        assert coefficient_of_variation([0, 0]) == 0.0
+
+    def test_known_value(self):
+        assert coefficient_of_variation([1, 3]) == pytest.approx(0.5)
+
+
+class TestPercentiles:
+    def test_keys(self):
+        p = percentile_summary(range(100))
+        assert set(p) == {"p50", "p90", "p99"}
+        assert p["p50"] == pytest.approx(49.5)
+
+    def test_empty(self):
+        assert percentile_summary([]) == {"p50": 0.0, "p90": 0.0, "p99": 0.0}
+
+    def test_custom(self):
+        p = percentile_summary([1, 2, 3], percentiles=(100,))
+        assert p == {"p100": 3.0}
+
+
+class TestWindowedMeans:
+    def test_trend_detection(self):
+        trace = list(range(100))
+        w = windowed_means(trace, 4)
+        assert w.shape == (4,)
+        assert (np.diff(w) > 0).all()
+
+    def test_empty(self):
+        assert windowed_means([], 3).tolist() == [0, 0, 0]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            windowed_means([1], 0)
+
+    def test_fewer_values_than_windows(self):
+        w = windowed_means([5.0], 3)
+        assert w[0] == 5.0

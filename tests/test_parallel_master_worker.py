@@ -1,0 +1,99 @@
+"""Tests for the master/worker driver and the irregular compute model."""
+
+import numpy as np
+import pytest
+
+from repro.core import DefaultDynamicPolicy, ProcessPlacement, tasks_from_dataset
+from repro.core.opass import opass_dynamic_plan
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+from repro.parallel.master_worker import irregular_compute_model, run_master_worker
+
+
+@pytest.fixture
+def env():
+    spec = ClusterSpec.homogeneous(8)
+    fs = DistributedFileSystem(spec, seed=23)
+    ds = uniform_dataset("d", 40)
+    fs.put_dataset(ds)
+    return fs, ProcessPlacement.one_per_node(8), tasks_from_dataset(ds)
+
+
+class TestIrregularComputeModel:
+    def test_mean_approximately_right(self):
+        model = irregular_compute_model(2.0, cv=0.5, seed=1)
+        rng = np.random.default_rng(0)
+        samples = [model(0, i, rng) for i in range(4000)]
+        assert np.mean(samples) == pytest.approx(2.0, rel=0.05)
+
+    def test_cv_controls_spread(self):
+        rng = np.random.default_rng(0)
+        tight_model = irregular_compute_model(1.0, cv=0.1, seed=2)
+        wide_model = irregular_compute_model(1.0, cv=1.5, seed=2)
+        tight = [tight_model(0, i, rng) for i in range(2000)]
+        wide = [wide_model(0, i, rng) for i in range(2000)]
+        assert np.std(wide) > np.std(tight)
+
+    def test_zero_mean_is_zero(self):
+        model = irregular_compute_model(0.0, seed=0)
+        rng = np.random.default_rng(0)
+        assert model(0, 0, rng) == 0.0
+
+    def test_always_nonnegative(self):
+        model = irregular_compute_model(0.5, cv=2.0, seed=3)
+        rng = np.random.default_rng(0)
+        assert all(model(0, i, rng) >= 0 for i in range(200))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            irregular_compute_model(-1.0)
+        with pytest.raises(ValueError):
+            irregular_compute_model(1.0, cv=-0.5)
+
+    def test_seeded_reproducible(self):
+        rng = np.random.default_rng(0)
+        a = [irregular_compute_model(1.0, seed=7)(0, i, rng) for i in range(10)]
+        rng = np.random.default_rng(0)
+        b = [irregular_compute_model(1.0, seed=7)(0, i, rng) for i in range(10)]
+        assert a == b
+
+
+class TestMasterWorker:
+    def test_default_policy_completes_all(self, env):
+        fs, placement, tasks = env
+        out = run_master_worker(
+            fs, placement, tasks, DefaultDynamicPolicy(40, seed=1), seed=0
+        )
+        assert out.result.tasks_completed == 40
+        assert out.dispatched == 40
+        assert out.steals == 0
+
+    def test_opass_plan_mostly_local(self, env):
+        fs, placement, tasks = env
+        plan, _, _ = opass_dynamic_plan(fs, "d", placement)
+        out = run_master_worker(fs, placement, tasks, plan, seed=0)
+        assert out.result.tasks_completed == 40
+        assert out.result.locality_fraction > 0.8
+        assert out.dispatched == 40
+
+    def test_irregular_compute_causes_steals(self, env):
+        """Heterogeneous task times make fast workers drain their lists and
+        steal from slow ones."""
+        fs, placement, tasks = env
+        plan, _, _ = opass_dynamic_plan(fs, "d", placement)
+        compute = irregular_compute_model(1.0, cv=1.5, seed=5)
+        out = run_master_worker(fs, placement, tasks, plan,
+                                compute_time=compute, seed=0)
+        assert out.result.tasks_completed == 40
+        assert out.steals > 0
+
+    def test_opass_faster_than_default(self, env):
+        fs, placement, tasks = env
+        out_default = run_master_worker(
+            fs, placement, tasks, DefaultDynamicPolicy(40, seed=1), seed=0
+        )
+        fs.reset_counters()
+        plan, _, _ = opass_dynamic_plan(fs, "d", placement)
+        out_opass = run_master_worker(fs, placement, tasks, plan, seed=0)
+        assert (
+            out_opass.result.io_stats()["avg"] < out_default.result.io_stats()["avg"]
+        )

@@ -1,0 +1,54 @@
+"""Tests for the SPMD driver."""
+
+import pytest
+
+from repro.core import ProcessPlacement, tasks_from_dataset
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+from repro.parallel.spmd import run_opass_single, run_rank_interval, run_static
+from repro.core.baselines import random_assignment
+
+
+@pytest.fixture
+def env():
+    spec = ClusterSpec.homogeneous(8)
+    fs = DistributedFileSystem(spec, seed=19)
+    ds = uniform_dataset("d", 40)
+    fs.put_dataset(ds)
+    return fs, ProcessPlacement.one_per_node(8), tasks_from_dataset(ds)
+
+
+class TestRunners:
+    def test_rank_interval_completes(self, env):
+        fs, placement, tasks = env
+        out = run_rank_interval(fs, placement, tasks, seed=1)
+        assert out.result.tasks_completed == 40
+        assert 0 <= out.planned_locality <= 1
+
+    def test_opass_better_than_baseline(self, env):
+        fs, placement, tasks = env
+        base = run_rank_interval(fs, placement, tasks, seed=1)
+        fs.reset_counters()
+        opass = run_opass_single(fs, placement, tasks, seed=1)
+        assert opass.planned_locality > base.planned_locality
+        assert opass.achieved_locality > base.achieved_locality
+        assert opass.result.io_stats()["avg"] < base.result.io_stats()["avg"]
+
+    def test_achieved_matches_planned_for_static(self, env):
+        """A static run reads exactly what the plan says: locality achieved
+        equals locality planned (single-chunk tasks)."""
+        fs, placement, tasks = env
+        out = run_opass_single(fs, placement, tasks, seed=1)
+        assert out.achieved_locality == pytest.approx(out.planned_locality)
+
+    def test_run_static_custom_assignment(self, env):
+        fs, placement, tasks = env
+        a = random_assignment(40, 8, seed=3)
+        out = run_static(fs, placement, tasks, a, seed=1)
+        assert out.assignment is a
+        assert out.result.tasks_completed == 40
+
+    def test_barrier_passthrough(self, env):
+        fs, placement, tasks = env
+        out = run_rank_interval(fs, placement, tasks, barrier=True,
+                                barrier_compute_time=0.5, seed=1)
+        assert out.result.tasks_completed == 40

@@ -1,0 +1,193 @@
+"""Property-based tests for the extension subsystems.
+
+* min-cost flow: cost optimality vs brute-force path enumeration on tiny
+  assignment instances, and flow value == plain max-flow;
+* remote balancing: max-load optimality vs exhaustive assignment search on
+  small instances; feasibility always;
+* rebalancer: replica-count and inventory invariants on random skews;
+* proportional quotas: exact totals and within-one-of-share for random
+  weights.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flownetwork import FlowNetwork
+from repro.core.heterogeneous import proportional_quotas
+from repro.core.mincostflow import MinCostFlowNetwork
+from repro.core.remote_balance import plan_remote_reads
+from repro.dfs import (
+    ClusterSpec,
+    DistributedFileSystem,
+    Rebalancer,
+    SkewedPlacement,
+    uniform_dataset,
+)
+from repro.dfs.chunk import MB, ChunkId
+
+
+# -- min-cost flow -----------------------------------------------------------
+
+
+@st.composite
+def small_assignment_instances(draw):
+    """Tiny bipartite assignment problems solvable by brute force."""
+    left = draw(st.integers(min_value=1, max_value=4))
+    right = draw(st.integers(min_value=left, max_value=5))
+    costs = [
+        [draw(st.integers(min_value=0, max_value=9)) for _ in range(right)]
+        for _ in range(left)
+    ]
+    return left, right, costs
+
+
+def _brute_force_assignment(left: int, right: int, costs) -> int:
+    """Min total cost of assigning each left vertex a distinct right one."""
+    best = None
+    for perm in product(range(right), repeat=left):
+        if len(set(perm)) != left:
+            continue
+        cost = sum(costs[i][perm[i]] for i in range(left))
+        best = cost if best is None else min(best, cost)
+    assert best is not None
+    return best
+
+
+@given(small_assignment_instances())
+@settings(max_examples=50, deadline=None)
+def test_mincost_matches_bruteforce_assignment(instance):
+    left, right, costs = instance
+    # 0 = s, 1..left, left+1..left+right, t = left+right+1
+    net = MinCostFlowNetwork(left + right + 2)
+    s, t = 0, left + right + 1
+    for i in range(left):
+        net.add_edge(s, 1 + i, 1, 0)
+    for j in range(right):
+        net.add_edge(1 + left + j, t, 1, 0)
+    for i in range(left):
+        for j in range(right):
+            net.add_edge(1 + i, 1 + left + j, 1, costs[i][j])
+    flow, cost = net.min_cost_flow(s, t)
+    assert flow == left
+    assert cost == _brute_force_assignment(left, right, costs)
+
+
+@given(st.integers(min_value=0, max_value=1000))
+@settings(max_examples=25, deadline=None)
+def test_mincost_flow_value_equals_maxflow(seed):
+    """Min-cost max-flow routes the same amount as plain max-flow."""
+    rng = np.random.default_rng(seed)
+    n = 8
+    mc = MinCostFlowNetwork(n)
+    mf = FlowNetwork(n)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < 0.3:
+                cap = int(rng.integers(1, 10))
+                cost = int(rng.integers(0, 5))
+                mc.add_edge(u, v, cap, cost)
+                mf.add_edge(u, v, cap)
+    flow, _ = mc.min_cost_flow(0, n - 1)
+    assert flow == mf.dinic(0, n - 1)
+
+
+# -- remote balancing -----------------------------------------------------------
+
+
+@st.composite
+def balance_instances(draw):
+    n_chunks = draw(st.integers(min_value=1, max_value=6))
+    n_nodes = draw(st.integers(min_value=2, max_value=5))
+    seed = draw(st.integers(min_value=0, max_value=9999))
+    rng = np.random.default_rng(seed)
+    chunks = [ChunkId(f"c{i}", 0) for i in range(n_chunks)]
+    r = min(2, n_nodes)
+    locations = {
+        c: tuple(int(x) for x in rng.choice(n_nodes, size=r, replace=False))
+        for c in chunks
+    }
+    return chunks, locations
+
+
+def _brute_force_min_max_load(chunks, locations) -> int:
+    best = None
+    options = [locations[c] for c in chunks]
+    for combo in product(*options):
+        load: dict[int, int] = {}
+        for node in combo:
+            load[node] = load.get(node, 0) + 1
+        worst = max(load.values())
+        best = worst if best is None else min(best, worst)
+    assert best is not None
+    return best
+
+
+@given(balance_instances())
+@settings(max_examples=60, deadline=None)
+def test_remote_balance_minimises_max_load(instance):
+    chunks, locations = instance
+    plan = plan_remote_reads(chunks, locations)
+    assert set(plan.server_of) == set(chunks)
+    for c, server in plan.server_of.items():
+        assert server in locations[c]
+    assert plan.max_load == _brute_force_min_max_load(chunks, locations)
+
+
+# -- rebalancer ---------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=4, max_value=10),
+    st.integers(min_value=8, max_value=40),
+    st.sampled_from([0.25, 0.5]),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=20, deadline=None)
+def test_rebalancer_preserves_replica_sets(m, n, excluded, seed):
+    fs = DistributedFileSystem(
+        ClusterSpec.homogeneous(m),
+        placement=SkewedPlacement(excluded_fraction=excluded),
+        seed=seed,
+    )
+    fs.put_dataset(uniform_dataset("d", n, chunk_size=MB))
+    before = fs.layout_snapshot()
+    reb = Rebalancer(fs, threshold=0.2)
+    spread_before = reb.utilisation_spread()
+    reb.run()
+    after = fs.layout_snapshot()
+    assert set(after) == set(before)
+    for cid in after:
+        assert len(after[cid]) == len(before[cid])
+        assert len(set(after[cid])) == len(after[cid])
+        for node in after[cid]:
+            assert fs.datanodes[node].holds(cid)
+    # Total stored bytes conserved.
+    total_before = sum(len(v) for v in before.values())
+    total_after = sum(len(v) for v in after.values())
+    assert total_before == total_after
+    assert reb.utilisation_spread() <= spread_before + 1e-9
+
+
+# -- proportional quotas ------------------------------------------------------------
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=12),
+    st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=80, deadline=None)
+def test_proportional_quotas_exact_and_fair(weights, total):
+    if sum(weights) == 0:
+        weights = [w + 1.0 for w in weights]
+    quotas = proportional_quotas(weights, total)
+    assert sum(quotas) == total
+    assert all(q >= 0 for q in quotas)
+    wsum = sum(weights)
+    for q, w in zip(quotas, weights):
+        share = w / wsum * total
+        assert share - 1 < q < share + 1

@@ -1,0 +1,106 @@
+"""Property-based tests for placement and end-to-end run conservation."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ProcessPlacement,
+    random_assignment,
+    rank_interval_assignment,
+    tasks_from_dataset,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+from repro.dfs.chunk import MB
+from repro.simulate import ParallelReadRun, StaticSource
+
+
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_placement_always_r_distinct_live_nodes(m, r, n, seed):
+    r = min(r, m)
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(m), replication=r, seed=seed)
+    fs.put_dataset(uniform_dataset("d", n, chunk_size=MB))
+    for cid, nodes in fs.layout_snapshot().items():
+        assert len(nodes) == r
+        assert len(set(nodes)) == r
+        assert all(0 <= x < m for x in nodes)
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=18),
+    st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=25, deadline=None)
+def test_run_conserves_bytes_and_records(m, n, seed):
+    """Any static run reads exactly the dataset: per-record, per-node and
+    local/remote accounting all agree."""
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(m), seed=seed)
+    fs.put_dataset(uniform_dataset("d", n, chunk_size=4 * MB))
+    placement = ProcessPlacement.one_per_node(m)
+    tasks = tasks_from_dataset(fs.dataset("d"))
+    assignment = random_assignment(n, m, seed=seed)
+    result = ParallelReadRun(
+        fs, placement, tasks, StaticSource(assignment), seed=seed
+    ).run()
+    assert result.tasks_completed == n
+    assert len(result.records) == n
+    total = n * 4 * MB
+    assert result.local_bytes + result.remote_bytes == total
+    assert sum(result.bytes_served.values()) == total
+    # Each record's locality flag is consistent.
+    for rec in result.records:
+        assert rec.local == (rec.server_node == rec.reader_node)
+    # Chunk set read == chunk set stored.
+    assert {rec.chunk for rec in result.records} == set(fs.layout_snapshot())
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=2, max_value=16),
+    st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=20, deadline=None)
+def test_fully_local_assignment_has_flat_read_times(m, n, seed):
+    """If every task is assigned to a co-located process, every read takes
+    latency + size/disk_bw exactly — the Opass steady state."""
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(m), seed=seed)
+    fs.put_dataset(uniform_dataset("d", n, chunk_size=4 * MB))
+    placement = ProcessPlacement.one_per_node(m)
+    tasks = tasks_from_dataset(fs.dataset("d"))
+    layout = fs.layout_snapshot()
+    from repro.core.assignment import Assignment
+
+    a = Assignment.empty(m)
+    for t in tasks:
+        a.assign(layout[t.inputs[0]][0], t.task_id)
+    result = ParallelReadRun(fs, placement, tasks, StaticSource(a), seed=seed).run()
+    assert result.locality_fraction == 1.0
+    expected = fs.spec.seek_latency + 4 * MB / fs.spec.node(0).disk_bw
+    d = result.durations()
+    assert np.allclose(d, expected, rtol=1e-6)
+
+
+@given(st.integers(min_value=0, max_value=100))
+@settings(max_examples=15, deadline=None)
+def test_same_seed_same_run(seed):
+    def run():
+        fs = DistributedFileSystem(ClusterSpec.homogeneous(4), seed=seed)
+        fs.put_dataset(uniform_dataset("d", 8, chunk_size=4 * MB))
+        placement = ProcessPlacement.one_per_node(4)
+        tasks = tasks_from_dataset(fs.dataset("d"))
+        a = rank_interval_assignment(8, 4)
+        return ParallelReadRun(fs, placement, tasks, StaticSource(a), seed=seed).run()
+
+    r1, r2 = run(), run()
+    assert r1.makespan == r2.makespan
+    assert [rec.duration for rec in r1.records] == [rec.duration for rec in r2.records]
+    assert r1.bytes_served == r2.bytes_served

@@ -1,0 +1,160 @@
+"""Tests for background traffic and shared-simulation (multi-tenant) runs."""
+
+import pytest
+
+from repro.core import (
+    ProcessPlacement,
+    graph_from_filesystem,
+    optimize_single_data,
+    rank_interval_assignment,
+    tasks_from_dataset,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+from repro.dfs.chunk import MB
+from repro.simulate import (
+    BackgroundTraffic,
+    ParallelReadRun,
+    Simulation,
+    StaticSource,
+    cluster_resources,
+)
+
+
+def _env(nodes=8, chunks=24, seed=5):
+    spec = ClusterSpec.homogeneous(nodes)
+    fs = DistributedFileSystem(spec, seed=seed)
+    fs.put_dataset(uniform_dataset("d", chunks, chunk_size=16 * MB))
+    placement = ProcessPlacement.one_per_node(nodes)
+    tasks = tasks_from_dataset(fs.dataset("d"))
+    return spec, fs, placement, tasks
+
+
+class TestBackgroundTraffic:
+    def test_validation(self):
+        spec, *_ = _env()
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            BackgroundTraffic(sim, spec, arrival_rate=0, transfer_size=1, duration=1)
+        with pytest.raises(ValueError):
+            BackgroundTraffic(sim, spec, arrival_rate=1, transfer_size=0, duration=1)
+        with pytest.raises(ValueError):
+            BackgroundTraffic(sim, spec, arrival_rate=1, transfer_size=1, duration=0)
+        one = ClusterSpec.homogeneous(1)
+        with pytest.raises(ValueError):
+            BackgroundTraffic(sim, one, arrival_rate=1, transfer_size=1, duration=1)
+
+    def test_generates_and_completes_transfers(self):
+        spec, *_ = _env()
+        sim = Simulation()
+        sim.add_resources(cluster_resources(spec))
+        bg = BackgroundTraffic(
+            sim, spec, arrival_rate=5.0, transfer_size=8 * MB, duration=10.0, seed=1
+        )
+        bg.prepare()
+        sim.run()
+        assert bg.started > 10  # ~50 expected
+        assert bg.completed == bg.started
+        assert bg.bytes_moved == bg.started * 8 * MB
+
+    def test_no_arrivals_after_duration(self):
+        spec, *_ = _env()
+        sim = Simulation()
+        sim.add_resources(cluster_resources(spec))
+        bg = BackgroundTraffic(
+            sim, spec, arrival_rate=5.0, transfer_size=MB, duration=2.0, seed=1
+        )
+        bg.prepare()
+        sim.run()
+        # Light transfers: everything wraps shortly after the window.
+        assert sim.now < 5.0
+
+    def test_deterministic(self):
+        spec, *_ = _env()
+
+        def go():
+            sim = Simulation()
+            sim.add_resources(cluster_resources(spec))
+            bg = BackgroundTraffic(
+                sim, spec, arrival_rate=3.0, transfer_size=MB, duration=5.0, seed=9
+            )
+            bg.prepare()
+            sim.run()
+            return bg.started, sim.now
+
+        assert go() == go()
+
+
+class TestSharedSimulation:
+    def test_prepare_collect_matches_run(self):
+        spec, fs, placement, tasks = _env()
+        a = rank_interval_assignment(len(tasks), 8)
+
+        solo = ParallelReadRun(fs, placement, tasks, StaticSource(a), seed=1).run()
+
+        spec, fs, placement, tasks = _env()  # fresh, identical layout
+        sim = Simulation()
+        sim.add_resources(cluster_resources(spec))
+        run = ParallelReadRun(fs, placement, tasks, StaticSource(a), seed=1, sim=sim)
+        run.prepare()
+        sim.run()
+        shared = run.collect()
+        assert shared.makespan == pytest.approx(solo.makespan)
+        assert shared.tasks_completed == solo.tasks_completed
+
+    def test_collect_before_done_raises(self):
+        spec, fs, placement, tasks = _env()
+        sim = Simulation()
+        sim.add_resources(cluster_resources(spec))
+        run = ParallelReadRun(
+            fs, placement, tasks,
+            StaticSource(rank_interval_assignment(len(tasks), 8)),
+            seed=1, sim=sim,
+        )
+        run.prepare()
+        with pytest.raises(RuntimeError, match="before all processes"):
+            run.collect()
+
+    def test_background_slows_application(self):
+        def run_with(noise: bool) -> float:
+            spec, fs, placement, tasks = _env(seed=5)
+            graph = graph_from_filesystem(fs, tasks, placement)
+            matched = optimize_single_data(graph, seed=1)
+            sim = Simulation()
+            sim.add_resources(cluster_resources(spec))
+            run = ParallelReadRun(
+                fs, placement, tasks, StaticSource(matched.assignment),
+                seed=1, sim=sim,
+            )
+            run.prepare()
+            if noise:
+                bg = BackgroundTraffic(
+                    sim, spec, arrival_rate=4.0, transfer_size=16 * MB,
+                    duration=30.0, seed=2,
+                )
+                bg.prepare()
+            sim.run()
+            return run.collect().io_stats()["avg"]
+
+        assert run_with(True) > run_with(False)
+
+    def test_two_applications_share_cluster(self):
+        spec, fs, placement, tasks = _env(chunks=24, seed=5)
+        fs.put_dataset(uniform_dataset("d2", 24, chunk_size=16 * MB))
+        tasks2 = tasks_from_dataset(fs.dataset("d2"))
+        sim = Simulation()
+        sim.add_resources(cluster_resources(spec))
+        a1 = rank_interval_assignment(24, 8)
+        run1 = ParallelReadRun(fs, placement, tasks, StaticSource(a1), seed=1, sim=sim)
+        run2 = ParallelReadRun(fs, placement, tasks2, StaticSource(a1), seed=2, sim=sim)
+        run1.prepare()
+        run2.prepare()
+        sim.run()
+        r1, r2 = run1.collect(), run2.collect()
+        assert r1.tasks_completed == 24
+        assert r2.tasks_completed == 24
+        # Concurrent apps contend: slower than a lone run of the same app.
+        spec, fs_solo, placement, tasks_solo = _env(chunks=24, seed=5)
+        solo = ParallelReadRun(
+            fs_solo, placement, tasks_solo, StaticSource(a1), seed=1
+        ).run()
+        assert r1.makespan > solo.makespan

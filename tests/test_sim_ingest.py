@@ -1,0 +1,126 @@
+"""Tests for the HDFS write pipeline (timed ingest)."""
+
+import pytest
+
+from repro.core import (
+    ProcessPlacement,
+    rank_interval_assignment,
+    tasks_from_dataset,
+)
+from repro.dfs import (
+    ClusterSpec,
+    DistributedFileSystem,
+    HdfsWriterLocalPlacement,
+    uniform_dataset,
+)
+from repro.dfs.chunk import MB
+from repro.simulate import DatasetIngest, ParallelReadRun, StaticSource, pipeline_path
+from repro.simulate.resources import disk, nic_rx, nic_tx
+
+
+class TestPipelinePath:
+    def test_all_remote_pipeline(self):
+        path = pipeline_path(9, (1, 2, 3))
+        assert path == [
+            nic_tx(9), nic_rx(1), disk(1),
+            nic_tx(1), nic_rx(2), disk(2),
+            nic_tx(2), nic_rx(3), disk(3),
+        ]
+
+    def test_writer_local_first_replica_skips_network(self):
+        path = pipeline_path(1, (1, 2))
+        assert path == [disk(1), nic_tx(1), nic_rx(2), disk(2)]
+
+    def test_single_local_replica_is_disk_only(self):
+        path = pipeline_path(4, (4,))
+        assert path == [disk(4)]
+
+    def test_empty_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline_path(0, ())
+
+
+@pytest.fixture
+def env():
+    spec = ClusterSpec.homogeneous(8)
+    fs = DistributedFileSystem(
+        spec, placement=HdfsWriterLocalPlacement(), seed=7
+    )
+    ds = uniform_dataset("w", 24, chunk_size=16 * MB)
+    writers = ProcessPlacement.one_per_node(8)
+    return fs, writers, ds
+
+
+class TestIngest:
+    def test_all_chunks_written_and_registered(self, env):
+        fs, writers, ds = env
+        result = DatasetIngest(fs, writers, ds, seed=1).run()
+        assert len(result.records) == 24
+        assert result.bytes_written == 24 * 16 * MB
+        assert fs.namenode.exists("w/part-00000")
+        layout = fs.layout_snapshot()
+        assert len(layout) == 24
+        for cid, nodes in layout.items():
+            for node in nodes:
+                assert fs.datanodes[node].holds(cid)
+
+    def test_first_replica_on_writer(self, env):
+        fs, writers, ds = env
+        result = DatasetIngest(fs, writers, ds, seed=1).run()
+        for rec in result.records:
+            assert rec.pipeline[0] == rec.writer_node
+
+    def test_records_well_formed(self, env):
+        fs, writers, ds = env
+        result = DatasetIngest(fs, writers, ds, seed=1).run()
+        for rec in result.records:
+            assert rec.end_time > rec.issue_time
+            assert len(set(rec.pipeline)) == len(rec.pipeline) == 3
+
+    def test_written_dataset_readable(self, env):
+        fs, writers, ds = env
+        DatasetIngest(fs, writers, ds, seed=1).run()
+        tasks = tasks_from_dataset(fs.dataset("w"))
+        run = ParallelReadRun(
+            fs, writers, tasks,
+            StaticSource(rank_interval_assignment(24, 8)), seed=2,
+        ).run()
+        assert run.tasks_completed == 24
+        # Writers wrote their own interval with a local first replica, so
+        # the aligned reader gets everything locally.
+        assert run.locality_fraction == 1.0
+
+    def test_more_replication_slower_ingest(self):
+        def ingest(r):
+            fs = DistributedFileSystem(
+                ClusterSpec.homogeneous(8),
+                replication=r,
+                placement=HdfsWriterLocalPlacement(),
+                seed=7,
+            )
+            ds = uniform_dataset("w", 16, chunk_size=16 * MB)
+            writers = ProcessPlacement.one_per_node(8)
+            return DatasetIngest(fs, writers, ds, seed=1).run()
+
+        r1 = ingest(1)
+        r3 = ingest(3)
+        # r=1 writer-local: pure disk writes, fast and flat.
+        assert r1.write_stats()["avg"] < r3.write_stats()["avg"]
+        assert r1.makespan < r3.makespan
+
+    def test_custom_assignment(self, env):
+        fs, writers, ds = env
+        from repro.core import Assignment
+
+        a = Assignment({0: list(range(24))} | {r: [] for r in range(1, 8)})
+        result = DatasetIngest(fs, writers, ds, assignment=a, seed=1).run()
+        assert all(rec.writer_rank == 0 for rec in result.records)
+        # One writer streaming 24 chunks sequentially.
+        ends = [r.end_time for r in sorted(result.records, key=lambda r: r.seq)]
+        assert ends == sorted(ends)
+
+    def test_duplicate_registration_rejected(self, env):
+        fs, writers, ds = env
+        DatasetIngest(fs, writers, ds, seed=1).run()
+        with pytest.raises(ValueError):
+            DatasetIngest(fs, writers, ds, seed=1).run()

@@ -1,0 +1,93 @@
+"""Tests for the rack-aware (oversubscribed-fabric) network model."""
+
+import pytest
+
+from repro.core import ProcessPlacement, rank_interval_assignment, tasks_from_dataset
+from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+from repro.dfs.chunk import MB, Chunk, ChunkId
+from repro.dfs.filesystem import ReadPlan
+from repro.simulate import ParallelReadRun, StaticSource, cluster_resources
+from repro.simulate.iomodel import read_cost, uncontended_read_time
+from repro.simulate.resources import disk, nic_rx, nic_tx, rack_down, rack_up, remote_read_path
+
+
+def _plan(reader, server, size=1000):
+    return ReadPlan(chunk=Chunk(ChunkId("f", 0), size), reader_node=reader, server_node=server)
+
+
+class TestResources:
+    def test_no_rack_resources_for_nonblocking_fabric(self):
+        spec = ClusterSpec.homogeneous(4, nodes_per_rack=2)
+        names = {r.name for r in cluster_resources(spec)}
+        assert not any(n.startswith("rk") for n in names)
+
+    def test_rack_resources_created_when_oversubscribed(self):
+        spec = ClusterSpec.homogeneous(4, nodes_per_rack=2, rack_uplink_bw=50 * MB)
+        by_name = {r.name: r for r in cluster_resources(spec)}
+        assert by_name[rack_up(0)].capacity == 50 * MB
+        assert by_name[rack_down(1)].capacity == 50 * MB
+
+    def test_invalid_uplink(self):
+        with pytest.raises(ValueError):
+            ClusterSpec.homogeneous(2, rack_uplink_bw=0)
+
+
+class TestPaths:
+    def test_same_rack_path_unchanged(self):
+        path = remote_read_path(0, 1, server_rack=0, reader_rack=0)
+        assert path == [disk(0), nic_tx(0), nic_rx(1)]
+
+    def test_cross_rack_path_adds_links(self):
+        path = remote_read_path(0, 3, server_rack=0, reader_rack=1)
+        assert path == [disk(0), nic_tx(0), rack_up(0), rack_down(1), nic_rx(3)]
+
+    def test_read_cost_cross_rack(self):
+        spec = ClusterSpec.homogeneous(4, nodes_per_rack=2, rack_uplink_bw=50 * MB)
+        cost = read_cost(_plan(reader=0, server=3), spec)
+        assert rack_up(1) in cost.path
+        assert rack_down(0) in cost.path
+
+    def test_read_cost_same_rack_no_links(self):
+        spec = ClusterSpec.homogeneous(4, nodes_per_rack=2, rack_uplink_bw=50 * MB)
+        cost = read_cost(_plan(reader=0, server=1), spec)
+        assert not any(r.startswith("rk") for r in cost.path)
+
+    def test_nonblocking_fabric_never_adds_links(self):
+        spec = ClusterSpec.homogeneous(4, nodes_per_rack=2)
+        cost = read_cost(_plan(reader=0, server=3), spec)
+        assert not any(r.startswith("rk") for r in cost.path)
+
+
+class TestUncontendedTimes:
+    def test_slow_uplink_bottlenecks_cross_rack(self):
+        spec = ClusterSpec.homogeneous(
+            4, nodes_per_rack=2, rack_uplink_bw=10.0,
+            disk_bw=100.0, nic_bw=100.0, remote_stream_bw=100.0,
+            seek_latency=0.0, remote_latency=0.0,
+        )
+        t_cross = uncontended_read_time(_plan(0, 3), spec)
+        t_same = uncontended_read_time(_plan(0, 1), spec)
+        assert t_cross == pytest.approx(1000 / 10.0)
+        assert t_same == pytest.approx(1000 / 100.0)
+
+
+class TestEndToEnd:
+    def _run(self, rack_uplink_bw):
+        spec = ClusterSpec.homogeneous(
+            8, nodes_per_rack=2, rack_uplink_bw=rack_uplink_bw
+        )
+        fs = DistributedFileSystem(spec, seed=9)
+        fs.put_dataset(uniform_dataset("d", 40))
+        placement = ProcessPlacement.one_per_node(8)
+        tasks = tasks_from_dataset(fs.dataset("d"))
+        return ParallelReadRun(
+            fs, placement, tasks,
+            StaticSource(rank_interval_assignment(40, 8)), seed=9,
+        ).run()
+
+    def test_oversubscription_slows_baseline(self):
+        fast = self._run(None)
+        slow = self._run(20 * MB)  # heavily oversubscribed uplinks
+        assert slow.tasks_completed == fast.tasks_completed == 40
+        assert slow.makespan > fast.makespan
+        assert slow.io_stats()["avg"] > fast.io_stats()["avg"]

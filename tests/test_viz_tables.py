@@ -1,0 +1,78 @@
+"""Tests for ASCII table/series rendering."""
+
+import pytest
+
+from repro.viz.tables import (
+    format_histogram,
+    format_series,
+    format_table,
+    paper_vs_measured,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["name", "v"], [("a", 1.5), ("bb", 20.25)], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.50" in out
+        assert "20.25" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_custom_float_fmt(self):
+        out = format_table(["x"], [(1.23456,)], float_fmt="{:.4f}")
+        assert "1.2346" in out
+
+    def test_string_cells_passthrough(self):
+        out = format_table(["x"], [("92%",)])
+        assert "92%" in out
+
+    def test_columns_aligned(self):
+        out = format_table(["aa", "b"], [("x", 1.0), ("yyyy", 2.0)])
+        lines = out.splitlines()
+        # Separator and rows share width.
+        assert len({len(l) for l in lines[1:]}) == 1
+
+
+class TestFormatSeries:
+    def test_short_series_full(self):
+        out = format_series("s", [1.0, 2.0])
+        assert out == "s: 1.00 2.00"
+
+    def test_long_series_elided(self):
+        out = format_series("s", range(100), max_items=10)
+        assert "…" in out
+        assert out.count(" ") < 30
+
+    def test_custom_fmt(self):
+        assert "1.5" in format_series("s", [1.5], fmt="{:.1f}")
+
+
+class TestHistogram:
+    def test_bins_and_bars(self):
+        out = format_histogram([1.0] * 10 + [2.0], bins=2)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_empty(self):
+        assert format_histogram([]) == "(empty)"
+
+    def test_counts_shown(self):
+        out = format_histogram([1, 1, 1], bins=1)
+        assert "3" in out
+
+
+class TestPaperVsMeasured:
+    def test_shape(self):
+        out = paper_vs_measured(
+            [("avg", "5.48", 5.1), ("std", "1.339", 1.2)], title="fig12"
+        )
+        assert "paper" in out
+        assert "measured" in out
+        assert "5.48" in out
+        assert "5.10" in out

@@ -1,0 +1,95 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.dfs.chunk import DEFAULT_CHUNK_SIZE, MB
+from repro.workloads import (
+    gene_database,
+    motivating_dataset,
+    multi_input_datasets,
+    paraview_multiblock_series,
+    single_data_workload,
+)
+
+
+class TestSingleDataWorkload:
+    def test_shape(self):
+        ds = single_data_workload(16, 10)
+        assert ds.num_chunks == 160
+        assert all(f.size == DEFAULT_CHUNK_SIZE for f in ds.files)
+
+    def test_custom_chunk_size(self):
+        ds = single_data_workload(4, 2, chunk_size=MB)
+        assert ds.size == 8 * MB
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            single_data_workload(0)
+        with pytest.raises(ValueError):
+            single_data_workload(4, 0)
+
+
+class TestMultiInputDatasets:
+    def test_paper_shape(self):
+        dss = multi_input_datasets(64)
+        assert len(dss) == 3
+        assert [ds.files[0].size for ds in dss] == [30 * MB, 20 * MB, 10 * MB]
+        assert all(len(ds.files) == 64 for ds in dss)
+
+    def test_distinct_names(self):
+        dss = multi_input_datasets(4)
+        assert len({ds.name for ds in dss}) == 3
+
+    def test_custom_sizes(self):
+        dss = multi_input_datasets(4, input_sizes_mb=(5, 7))
+        assert len(dss) == 2
+        assert dss[1].files[0].size == 7 * MB
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            multi_input_datasets(0)
+        with pytest.raises(ValueError):
+            multi_input_datasets(4, input_sizes_mb=())
+        with pytest.raises(ValueError):
+            multi_input_datasets(4, input_sizes_mb=(5, 0))
+
+
+class TestGeneDatabase:
+    def test_fragments(self):
+        db = gene_database(32)
+        assert db.num_chunks == 32
+        assert all(f.num_chunks == 1 for f in db.files)
+
+
+class TestParaviewSeries:
+    def test_sizes_near_mean(self):
+        ds = paraview_multiblock_series(100, mean_size_mb=56.0, jitter_mb=4.0)
+        sizes_mb = np.array([f.size for f in ds.files]) / MB
+        assert abs(sizes_mb.mean() - 56.0) < 2.0
+        assert sizes_mb.min() >= 52.0 - 1e-6
+        assert sizes_mb.max() <= 60.0 + 1e-6
+
+    def test_single_chunk_files(self):
+        ds = paraview_multiblock_series(10)
+        assert all(f.num_chunks == 1 for f in ds.files)
+
+    def test_seeded_rng(self):
+        a = paraview_multiblock_series(10, rng=np.random.default_rng(5))
+        b = paraview_multiblock_series(10, rng=np.random.default_rng(5))
+        assert [f.size for f in a.files] == [f.size for f in b.files]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            paraview_multiblock_series(0)
+        with pytest.raises(ValueError):
+            paraview_multiblock_series(5, mean_size_mb=0)
+        with pytest.raises(ValueError):
+            paraview_multiblock_series(5, mean_size_mb=10, jitter_mb=10)
+
+
+class TestMotivatingDataset:
+    def test_figure1_shape(self):
+        ds = motivating_dataset()
+        assert ds.num_chunks == 128
+        assert ds.files[0].size == DEFAULT_CHUNK_SIZE

@@ -1,13 +1,21 @@
 """Substrate health: simulator wall-clock and event throughput.
 
 Not a paper figure — a maintainer's bench.  The fluid simulator is the
-substrate every experiment stands on; this tracks its cost at Fig-7
-scales so a regression in the water-filling hot loop (see
-ARCHITECTURE.md §1) is caught here rather than as a mysteriously slow
-benchmark suite.
+substrate every experiment stands on; this tracks its cost at and beyond
+Fig-7 scales so a regression in the incremental allocator or the
+completion heap (see ARCHITECTURE.md §1) is caught here rather than as a
+mysteriously slow benchmark suite.
+
+Beyond the printed table the bench emits ``BENCH_sim.json`` at the repo
+root: one row per cluster size with events, wall seconds, event
+throughput and the allocator's solve counters, so CI can archive the
+trajectory and a regression shows up as a diff.
 """
 
+import gc
+import json
 import time
+from pathlib import Path
 
 from repro.core import ProcessPlacement, rank_interval_assignment, tasks_from_dataset
 from repro.dfs import ClusterSpec, DistributedFileSystem
@@ -15,27 +23,55 @@ from repro.simulate import ParallelReadRun, StaticSource
 from repro.viz import format_table
 from repro.workloads import single_data_workload
 
+SCALES = (32, 64, 128, 256, 512)
 
-def run_scaling(seed: int = 0):
+#: The simulation is deterministic, so run-to-run wall variance is pure
+#: scheduler/frequency noise — report the fastest of a few repeats.
+REPEATS = 3
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def _run_once(m: int, seed: int):
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(m), seed=seed)
+    data = single_data_workload(m, 10)
+    fs.put_dataset(data)
+    placement = ProcessPlacement.one_per_node(m)
+    tasks = tasks_from_dataset(data)
+    run = ParallelReadRun(
+        fs, placement, tasks,
+        StaticSource(rank_interval_assignment(len(tasks), m)), seed=seed,
+    )
+    # Keep runs independent: don't let garbage from the previous run
+    # trigger a collection pause inside this run's timed region.
+    gc.collect()
+    t0 = time.perf_counter()
+    result = run.run()
+    wall = time.perf_counter() - t0
+    assert result.tasks_completed == len(tasks)
+    perf = run.sim.perf
+    return {
+        "nodes": m,
+        "reads": len(tasks),
+        "events": run.sim.events_processed,
+        "wall_s": wall,
+        "events_per_second": run.sim.events_processed / wall,
+        "solves": perf.solves,
+        "solve_iterations": perf.solve_iterations,
+        "heap_rebuilds": perf.heap_rebuilds,
+        "solve_wall_s": perf.solve_wall,
+        "settle_wall_s": perf.settle_wall,
+    }
+
+
+def run_scaling(seed: int = 0, repeats: int = REPEATS):
     rows = []
-    for m in (32, 64, 128):
-        fs = DistributedFileSystem(ClusterSpec.homogeneous(m), seed=seed)
-        data = single_data_workload(m, 10)
-        fs.put_dataset(data)
-        placement = ProcessPlacement.one_per_node(m)
-        tasks = tasks_from_dataset(data)
-        run = ParallelReadRun(
-            fs, placement, tasks,
-            StaticSource(rank_interval_assignment(len(tasks), m)), seed=seed,
+    for m in SCALES:
+        best = min(
+            (_run_once(m, seed) for _ in range(repeats)),
+            key=lambda r: r["wall_s"],
         )
-        t0 = time.perf_counter()
-        result = run.run()
-        wall = time.perf_counter() - t0
-        rows.append((
-            m, len(tasks), run.sim.events_processed, wall * 1000,
-            run.sim.events_processed / wall,
-        ))
-        assert result.tasks_completed == len(tasks)
+        rows.append(best)
     return rows
 
 
@@ -43,12 +79,22 @@ def test_sim_event_throughput(benchmark):
     rows = benchmark.pedantic(lambda: run_scaling(seed=0), rounds=1, iterations=1)
     print("\n=== simulator throughput (baseline runs, max contention) ===")
     print(format_table(
-        ["nodes", "reads", "events", "wall (ms)", "events/s"],
-        rows, float_fmt="{:.0f}",
+        ["nodes", "reads", "events", "wall (ms)", "events/s", "solves", "iters"],
+        [
+            (r["nodes"], r["reads"], r["events"], r["wall_s"] * 1000,
+             r["events_per_second"], r["solves"], r["solve_iterations"])
+            for r in rows
+        ],
+        float_fmt="{:.0f}",
     ))
-    for m, reads, events, wall_ms, throughput in rows:
-        # The 128-node Marmot-scale baseline must simulate within seconds.
-        assert wall_ms < 30_000
-        assert throughput > 100
-    # Events scale roughly with reads (≈2 events per read + slack).
-    assert rows[-1][2] < rows[-1][1] * 6
+    BENCH_JSON.write_text(json.dumps({"scales": rows}, indent=1) + "\n")
+    for r in rows:
+        # Every scale — including the 512-node row — must simulate within
+        # the 30 s budget at useful throughput.
+        assert r["wall_s"] < 30.0
+        assert r["events_per_second"] > 100
+        # Events scale roughly with reads (≈2 events per read + slack).
+        assert r["events"] < r["reads"] * 6
+        # One re-solve per flow start + one per finish, plus slack: the
+        # allocator must stay event-driven, never per-timestep.
+        assert r["solves"] <= r["events"] + 2

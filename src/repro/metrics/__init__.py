@@ -1,6 +1,8 @@
 """Measurement utilities: summaries, fairness indices, serve monitoring."""
 
+from ..simulate.perf import SimPerf
 from .export import (
+    perf_summary,
     records_to_rows,
     run_summary,
     write_records_csv,
@@ -20,7 +22,9 @@ from .stats import (
 
 __all__ = [
     "ServeMonitor",
+    "SimPerf",
     "Summary",
+    "perf_summary",
     "coefficient_of_variation",
     "imbalance_factor",
     "jains_fairness",

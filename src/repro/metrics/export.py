@@ -79,7 +79,25 @@ def run_summary(result: RunResult, *, num_nodes: int | None = None) -> dict[str,
         summary["served_mb_per_node"] = (
             result.served_bytes_array(num_nodes) / 1e6
         ).tolist()
+    if result.sim_perf is not None:
+        summary["sim_perf"] = perf_summary(result.sim_perf)
     return summary
+
+
+def perf_summary(perf: "Mapping[str, float] | object") -> dict[str, float]:
+    """Normalise a :class:`~repro.simulate.perf.SimPerf` (or its snapshot
+    dict) into the JSON-ready form embedded in run summaries and the
+    ``BENCH_sim.json`` trajectory file.  Derived ratios are added so a
+    regression shows up as a number, not a diff of raw counters."""
+    snap = dict(perf.snapshot()) if hasattr(perf, "snapshot") else dict(perf)
+    events = snap.get("flow_events", 0) + snap.get("timer_events", 0)
+    solves = snap.get("solves", 0)
+    snap["events"] = events
+    snap["iterations_per_solve"] = (
+        snap.get("solve_iterations", 0) / solves if solves else 0.0
+    )
+    snap["solves_per_event"] = solves / events if events else 0.0
+    return snap
 
 
 def write_run_json(

@@ -1,9 +1,11 @@
 """Flow-level discrete-event simulation of the cluster's disks and network."""
 
+from .allocator import IncrementalAllocator
 from .background import BackgroundTraffic
 from .engine import REMAINING_EPS, Simulation
 from .faults import FaultPlan, NodeFailure, NodeRecovery
 from .flows import Flow, allocate_rates, verify_allocation
+from .perf import SimPerf
 from .ingest import DatasetIngest, IngestResult, WriteRecord, pipeline_path
 from .iomodel import ReadCost, read_cost, uncontended_read_time
 from .resources import (
@@ -32,6 +34,7 @@ __all__ = [
     "DatasetIngest",
     "FaultPlan",
     "Flow",
+    "IncrementalAllocator",
     "IngestResult",
     "NodeFailure",
     "NodeRecovery",
@@ -40,6 +43,7 @@ __all__ = [
     "ReadRecord",
     "Resource",
     "RunResult",
+    "SimPerf",
     "Simulation",
     "StaticSource",
     "WriteRecord",

@@ -1,0 +1,315 @@
+"""Incremental max-min fair rate allocator.
+
+:func:`repro.simulate.flows.allocate_rates` is a pure function: every call
+rebuilds the resource→users index, recounts per-resource concurrency,
+recomputes effective capacities and re-sorts the capped flows — O(Σ|path|)
+of setup before the water-filling loop even starts, paid on *every* dirty
+re-solve, i.e. on essentially every simulated event.  Profiling the
+128-node Figure-7 workload put ~90 % of total runtime inside that
+function.
+
+:class:`IncrementalAllocator` keeps all of that state persistent and
+updates it in O(|path|) when a flow starts, finishes or is cancelled:
+
+* ``conc`` — per-resource concurrency counts (a numpy array);
+* ``eff``/``thresh`` — effective capacities and their saturation guards,
+  recomputed per *touched resource* on add/remove, never per solve;
+* ``users`` — per-resource ordered sets of crossing flows, stored as
+  small integer flow ids (a free list recycles ids, so the id space stays
+  bounded by the peak concurrent flow count);
+* ``capped`` — the rate-capped flows, kept sorted by ``bisect.insort``.
+
+``solve()`` then runs the *same* progressive-filling algorithm as the
+reference, but vectorised: per iteration one divide + min gives the
+headroom, one fused multiply-subtract drains every live resource, and one
+compare finds the saturated ones (their ``free`` is parked at +inf so no
+``live`` mask is needed).  Freeze bookkeeping is epoch-stamped plain
+lists — no Flow hashing and no numpy scalar boxing in the hot loop.  The
+arithmetic is kept operation-for-operation identical to the reference —
+same effective-capacity formula, same per-iteration ``free -= delta·k``
+updates, same ``1e-9``/``1e-12`` guards — so the returned rates are
+**bit-for-bit equal** to ``allocate_rates`` on the same flow set (pinned
+by the differential property tests in
+``tests/test_properties_allocator.py``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+
+import numpy as np
+
+from .flows import Flow
+from .resources import Resource
+
+__all__ = ["IncrementalAllocator"]
+
+_GROW = 64
+
+
+class IncrementalAllocator:
+    """Persistent water-filling state with O(|path|) add/remove."""
+
+    def __init__(self) -> None:
+        self._index: dict[str, int] = {}
+        # capacities/penalties/counts live in plain Python lists: the
+        # add/remove path does scalar arithmetic on them, and Python float
+        # ops are both IEEE-identical to and ~10x cheaper than boxed
+        # numpy scalar reads.  Only what solve() consumes vectorised
+        # (conc, eff, thresh) is mirrored into numpy arrays.
+        self._cap: list[float] = []
+        self._pen: list[float] = []
+        self._conc_l: list[int] = []
+        # float64 on purpose: concurrencies are small integers (exact in
+        # float64), and solve() then copies instead of astype()-ing.
+        self._conc = np.zeros(_GROW)
+        self._eff = np.zeros(_GROW)
+        self._thresh = np.zeros(_GROW)
+        self._users: list[dict[int, None]] = []
+        # per-flow-id state (ids recycled through the free list)
+        self._id_of: dict[Flow, int] = {}
+        self._path_ids: list[list[int] | None] = []
+        self._free_ids: list[int] = []
+        self._external_ids = False
+        self._frozen_at: list[int] = []
+        self._frate: list[float] = []
+        self._solve_epoch = 0
+        #: sorted by (rate_cap, flow_id) — matches the reference's stable
+        #: sort of the insertion-ordered active list.
+        self._capped: list[tuple[float, int, int, Flow]] = []
+        # reusable solve buffers (sized to the resource count)
+        self._rooms = np.zeros(_GROW)
+        self._tmp = np.zeros(_GROW)
+        self._satbuf = np.zeros(_GROW, dtype=bool)
+        #: water-filling iterations performed by the last solve()
+        self.last_iterations = 0
+
+    # -- resource registration ------------------------------------------------
+
+    def register(self, name: str, resource: "Resource | float") -> None:
+        """Declare a resource (engine calls this from ``add_resource``)."""
+        if name in self._index:
+            raise ValueError(f"duplicate resource {name!r}")
+        i = len(self._index)
+        if i >= len(self._conc):
+            grow = len(self._conc)
+            self._conc = np.concatenate([self._conc, np.zeros(grow)])
+            self._eff = np.concatenate([self._eff, np.zeros(grow)])
+            self._thresh = np.concatenate([self._thresh, np.zeros(grow)])
+            self._rooms = np.zeros(len(self._conc))
+            self._tmp = np.zeros(len(self._conc))
+            self._satbuf = np.zeros(len(self._conc), dtype=bool)
+        if isinstance(resource, Resource):
+            cap = float(resource.capacity)
+            pen = float(resource.concurrency_penalty)
+        else:
+            cap = float(resource)
+            pen = 0.0
+        self._cap.append(cap)
+        self._pen.append(pen)
+        self._conc_l.append(0)
+        self._eff[i] = cap
+        self._thresh[i] = 1e-9 * cap
+        self._index[name] = i
+        self._users.append({})
+
+    def has_resource(self, name: str) -> bool:
+        return name in self._index
+
+    def _update_eff(self, ri: int) -> None:
+        """Effective capacity after a concurrency change — the scalar twin
+        of ``Resource.effective_capacity`` (bitwise-identical ops)."""
+        c = self._conc_l[ri]
+        cap = self._cap[ri]
+        eff = cap if c <= 1 else cap / (1.0 + self._pen[ri] * (c - 1))
+        self._eff[ri] = eff
+        self._thresh[ri] = 1e-9 * eff
+
+    # -- flow lifecycle (the O(|path|) updates) -------------------------------
+
+    def add(self, flow: Flow, fid: int | None = None) -> int:
+        """Start tracking ``flow``; raises ``KeyError`` on unknown resources.
+
+        The caller may supply the flow id (the engine shares its slot ids
+        so ``solve(out=...)`` can write rates straight into the engine's
+        arrays); callers that do manage every id themselves, so the
+        internal free list is bypassed.  Returns the id in use.
+        """
+        if flow in self._id_of:
+            raise ValueError("flow already tracked")
+        try:
+            path_ids = [self._index[r] for r in flow.path]
+        except KeyError as exc:
+            raise KeyError(f"flow crosses unknown resource {exc.args[0]!r}") from None
+        if fid is not None:
+            self._external_ids = True
+            while len(self._path_ids) <= fid:
+                self._path_ids.append(None)
+                self._frozen_at.append(0)
+                # 1.0 is the engine's hole sentinel: untracked slots must
+                # keep it through solve()'s bulk rate copy.
+                self._frate.append(1.0)
+        elif self._free_ids:
+            fid = self._free_ids.pop()
+        else:
+            fid = len(self._path_ids)
+            self._path_ids.append(None)
+            self._frozen_at.append(0)
+            self._frate.append(1.0)
+        self._id_of[flow] = fid
+        self._path_ids[fid] = path_ids
+        conc_l, conc, cap_l, pen_l = self._conc_l, self._conc, self._cap, self._pen
+        eff_a, thresh_a, users = self._eff, self._thresh, self._users
+        for i in path_ids:
+            c = conc_l[i] + 1
+            conc_l[i] = c
+            conc[i] = c
+            users[i][fid] = None
+            cap = cap_l[i]
+            eff = cap if c <= 1 else cap / (1.0 + pen_l[i] * (c - 1))
+            eff_a[i] = eff
+            thresh_a[i] = 1e-9 * eff
+        if flow.rate_cap is not None:
+            insort(self._capped, (flow.rate_cap, flow.flow_id, fid, flow))
+        return fid
+
+    def remove(self, flow: Flow) -> None:
+        """Stop tracking ``flow`` (finished or cancelled)."""
+        fid = self._id_of.pop(flow, None)
+        if fid is None:
+            raise KeyError("flow is not tracked")
+        path_ids = self._path_ids[fid]
+        self._path_ids[fid] = None
+        # restore the hole sentinel (see add())
+        self._frate[fid] = 1.0
+        if not self._external_ids:
+            self._free_ids.append(fid)
+        conc_l, conc, cap_l, pen_l = self._conc_l, self._conc, self._cap, self._pen
+        eff_a, thresh_a, users = self._eff, self._thresh, self._users
+        for i in path_ids:
+            c = conc_l[i] - 1
+            conc_l[i] = c
+            conc[i] = c
+            del users[i][fid]
+            cap = cap_l[i]
+            eff = cap if c <= 1 else cap / (1.0 + pen_l[i] * (c - 1))
+            eff_a[i] = eff
+            thresh_a[i] = 1e-9 * eff
+        if flow.rate_cap is not None:
+            key = (flow.rate_cap, flow.flow_id)
+            j = bisect_left(self._capped, key, key=lambda e: (e[0], e[1]))
+            assert self._capped[j][3] is flow
+            del self._capped[j]
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._id_of)
+
+    def concurrency(self, name: str) -> int:
+        """Current flow count crossing ``name`` (for tests/diagnostics)."""
+        return self._conc_l[self._index[name]]
+
+    # -- the solver -----------------------------------------------------------
+
+    def solve(self, out: np.ndarray | None = None) -> dict[Flow, float] | None:
+        """Max-min fair rates for the tracked flows.
+
+        Bit-for-bit equal to ``allocate_rates(active_flows, resources)``.
+        With ``out`` (an array indexed by the shared flow ids) the whole
+        per-id rate list is bulk-copied into it and ``None`` is returned —
+        the engine's hot path, which skips building a Flow-keyed dict (and
+        any index arrays) entirely; untracked slots carry the engine's
+        ``1.0`` hole sentinel.
+        """
+        if not self._id_of:
+            self.last_iterations = 0
+            return None if out is not None else {}
+        n = len(self._index)
+        free = self._eff[:n].copy()
+        thresh = self._thresh[:n]
+        k = self._conc[:n].copy()
+        rooms = self._rooms[:n]
+        tmp = self._tmp[:n]
+        satbuf = self._satbuf[:n]
+        users = self._users
+        path_ids = self._path_ids
+        epoch = self._solve_epoch = self._solve_epoch + 1
+        frozen_at = self._frozen_at
+        frate = self._frate
+        unfrozen = len(self._id_of)
+        capped = self._capped
+        capped_idx = 0
+        num_capped = len(capped)
+        level = 0.0
+        iterations = 0
+
+        _min = np.minimum.reduce
+        with np.errstate(divide="ignore", invalid="ignore"):
+            while unfrozen:
+                iterations += 1
+                # Idle resources (k == 0) yield inf rooms: positive free
+                # divides to +inf, and saturated resources were parked at
+                # free = +inf below — no live mask required.
+                np.divide(free, k, out=rooms)
+                delta = float(_min(rooms))
+                while capped_idx < num_capped and frozen_at[capped[capped_idx][2]] == epoch:
+                    capped_idx += 1
+                if capped_idx < num_capped:
+                    room = capped[capped_idx][0] - level
+                    if room < delta:
+                        delta = room
+                delta = max(delta, 0.0)
+                level += delta
+                np.multiply(k, delta, out=tmp)
+                np.subtract(free, tmp, out=free)
+                np.less_equal(free, thresh, out=satbuf)
+                saturated = satbuf.nonzero()[0]
+                froze_any = False
+                dec: list[int] = []
+                for ri in saturated.tolist():
+                    for fid in users[ri]:
+                        if frozen_at[fid] != epoch:
+                            frozen_at[fid] = epoch
+                            frate[fid] = level
+                            dec.extend(path_ids[fid])
+                            froze_any = True
+                            unfrozen -= 1
+                if saturated.size:
+                    # Park drained resources at +inf: they drop out of the
+                    # headroom min and the saturation compare for good.
+                    free[saturated] = np.inf
+                while capped_idx < num_capped:
+                    cap_value, _, fid, _f = capped[capped_idx]
+                    if frozen_at[fid] == epoch:
+                        capped_idx += 1
+                        continue
+                    if level >= cap_value - 1e-12:
+                        # Freeze at the cap, releasing the flow's resource
+                        # claims so the remaining flows can grow past it.
+                        frozen_at[fid] = epoch
+                        frate[fid] = cap_value
+                        dec.extend(path_ids[fid])
+                        capped_idx += 1
+                        froze_any = True
+                        unfrozen -= 1
+                    else:
+                        break
+                if not froze_any:
+                    # Guard against float underflow stalling the loop.
+                    for fid in self._id_of.values():
+                        if frozen_at[fid] != epoch:
+                            frate[fid] = level
+                    break
+                if unfrozen and dec:
+                    # fromiter avoids ufunc.at's slow generic-sequence
+                    # index conversion.
+                    np.subtract.at(k, np.fromiter(dec, np.intp, len(dec)), 1.0)
+
+        self.last_iterations = iterations
+        if out is not None:
+            # Shared-id bulk hand-off: every tracked fid was assigned this
+            # epoch, and untracked slots hold the engine's 1.0 sentinel,
+            # so the whole list can be copied without building an index.
+            out[: len(frate)] = frate
+            return None
+        return {f: frate[fid] for f, fid in self._id_of.items()}

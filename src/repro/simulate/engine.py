@@ -8,39 +8,109 @@ The engine advances a clock over two kinds of events:
   its remaining bytes reach zero under the current max-min fair rates.
 
 Rates are re-solved lazily: only when the active flow set changes (a flow
-starts or completes).  Between events every flow's ``remaining`` decreases
-linearly, so the next completion time is exact — no fixed time step, no
-numerical integration error beyond float arithmetic.
+starts, completes or is cancelled).  Between events every flow's
+``remaining`` decreases linearly, so the next completion time is exact —
+no fixed time step, no numerical integration error beyond float
+arithmetic.
+
+The hot path is incremental end to end:
+
+* rates come from a persistent :class:`~repro.simulate.allocator.
+  IncrementalAllocator` updated in O(|path|) per flow event (the legacy
+  O(Σ|path|)-rebuild :func:`~repro.simulate.flows.allocate_rates` remains
+  available as a reference via ``Simulation(allocator="reference")``);
+* the next completion comes from a **per-epoch completion cache**: one
+  vectorised ``now + remaining/rate`` pass predicts every finish time the
+  moment rates change, and the minimum is cached.  The flow set cannot
+  change within an epoch (every start/cancel/finish marks the rates
+  dirty), so the cached winner stays valid until the next re-solve — a
+  completion-time heap degenerates to at most one pop per rebuild, and
+  the cache is the zero-overhead special case of it;
+* flow progress uses **credit accounting**: each flow's ``remaining`` is
+  settled only at rate-epoch boundaries (one fused ``remaining -=
+  rate·dt`` per epoch instead of one per event), with an O(1) dict-backed
+  flow registry instead of a list.
+
+The dense slot arrays are authoritative for ``remaining``; the ``Flow``
+objects are synchronised at observation points (completion, cancellation,
+every ``run``/``run(until=...)`` return).  Workloads whose every event
+changes the flow set (all the paper's read benchmarks) settle at every
+event and reproduce the pre-incremental engine bit for bit (pinned by
+``tests/test_sim_golden.py``).
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import time
 from itertools import count
 from typing import Callable
 
+import numpy as np
+
+from .allocator import IncrementalAllocator
 from .flows import Flow, allocate_rates
+from .perf import SimPerf
 from .resources import Resource
 
 #: Completion slack: a flow is done when remaining ≤ REMAINING_EPS bytes.
 REMAINING_EPS = 1e-6
 
+_GROW = 64
+
 
 class Simulation:
     """Event loop owning the clock, timers, resources and active flows."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, allocator: str = "incremental") -> None:
+        """
+        Parameters
+        ----------
+        allocator:
+            ``"incremental"`` (default) uses the persistent
+            :class:`IncrementalAllocator`; ``"reference"`` re-solves with
+            the pure :func:`allocate_rates` on every dirty refresh —
+            slower, kept for differential testing.
+        """
+        if allocator not in ("incremental", "reference"):
+            raise ValueError(f"unknown allocator {allocator!r}")
         self.now = 0.0
+        self.perf = SimPerf()
         self._timers: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = count()
         self._resources: dict[str, Resource] = {}
-        self._active: list[Flow] = []
-        self._on_complete: dict[Flow, Callable[[Flow], None]] = {}
-        self._rates: dict[Flow, float] = {}
+        self._alloc: IncrementalAllocator | None = (
+            IncrementalAllocator() if allocator == "incremental" else None
+        )
+        #: O(1) registry: flow -> completion callback, insertion-ordered.
+        self._flows: dict[Flow, Callable[[Flow], None]] = {}
         self._dirty = True
         self.completed_flows = 0
         self.events_processed = 0
+        # Flow-id slot arrays mirroring the registry.  Ids are recycled
+        # through a free list (shared with the allocator, so solve() can
+        # scatter rates straight into ``_rate``); freed slots hold the
+        # sentinels ``rem = inf, rate = 1`` so the vectorised settle,
+        # sweep and completion-prediction passes can run over the whole
+        # range without masking — a hole's predicted completion is +inf
+        # and its remaining never drains.
+        self._flow_at: list[Flow | None] = []
+        self._fid_of: dict[Flow, int] = {}
+        self._free_ids: list[int] = []
+        self._rem = np.full(_GROW, np.inf)
+        self._rate = np.ones(_GROW)
+        #: simulated time all slots' ``remaining`` values refer to
+        self._settled_at = 0.0
+        #: rate epoch; bumped on every re-solve, invalidates the prediction
+        self._epoch = 0
+        self._next_completion: tuple[float, int, Flow] | None = None
+        self._pred_epoch = -1
+        # cached length-n views of _rem/_rate; rebuilt when the slot count
+        # changes (which is also the only time the arrays can reallocate)
+        self._nview = -1
+        self._rem_v = self._rem[:0]
+        self._rate_v = self._rate[:0]
 
     # -- configuration -------------------------------------------------------
 
@@ -48,6 +118,8 @@ class Simulation:
         if resource.name in self._resources:
             raise ValueError(f"duplicate resource {resource.name!r}")
         self._resources[resource.name] = resource
+        if self._alloc is not None:
+            self._alloc.register(resource.name, resource)
 
     def add_resources(self, resources: list[Resource]) -> None:
         for r in resources:
@@ -77,9 +149,26 @@ class Simulation:
         for r in flow.path:
             if r not in self._resources:
                 raise KeyError(f"unknown resource {r!r}")
-        self._active.append(flow)
-        self._on_complete[flow] = on_complete
+        self._flows[flow] = on_complete
+        if self._free_ids:
+            fid = self._free_ids.pop()
+        else:
+            fid = len(self._flow_at)
+            self._flow_at.append(None)
+            if fid >= len(self._rem):
+                grow = len(self._rem)
+                self._rem = np.concatenate([self._rem, np.full(grow, np.inf)])
+                self._rate = np.concatenate([self._rate, np.ones(grow)])
+        self._fid_of[flow] = fid
+        self._flow_at[fid] = flow
+        self._rem[fid] = flow.remaining
+        # Rate 0 until the next re-solve: the settle pass covering the
+        # instant of creation must not move this flow.
+        self._rate[fid] = 0.0
+        if self._alloc is not None:
+            self._alloc.add(flow, fid)
         self._dirty = True
+        self.perf.flows_started += 1
         return flow
 
     def cancel_flow(self, flow: Flow) -> None:
@@ -87,102 +176,223 @@ class Simulation:
 
         Used for failure injection (the serving node died mid-transfer).
         """
-        if flow not in self._on_complete:
+        if flow not in self._flows:
             raise KeyError("flow is not active")
-        self._active.remove(flow)
-        self._on_complete.pop(flow)
+        # Credit the interval since the last settle point so the caller
+        # observes the transfer's true residue.
+        self._settle_all()
+        del self._flows[flow]
+        flow.remaining = float(self._rem[self._fid_of[flow]])
+        self._release_fid(flow)
+        if self._alloc is not None:
+            self._alloc.remove(flow)
         self._dirty = True
+        self.perf.flows_cancelled += 1
 
     @property
     def active_flows(self) -> int:
-        return len(self._active)
+        return len(self._flows)
 
     def current_rate(self, flow: Flow) -> float:
         """The flow's current max-min fair rate (refreshes if stale)."""
         self._refresh_rates()
-        return self._rates.get(flow, 0.0)
+        fid = self._fid_of.get(flow)
+        return float(self._rate[fid]) if fid is not None else 0.0
 
-    # -- main loop ----------------------------------------------------------------
+    # -- incremental state ---------------------------------------------------
+
+    def _views(self) -> tuple[np.ndarray, np.ndarray]:
+        """Length-n views of the slot arrays (cached between grows)."""
+        n = len(self._flow_at)
+        if n != self._nview:
+            self._nview = n
+            self._rem_v = self._rem[:n]
+            self._rate_v = self._rate[:n]
+        return self._rem_v, self._rate_v
+
+    def _release_fid(self, flow: Flow) -> None:
+        """Return the flow's slot to the free list, restoring sentinels."""
+        fid = self._fid_of.pop(flow)
+        self._flow_at[fid] = None
+        self._rem[fid] = np.inf
+        self._rate[fid] = 1.0
+        self._free_ids.append(fid)
+
+    def _settle_all(self) -> None:
+        """Credit the elapsed epoch interval to every flow's ``remaining``.
+
+        Must run with the rates that governed ``[_settled_at, now]`` still
+        in place — i.e. *before* a re-solve replaces them.
+        """
+        dt = self.now - self._settled_at
+        self._settled_at = self.now
+        if dt <= 0.0 or not self._flow_at:
+            return
+        t0 = time.perf_counter()
+        rem, rate = self._views()
+        np.maximum(0.0, rem - rate * dt, out=rem)
+        self.perf.settles += 1
+        self.perf.flows_settled += len(self._fid_of)
+        self.perf.settle_wall += time.perf_counter() - t0
+
+    def _sync_remaining(self) -> None:
+        """Copy the authoritative slot array back onto the Flow objects."""
+        for f, fid in self._fid_of.items():
+            f.remaining = float(self._rem[fid])
 
     def _refresh_rates(self) -> None:
-        if self._dirty:
-            self._rates = allocate_rates(self._active, self._resources)
-            self._dirty = False
-
-    def _next_completion(self) -> tuple[float, Flow] | None:
-        self._refresh_rates()
-        best_t = math.inf
-        best_flow: Flow | None = None
-        for f in self._active:
-            rate = self._rates[f]
-            # Max-min fairness gives every flow a strictly positive rate.
-            t = self.now + f.remaining / rate
-            if t < best_t:
-                best_t = t
-                best_flow = f
-        if best_flow is None:
-            return None
-        return best_t, best_flow
-
-    def _advance_flows(self, dt: float) -> None:
-        if dt <= 0 or not self._active:
+        if not self._dirty:
             return
-        for f in self._active:
-            f.remaining = max(0.0, f.remaining - self._rates[f] * dt)
+        # The old rates governed the interval up to ``now``; credit it
+        # before they are replaced.
+        self._settle_all()
+        t0 = time.perf_counter()
+        if self._alloc is not None:
+            self._alloc.solve(out=self._rate)
+            self.perf.solve_iterations += self._alloc.last_iterations
+        else:
+            rates = allocate_rates(list(self._flows), self._resources)
+            rate = self._rate
+            fid_of = self._fid_of
+            for f, r in rates.items():
+                rate[fid_of[f]] = r
+        self._dirty = False
+        self._epoch += 1
+        self.perf.solves += 1
+        self.perf.solve_wall += time.perf_counter() - t0
 
-    def step(self) -> bool:
-        """Process the next event.  Returns False when nothing is pending."""
-        completion = self._next_completion()
+    # -- event selection -----------------------------------------------------
+
+    def _peek_completion(self) -> tuple[float, int, Flow] | None:
+        """The earliest predicted completion, from the epoch's cache.
+
+        One vectorised prediction pass per rate epoch; the ``(time,
+        flow_id)``-minimal flow is cached and stays valid for the whole
+        epoch because any flow-set change dirties the rates.  Ties on the
+        predicted time break by ``flow_id`` — the registry's insertion
+        order, matching the pre-incremental engine's scan.
+        """
+        self._refresh_rates()
+        if self._pred_epoch != self._epoch:
+            t0 = time.perf_counter()
+            if self._fid_of:
+                rem, rate = self._views()
+                t = self.now + rem / rate
+                i = int(t.argmin())
+                tv = t[i]
+                ties = (t == tv).nonzero()[0]
+                if len(ties) > 1:
+                    flow = min(
+                        (self._flow_at[j] for j in ties.tolist()),
+                        key=lambda f: f.flow_id,
+                    )
+                else:
+                    flow = self._flow_at[i]
+                self._next_completion = (float(tv), flow.flow_id, flow)
+            else:
+                self._next_completion = None
+            self._pred_epoch = self._epoch
+            self.perf.heap_rebuilds += 1
+            self.perf.scan_wall += time.perf_counter() - t0
+        return self._next_completion
+
+    def _pending_event(self) -> tuple[float, float, tuple[float, int, Flow] | None] | None:
+        """The next event, computed once: ``(flow_t, timer_t, completion)``."""
+        completion = self._peek_completion()
         timer_t = self._timers[0][0] if self._timers else math.inf
         flow_t = completion[0] if completion else math.inf
         if timer_t is math.inf and flow_t is math.inf:
-            return False
+            return None
+        return flow_t, timer_t, completion
 
+    def _peek_time(self) -> float:
+        event = self._pending_event()
+        if event is None:
+            return math.inf
+        return min(event[0], event[1])
+
+    # -- main loop ----------------------------------------------------------------
+
+    def _process(self, event: tuple[float, float, tuple[float, int, Flow] | None]) -> None:
+        flow_t, timer_t, completion = event
         if flow_t <= timer_t:
             assert completion is not None
-            t, flow = completion
-            self._advance_flows(t - self.now)
+            t, _, flow = completion
             self.now = t
             # The predicted flow finishes; numerically-simultaneous
-            # completions are picked up by subsequent steps.
+            # completions are picked up by the sweep below.
             flow.remaining = 0.0
+            self._rem[self._fid_of[flow]] = 0.0
             self._finish(flow)
+            self.perf.flow_events += 1
         else:
-            self._advance_flows(timer_t - self.now)
             self.now = timer_t
             _, _, callback = heapq.heappop(self._timers)
             callback()
-        # Also retire any flow the advance drained to (near) zero.
-        for f in [f for f in self._active if f.remaining <= REMAINING_EPS]:
-            self._finish(f)
+            self.perf.timer_events += 1
+        self._sweep()
         self.events_processed += 1
+
+    def _sweep(self) -> None:
+        """Retire every flow the elapsed interval drained to (near) zero."""
+        if not self._fid_of:
+            return
+        dt = self.now - self._settled_at
+        rem, rate = self._views()
+        if dt > 0.0:
+            current = rem - rate * dt
+        else:
+            current = rem
+        drained = current <= REMAINING_EPS
+        if not drained.any():
+            return
+        hits = sorted(
+            ((self._flow_at[i], current[i]) for i in drained.nonzero()[0].tolist()),
+            key=lambda item: item[0].flow_id,
+        )
+        for flow, value in hits:
+            if flow not in self._flows:  # a sweep callback cancelled it
+                continue
+            flow.remaining = max(0.0, float(value))
+            self._rem[self._fid_of[flow]] = flow.remaining
+            self._finish(flow)
+
+    def step(self) -> bool:
+        """Process the next event.  Returns False when nothing is pending."""
+        event = self._pending_event()
+        if event is None:
+            return False
+        self._process(event)
         return True
 
     def _finish(self, flow: Flow) -> None:
-        self._active.remove(flow)
+        callback = self._flows.pop(flow)
+        self._release_fid(flow)
+        if self._alloc is not None:
+            self._alloc.remove(flow)
         self._dirty = True
         self.completed_flows += 1
-        callback = self._on_complete.pop(flow)
+        self.perf.flows_finished += 1
         callback(flow)
 
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
         """Run until no events remain (or ``until``); returns the final clock."""
         events = 0
         while True:
-            if until is not None and self._peek_time() > until:
-                self._refresh_rates()
-                self._advance_flows(until - self.now)
-                self.now = until
+            event = self._pending_event()
+            if until is not None:
+                next_t = min(event[0], event[1]) if event else math.inf
+                if next_t > until:
+                    self._refresh_rates()
+                    self.now = until
+                    self._settle_all()
+                    break
+            if event is None:
                 break
-            if not self.step():
-                break
+            self._process(event)
             events += 1
             if events > max_events:
                 raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")
+        self._sync_remaining()
         return self.now
 
-    def _peek_time(self) -> float:
-        completion = self._next_completion()
-        timer_t = self._timers[0][0] if self._timers else math.inf
-        flow_t = completion[0] if completion else math.inf
-        return min(timer_t, flow_t)

@@ -1,0 +1,80 @@
+"""Instrumentation counters for the simulator hot path.
+
+Every :class:`~repro.simulate.engine.Simulation` owns a :class:`SimPerf`;
+the engine and the incremental allocator bump its counters as they work.
+The counters are plain ints/floats (negligible overhead) and answer the
+questions a performance regression hunt starts with: how many rate
+re-solves ran, how many water-filling iterations they took, how often the
+completion heap was rebuilt versus served from cache, and how much wall
+time each phase consumed.
+
+``repro.metrics`` re-exports :class:`SimPerf` and
+:func:`repro.metrics.export.perf_summary`; the runner attaches a snapshot
+to every :class:`~repro.simulate.runner.RunResult` so benchmarks can
+report solve counts next to event throughput (see
+``benchmarks/bench_sim_performance.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimPerf:
+    """Counters and per-phase wall clocks for one simulation."""
+
+    #: allocator runs (rate re-solves)
+    solves: int = 0
+    #: total water-filling iterations across all solves
+    solve_iterations: int = 0
+    #: completion-heap rebuilds (one per rate epoch that reached a peek)
+    heap_rebuilds: int = 0
+    #: lazy-deleted stale heap entries skipped during peeks
+    heap_pops: int = 0
+    #: settle passes (bulk remaining updates at rate-epoch boundaries)
+    settles: int = 0
+    #: flow-remaining updates performed by those settle passes
+    flows_settled: int = 0
+    #: events by kind
+    flow_events: int = 0
+    timer_events: int = 0
+    #: flow lifecycle
+    flows_started: int = 0
+    flows_finished: int = 0
+    flows_cancelled: int = 0
+    #: wall seconds per phase
+    solve_wall: float = 0.0
+    settle_wall: float = 0.0
+    scan_wall: float = 0.0
+
+    _extra: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy, JSON-ready (for RunResult / BENCH files)."""
+        out = {
+            "solves": self.solves,
+            "solve_iterations": self.solve_iterations,
+            "heap_rebuilds": self.heap_rebuilds,
+            "heap_pops": self.heap_pops,
+            "settles": self.settles,
+            "flows_settled": self.flows_settled,
+            "flow_events": self.flow_events,
+            "timer_events": self.timer_events,
+            "flows_started": self.flows_started,
+            "flows_finished": self.flows_finished,
+            "flows_cancelled": self.flows_cancelled,
+            "solve_wall": self.solve_wall,
+            "settle_wall": self.settle_wall,
+            "scan_wall": self.scan_wall,
+        }
+        out.update(self._extra)
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter (reuse one simulation across phases)."""
+        self.__init__()
+
+    @property
+    def events(self) -> int:
+        return self.flow_events + self.timer_events

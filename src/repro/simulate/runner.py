@@ -112,6 +112,9 @@ class RunResult:
     remote_bytes: int
     tasks_completed: int
     read_retries: int = 0
+    #: simulator instrumentation snapshot (solve counts, heap stats, phase
+    #: walls) — see :class:`repro.simulate.perf.SimPerf`.
+    sim_perf: dict[str, float] | None = None
 
     def durations(self) -> np.ndarray:
         """Chunk read times ordered by completion (Figure 7(c)'s series)."""
@@ -452,4 +455,5 @@ class ParallelReadRun:
             remote_bytes=self._remote_bytes,
             tasks_completed=self._tasks_completed,
             read_retries=self.read_retries,
+            sim_perf=self.sim.perf.snapshot(),
         )

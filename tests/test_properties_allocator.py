@@ -1,0 +1,84 @@
+"""Differential property tests: IncrementalAllocator ≡ allocate_rates.
+
+Random interleavings of flow add/remove (covering rate caps, concurrency
+penalties and removal while resources are saturated) must produce rates
+**exactly equal** — ``==``, not ``approx`` — to re-running the pure
+reference allocator on the surviving flow set.  This is the invariant the
+engine's bit-for-bit golden reproduction rests on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulate.allocator import IncrementalAllocator
+from repro.simulate.flows import Flow, allocate_rates
+from repro.simulate.resources import Resource
+
+
+@st.composite
+def allocator_scripts(draw):
+    """Resources plus an op script: (add, path, cap) / (remove, index)."""
+    num_resources = draw(st.integers(min_value=1, max_value=5))
+    names = [f"r{i}" for i in range(num_resources)]
+    resources = {}
+    for n in names:
+        cap = draw(st.floats(min_value=1.0, max_value=100.0))
+        pen = draw(st.sampled_from([None, 0.0, 0.1, 0.5]))
+        resources[n] = cap if pen is None else Resource(n, cap, pen)
+    ops = []
+    live = 0
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        if live and draw(st.booleans()):
+            ops.append(("remove", draw(st.integers(min_value=0, max_value=live - 1))))
+            live -= 1
+        else:
+            k = draw(st.integers(min_value=1, max_value=num_resources))
+            path = tuple(draw(st.permutations(names))[:k])
+            cap = draw(
+                st.one_of(st.none(), st.floats(min_value=0.5, max_value=50.0))
+            )
+            ops.append(("add", path, cap))
+            live += 1
+    return resources, ops
+
+
+@given(allocator_scripts())
+@settings(max_examples=150, deadline=None)
+def test_incremental_matches_reference_exactly(script):
+    resources, ops = script
+    alloc = IncrementalAllocator()
+    for name, res in resources.items():
+        alloc.register(name, res)
+    active: list[Flow] = []
+    for op in ops:
+        if op[0] == "add":
+            _, path, cap = op
+            f = Flow(100.0, path, rate_cap=cap)
+            alloc.add(f)
+            active.append(f)
+        else:
+            f = active.pop(op[1])
+            alloc.remove(f)
+        assert alloc.solve() == allocate_rates(active, resources)
+
+
+@given(allocator_scripts())
+@settings(max_examples=60, deadline=None)
+def test_solve_only_at_end_matches(script):
+    """Equivalence must not depend on solving after every mutation."""
+    resources, ops = script
+    alloc = IncrementalAllocator()
+    for name, res in resources.items():
+        alloc.register(name, res)
+    active: list[Flow] = []
+    for op in ops:
+        if op[0] == "add":
+            _, path, cap = op
+            f = Flow(100.0, path, rate_cap=cap)
+            alloc.add(f)
+            active.append(f)
+        else:
+            alloc.remove(active.pop(op[1]))
+    assert alloc.solve() == allocate_rates(active, resources)

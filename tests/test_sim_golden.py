@@ -1,0 +1,146 @@
+"""Golden regression: the incremental engine reproduces the seed engine.
+
+``tests/data/golden_sim_seed.json`` was captured from the pre-incremental
+engine (pure ``allocate_rates`` re-solve + linear scans).  Workloads whose
+every event changes the flow set (all parallel-read benchmarks) must
+reproduce it **bit for bit** — makespans compared by ``repr`` string and
+the full record stream by sha256 digest.
+
+Timer-heavy workloads (failure injection, irregular compute) merge
+several events into one settle interval, so their float error differs in
+the last ulp; those pin byte counts and discrete decisions exactly and
+makespans to 1e-9 relative.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "data" / "golden_sim_seed.json").read_text()
+)
+
+
+def records_digest(result):
+    h = hashlib.sha256()
+    for r in sorted(result.records, key=lambda r: r.seq):
+        h.update(
+            repr(
+                (r.seq, r.rank, r.task_id, str(r.chunk), r.server_node,
+                 r.reader_node, r.local, r.issue_time, r.end_time)
+            ).encode()
+        )
+    return h.hexdigest()
+
+
+def assert_exact(result, golden):
+    assert repr(result.makespan) == golden["makespan"]
+    assert records_digest(result) == golden["digest"]
+    assert result.local_bytes == golden["local_bytes"]
+    assert result.remote_bytes == golden["remote_bytes"]
+    assert {k: repr(v) for k, v in result.io_stats().items()} == golden["io"]
+
+
+def assert_ulp(result, golden):
+    """Timer-heavy run: discrete outcomes exact, floats to 1e-9 relative."""
+    assert result.makespan == pytest.approx(float(golden["makespan"]), rel=1e-9)
+    assert result.local_bytes == golden["local_bytes"]
+    assert result.remote_bytes == golden["remote_bytes"]
+    for k, v in result.io_stats().items():
+        assert v == pytest.approx(float(golden["io"][k]), rel=1e-9, abs=1e-9)
+
+
+@pytest.mark.parametrize(
+    "num_nodes,seed", [(16, 9), (16, 0), (32, 0), (64, 1)]
+)
+def test_fig7_single_data_bitwise(num_nodes, seed):
+    from repro.experiments.single_data import run_single_data_comparison
+
+    c = run_single_data_comparison(num_nodes, seed=seed)
+    assert_exact(c.base, GOLDEN[f"fig7_m{num_nodes}_s{seed}_base"])
+    assert_exact(c.opass, GOLDEN[f"fig7_m{num_nodes}_s{seed}_opass"])
+
+
+def test_validation_grid_bitwise():
+    from repro.analysis import validation_grid
+
+    rows = validation_grid(
+        cluster_sizes=(8, 16, 32), replications=(2, 3), trials=3, seed=0
+    )
+    got = [
+        {"nodes": r.num_nodes, "repl": r.replication,
+         "sim_loc": repr(r.simulated_locality),
+         "sim_std": repr(r.simulated_served_std)}
+        for r in rows
+    ]
+    assert got == GOLDEN["validation"]
+
+
+def test_paraview_bitwise():
+    from repro.experiments.paraview import run_paraview_comparison
+
+    pv = run_paraview_comparison(num_nodes=8, num_datasets=48, seed=3)
+    g = GOLDEN["paraview_8_s3"]
+    assert_exact(pv.stock.run, g["stock"])
+    assert_exact(pv.opass.run, g["opass"])
+    assert repr(pv.stock.total_execution_time) == g["stock_total"]
+    assert repr(pv.opass.total_execution_time) == g["opass_total"]
+
+
+def test_ingest_bitwise():
+    from repro.core import ProcessPlacement
+    from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
+    from repro.dfs.chunk import MB
+    from repro.simulate import DatasetIngest
+
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(8), seed=7)
+    ing = DatasetIngest(
+        fs,
+        ProcessPlacement.one_per_node(8),
+        uniform_dataset("ing", 24, chunk_size=16 * MB),
+        seed=7,
+    )
+    res = ing.run()
+    g = GOLDEN["ingest_8"]
+    assert repr(res.makespan) == g["makespan"]
+    assert {k: repr(v) for k, v in res.write_stats().items()} == g["writes"]
+
+
+def test_faults_ulp():
+    from repro.core import (
+        ProcessPlacement,
+        rank_interval_assignment,
+        tasks_from_dataset,
+    )
+    from repro.dfs import ClusterSpec, DistributedFileSystem
+    from repro.simulate import FaultPlan, ParallelReadRun, StaticSource
+    from repro.workloads import single_data_workload
+
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(8), replication=3, seed=5)
+    data = single_data_workload(8, 6)
+    fs.put_dataset(data)
+    tasks = tasks_from_dataset(data)
+    run = ParallelReadRun(
+        fs,
+        ProcessPlacement.one_per_node(8),
+        tasks,
+        StaticSource(rank_interval_assignment(len(tasks), 8)),
+        seed=5,
+    )
+    FaultPlan().fail(1.5, 2).fail(3.0, 5).attach(run)
+    assert_ulp(run.run(), GOLDEN["faults_8"])
+
+
+def test_dynamic_ulp():
+    from repro.experiments.dynamic import run_dynamic_comparison
+
+    dyn = run_dynamic_comparison(num_nodes=8, num_fragments=48, seed=2)
+    g = GOLDEN["dynamic_8_s2"]
+    assert_ulp(dyn.base.result, g["base"])
+    assert_ulp(dyn.opass.result, g["opass"])
+    assert dyn.base.steals == g["base_steals"]
+    assert dyn.opass.steals == g["opass_steals"]

@@ -1,0 +1,117 @@
+"""Structural and differential tests for the incremental engine.
+
+* the hot path must stay O(1)/O(Δ): a dict-backed flow registry and no
+  ``list.remove`` left anywhere in the engine source;
+* ``Simulation(allocator="reference")`` re-solves with the pure
+  ``allocate_rates`` every time — whole runs must match the incremental
+  engine event for event.
+"""
+
+from __future__ import annotations
+
+import inspect
+import re
+
+import pytest
+
+import repro.simulate.engine as engine_mod
+from repro.simulate import Simulation
+from repro.simulate.resources import Resource
+
+
+class TestStructure:
+    def test_no_linear_list_remove_in_engine(self):
+        """The O(F) ``self._active.remove(flow)`` pattern must not return.
+
+        The only permitted ``.remove(`` is the allocator's O(|path|)
+        ``_alloc.remove`` bookkeeping call.
+        """
+        source = inspect.getsource(engine_mod)
+        for m in re.finditer(r"[\w.]+\.remove\(", source):
+            assert m.group(0).endswith("._alloc.remove("), m.group(0)
+        assert "_active" not in source
+
+    def test_flow_registry_is_dict(self):
+        sim = Simulation()
+        assert isinstance(sim._flows, dict)
+        assert not hasattr(sim, "_active")
+
+    def test_unknown_allocator_rejected(self):
+        with pytest.raises(ValueError, match="unknown allocator"):
+            Simulation(allocator="magic")
+
+    def test_slot_ids_are_recycled(self):
+        sim = Simulation()
+        sim.add_resource(Resource("r", 10.0))
+        flows = [sim.start_flow(100, ["r"], lambda f: None) for _ in range(5)]
+        sim.cancel_flow(flows[1])
+        sim.cancel_flow(flows[3])
+        assert len(sim._fid_of) == 3
+        assert sorted(sim._free_ids) == [1, 3]
+        # a new flow reuses a freed slot instead of growing the arrays
+        extra = sim.start_flow(100, ["r"], lambda f: None)
+        assert sim._fid_of[extra] in (1, 3)
+        assert len(sim._flow_at) == 5
+
+
+def build_workload(sim):
+    """Mixed workload: shared bottlenecks, caps, cancels, timers."""
+    sim.add_resources(
+        [
+            Resource("a", 10.0),
+            Resource("b", 4.0),
+            Resource("d", 100.0, concurrency_penalty=0.5),
+        ]
+    )
+    events = []
+
+    def note(tag):
+        return lambda f=None: events.append((tag, sim.now))
+
+    sim.start_flow(100, ["a", "b"], note("ab"))
+    sim.start_flow(100, ["a"], note("a"))
+    sim.start_flow(40, ["b"], note("b"), rate_cap=1.5)
+    for i in range(4):
+        sim.start_flow(60, ["d"], note(f"d{i}"))
+    victim = sim.start_flow(500, ["a", "d"], note("victim"))
+    sim.schedule(2.0, lambda: (sim.cancel_flow(victim), events.append(("cancel", sim.now))))
+    sim.schedule(3.5, note("timer"))
+
+    def spawn_late():
+        sim.start_flow(25, ["b", "d"], note("late"))
+
+    sim.schedule(4.0, spawn_late)
+    return events
+
+
+class TestReferenceDifferential:
+    def test_runs_match_event_for_event(self):
+        runs = {}
+        for mode in ("incremental", "reference"):
+            sim = Simulation(allocator=mode)
+            events = build_workload(sim)
+            end = sim.run()
+            runs[mode] = (events, end, sim.events_processed, sim.completed_flows)
+        assert runs["incremental"] == runs["reference"]
+
+    def test_partial_run_remaining_match(self):
+        states = {}
+        for mode in ("incremental", "reference"):
+            sim = Simulation(allocator=mode)
+            sim.add_resources([Resource("a", 10.0), Resource("b", 4.0)])
+            f1 = sim.start_flow(100, ["a", "b"], lambda f: None)
+            f2 = sim.start_flow(100, ["a"], lambda f: None)
+            sim.run(until=3.0)
+            states[mode] = (sim.now, f1.remaining, f2.remaining)
+        assert states["incremental"] == states["reference"]
+
+    def test_current_rate_matches(self):
+        rates = {}
+        for mode in ("incremental", "reference"):
+            sim = Simulation(allocator=mode)
+            sim.add_resources([Resource("a", 10.0), Resource("b", 4.0)])
+            f1 = sim.start_flow(100, ["a", "b"], lambda f: None)
+            f2 = sim.start_flow(100, ["a"], lambda f: None)
+            f3 = sim.start_flow(100, ["b"], lambda f: None, rate_cap=1.0)
+            rates[mode] = (sim.current_rate(f1), sim.current_rate(f2), sim.current_rate(f3))
+        assert rates["incremental"] == rates["reference"]

@@ -12,6 +12,8 @@
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from .assignment import Assignment, equal_quotas
@@ -73,7 +75,11 @@ class DefaultDynamicPolicy:
         if mode not in ("fifo", "random"):
             raise ValueError(f"unknown mode {mode!r}")
         self.mode = mode
-        self._remaining = list(range(num_tasks))
+        # fifo only ever consumes the head (deque, O(1)); random must pop
+        # arbitrary order-preserved indices, which only a list supports.
+        self._remaining: deque[int] | list[int] = (
+            deque(range(num_tasks)) if mode == "fifo" else list(range(num_tasks))
+        )
         self._rng = (
             seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
         )
@@ -86,7 +92,7 @@ class DefaultDynamicPolicy:
         """Task for idle worker ``rank``; None when the pool is empty."""
         if not self._remaining:
             return None
-        if self.mode == "fifo":
-            return self._remaining.pop(0)
+        if isinstance(self._remaining, deque):
+            return self._remaining.popleft()
         idx = int(self._rng.integers(len(self._remaining)))
         return self._remaining.pop(idx)

@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..simulate.runner import Wait
 from .bipartite import LocalityGraph
+from .tasks import Wait
 
 
 class LocalityGreedyPolicy:

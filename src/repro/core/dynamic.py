@@ -17,6 +17,7 @@ little locality as possible.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from .assignment import Assignment
@@ -28,7 +29,7 @@ class DynamicPlan:
     """Mutable runtime state of the §IV-D scheduler policy."""
 
     graph: LocalityGraph
-    lists: dict[int, list[int]]  # L_i, ordered; consumed from the front
+    lists: dict[int, deque[int]]  # L_i, ordered; consumed from the front
     steals: int = 0
     dispatched: int = 0
     _dispatched_local_bytes: int = field(default=0, repr=False)
@@ -46,17 +47,22 @@ class DynamicPlan:
             raise KeyError(f"no plan for rank {rank}")
         own = self.lists[rank]
         if own:
-            task = own.pop(0)
+            task = own.popleft()
         else:
             # Steal from the longest remaining list: pick the task there
-            # with the largest co-located bytes with this worker.
+            # with the largest co-located bytes with this worker.  One
+            # enumerate scan finds the argmax so the victim is deleted by
+            # index instead of a second O(n) remove() search.
             donors = [r for r, lst in self.lists.items() if lst]
             if not donors:
                 return None
             longest = max(donors, key=lambda r: (len(self.lists[r]), -r))
             pool = self.lists[longest]
-            task = max(pool, key=lambda t: (self.graph.edge_weight(rank, t), -t))
-            pool.remove(task)
+            best, task = max(
+                enumerate(pool),
+                key=lambda it: (self.graph.edge_weight(rank, it[1]), -it[1]),
+            )
+            del pool[best]
             self.steals += 1
         self.dispatched += 1
         self._dispatched_local_bytes += self.graph.edge_weight(rank, task)
@@ -82,10 +88,10 @@ def plan_dynamic(
     """
     if order not in ("locality", "as_assigned"):
         raise ValueError(f"unknown order {order!r}")
-    lists: dict[int, list[int]] = {}
+    lists: dict[int, deque[int]] = {}
     for rank in range(graph.num_processes):
         tasks = list(assignment.tasks_of.get(rank, []))
         if order == "locality":
             tasks.sort(key=lambda t: (-graph.edge_weight(rank, t), t))
-        lists[rank] = tasks
+        lists[rank] = deque(tasks)
     return DynamicPlan(graph=graph, lists=lists)

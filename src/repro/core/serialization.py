@@ -12,7 +12,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections import deque
 from pathlib import Path
+from typing import Any
 
 from ..dfs.chunk import ChunkId
 from .assignment import Assignment
@@ -34,7 +36,7 @@ def assignment_to_dict(
     *,
     num_tasks: int,
     fingerprint: str | None = None,
-) -> dict:
+) -> dict[str, Any]:
     """JSON-ready representation; validates coverage before serialising."""
     assignment.validate(num_tasks)
     return {
@@ -48,7 +50,7 @@ def assignment_to_dict(
 
 
 def assignment_from_dict(
-    data: dict,
+    data: dict[str, Any],
     *,
     expect_fingerprint: str | None = None,
 ) -> Assignment:
@@ -105,7 +107,7 @@ def load_assignment(
     return assignment_from_dict(data, expect_fingerprint=expect)
 
 
-def plan_to_dict(plan: DynamicPlan) -> dict:
+def plan_to_dict(plan: DynamicPlan) -> dict[str, Any]:
     """Serialise a dynamic plan's remaining guided lists."""
     return {
         "format": FORMAT_VERSION,
@@ -114,13 +116,13 @@ def plan_to_dict(plan: DynamicPlan) -> dict:
     }
 
 
-def plan_from_dict(data: dict, graph: LocalityGraph) -> DynamicPlan:
+def plan_from_dict(data: dict[str, Any], graph: LocalityGraph) -> DynamicPlan:
     """Rehydrate a dynamic plan against a (compatible) locality graph."""
     if data.get("format") != FORMAT_VERSION:
         raise ValueError(f"unsupported format {data.get('format')!r}")
     if data.get("kind") != "dynamic_plan":
         raise ValueError(f"not a dynamic plan document: {data.get('kind')!r}")
-    lists = {int(r): [int(t) for t in ts] for r, ts in data["lists"].items()}
+    lists = {int(r): deque(int(t) for t in ts) for r, ts in data["lists"].items()}
     if set(lists) != set(range(graph.num_processes)):
         raise ValueError("plan's process set does not match the graph")
     for ts in lists.values():

@@ -120,7 +120,11 @@ def _fallback_distribute(
         assignment.assign(rank, task_id)
         deficits[rank] -= 1
         if deficits[rank] == 0:
-            open_ranks.remove(rank)
+            # Order-preserving removal is required: the "random" policy
+            # indexes open_ranks with rng draws, so a swap-pop would
+            # change which rank each subsequent draw selects.  The list
+            # is at most num_processes long and each rank leaves once.
+            open_ranks.remove(rank)  # opass: ignore[OPS005] -- cold planner path; O(m) removal, each rank removed at most once, order must be stable for seeded rng reproducibility
 
 
 def optimize_single_data(
@@ -207,8 +211,13 @@ def optimize_single_data(
     for rank in range(m):
         ts = assignment.tasks_of.get(rank, [])
         while len(ts) > quotas[rank]:
-            worst = min(ts, key=lambda tid: (graph.edge_weight(rank, tid), -tid))
-            ts.remove(worst)
+            # One enumerate scan finds the argmin so the demoted task is
+            # deleted by index instead of a second O(n) remove() search.
+            worst_i, worst = min(
+                enumerate(ts),
+                key=lambda it: (graph.edge_weight(rank, it[1]), -it[1]),
+            )
+            del ts[worst_i]
             matched.discard(worst)
             pending.append(worst)
     pending.sort()

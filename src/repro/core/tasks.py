@@ -14,6 +14,24 @@ from ..dfs.chunk import ChunkId, Dataset
 
 
 @dataclass(frozen=True, slots=True)
+class Wait:
+    """A task source's answer meaning "ask me again in ``seconds``".
+
+    Used by delay-scheduling-style policies that would rather leave a
+    worker idle briefly than hand it a remote task.  Lives here (not in
+    the runner) because task sources are core-layer objects: the
+    scheduling policies that return ``Wait`` must not depend on the
+    simulator above them.
+    """
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise ValueError("wait must be positive")
+
+
+@dataclass(frozen=True, slots=True)
 class Task:
     """One data-processing operator and the chunks it must read."""
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..dfs.cluster import ClusterSpec
 from .engine import Simulation
+from .flows import Flow
 from .resources import remote_read_path
 
 
@@ -79,7 +80,7 @@ class BackgroundTraffic:
         else:
             path = remote_read_path(src, dst)
 
-        def done(_flow) -> None:
+        def done(_flow: Flow) -> None:
             self.completed += 1
             self.bytes_moved += self.transfer_size
 

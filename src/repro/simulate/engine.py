@@ -43,7 +43,6 @@ from __future__ import annotations
 
 import heapq
 import math
-import time
 from itertools import count
 from typing import Callable
 
@@ -51,7 +50,7 @@ import numpy as np
 
 from .allocator import IncrementalAllocator
 from .flows import Flow, allocate_rates
-from .perf import SimPerf
+from .perf import SimPerf, wall_clock
 from .resources import Resource
 
 #: Completion slack: a flow is done when remaining ≤ REMAINING_EPS bytes.
@@ -228,12 +227,12 @@ class Simulation:
         self._settled_at = self.now
         if dt <= 0.0 or not self._flow_at:
             return
-        t0 = time.perf_counter()
+        t0 = wall_clock()
         rem, rate = self._views()
         np.maximum(0.0, rem - rate * dt, out=rem)
         self.perf.settles += 1
         self.perf.flows_settled += len(self._fid_of)
-        self.perf.settle_wall += time.perf_counter() - t0
+        self.perf.settle_wall += wall_clock() - t0
 
     def _sync_remaining(self) -> None:
         """Copy the authoritative slot array back onto the Flow objects."""
@@ -246,7 +245,7 @@ class Simulation:
         # The old rates governed the interval up to ``now``; credit it
         # before they are replaced.
         self._settle_all()
-        t0 = time.perf_counter()
+        t0 = wall_clock()
         if self._alloc is not None:
             self._alloc.solve(out=self._rate)
             self.perf.solve_iterations += self._alloc.last_iterations
@@ -259,7 +258,7 @@ class Simulation:
         self._dirty = False
         self._epoch += 1
         self.perf.solves += 1
-        self.perf.solve_wall += time.perf_counter() - t0
+        self.perf.solve_wall += wall_clock() - t0
 
     # -- event selection -----------------------------------------------------
 
@@ -274,7 +273,7 @@ class Simulation:
         """
         self._refresh_rates()
         if self._pred_epoch != self._epoch:
-            t0 = time.perf_counter()
+            t0 = wall_clock()
             if self._fid_of:
                 rem, rate = self._views()
                 t = self.now + rem / rate
@@ -293,7 +292,7 @@ class Simulation:
                 self._next_completion = None
             self._pred_epoch = self._epoch
             self.perf.heap_rebuilds += 1
-            self.perf.scan_wall += time.perf_counter() - t0
+            self.perf.scan_wall += wall_clock() - t0
         return self._next_completion
 
     def _pending_event(self) -> tuple[float, float, tuple[float, int, Flow] | None] | None:

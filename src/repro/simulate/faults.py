@@ -72,7 +72,10 @@ class FaultPlan:
         Must be called before ``run.run()``; events fire at their absolute
         simulated times.
         """
-        if run.sim.now != 0.0:
+        # The clock is monotone from 0.0, so "has the run started?" is an
+        # ordering question — an exact float != would also work today but
+        # reads as a tolerance bug (OPS004).
+        if run.sim.now > 0.0:
             raise RuntimeError("attach the fault plan before starting the run")
         for failure in self.failures:
             def do_fail(f: NodeFailure = failure) -> None:

@@ -20,6 +20,7 @@ readable — the write and read halves compose into a full data lifecycle.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -170,16 +171,16 @@ class DatasetIngest:
                 self.fs.datanodes[node].add_replica(cid, size_of[cid])
 
         # Per-writer sequential chunk streams.
-        queues: dict[int, list[Chunk]] = {}
+        queues: dict[int, deque[Chunk]] = {}
         owner = self.assignment.process_of()
         for file_idx, meta in enumerate(self.dataset.files):
-            queues.setdefault(owner[file_idx], []).extend(meta.chunks)
+            queues.setdefault(owner[file_idx], deque()).extend(meta.chunks)
 
         def start_next(rank: int) -> None:
             queue = queues.get(rank)
             if not queue:
                 return
-            chunk = queue.pop(0)
+            chunk = queue.popleft()
             writer_node = self.writers.node_of(rank)
             replicas = layout[chunk.id]
             path = pipeline_path(writer_node, replicas)

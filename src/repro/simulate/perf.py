@@ -17,7 +17,15 @@ report solve counts next to event throughput (see
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+
+#: The one sanctioned wall-clock source in the simulation layers.
+#: Simulation code must never read wall time directly (enforced by
+#: opass-lint rule OPS002) — results must depend only on the simulated
+#: clock.  Instrumentation that genuinely wants wall time (phase
+#: timings below) reads it through this alias.
+wall_clock = time.perf_counter
 
 
 @dataclass

@@ -31,7 +31,7 @@ import numpy as np
 
 from ..core.assignment import Assignment
 from ..core.bipartite import ProcessPlacement
-from ..core.tasks import Task
+from ..core.tasks import Task, Wait
 from ..dfs.chunk import ChunkId
 from ..dfs.filesystem import DistributedFileSystem
 from .engine import Simulation
@@ -43,19 +43,15 @@ logger = logging.getLogger(__name__)
 ComputeModel = Callable[[int, int, np.random.Generator], float]
 
 
-@dataclass(frozen=True, slots=True)
-class Wait:
-    """A task source's answer meaning "ask me again in ``seconds``".
-
-    Used by delay-scheduling-style policies that would rather leave a
-    worker idle briefly than hand it a remote task.
-    """
-
-    seconds: float
-
-    def __post_init__(self) -> None:
-        if self.seconds <= 0:
-            raise ValueError("wait must be positive")
+__all__ = [
+    "ComputeModel",
+    "ParallelReadRun",
+    "ReadRecord",
+    "RunResult",
+    "StaticSource",
+    "TaskSource",
+    "Wait",
+]
 
 
 class TaskSource(Protocol):

@@ -1,0 +1,35 @@
+"""`opass-lint`: codebase-specific static analysis for the reproduction.
+
+The simulator's claims — bit-reproducible runs from a seed, an
+incremental allocator equivalent to the reference solver, strict package
+layering — are properties the test suite can only spot-check.  This
+package enforces them statically, on every commit:
+
+* :mod:`repro.tools.lint` — the command-line front end
+  (``python -m repro.tools.lint src/``);
+* :mod:`repro.tools.api` — the programmatic entry used by the test
+  suite (``lint_source`` / ``lint_file`` / ``lint_paths``);
+* :mod:`repro.tools.checks` — the AST rule implementations
+  (OPS001–OPS006);
+* :mod:`repro.tools.config` — ``[tool.opass-lint]`` configuration.
+
+``repro.tools`` sits at the top of the package layering DAG and must not
+be imported by any other ``repro`` package.
+"""
+
+from .api import LintReport, lint_file, lint_paths, lint_source
+from .checks import RULES
+from .config import DEFAULT_LAYERS, LintConfig, load_config
+from .model import Violation
+
+__all__ = [
+    "DEFAULT_LAYERS",
+    "LintConfig",
+    "LintReport",
+    "RULES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+]

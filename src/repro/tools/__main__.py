@@ -1,0 +1,8 @@
+"""``python -m repro.tools`` → the lint CLI."""
+
+import sys
+
+from .lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

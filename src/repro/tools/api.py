@@ -1,0 +1,190 @@
+"""Programmatic entry points for `opass-lint`.
+
+The test suite drives the analyzer through these functions instead of
+the CLI so rules can be asserted on in-memory snippets and on the real
+tree::
+
+    from repro.tools.api import lint_paths
+    report = lint_paths(["src"])
+    assert report.ok, report.render()
+
+``lint_source`` accepts an explicit ``module=`` override so fixtures can
+pretend to live inside ``repro.simulate`` etc.; standalone fixture files
+declare the same thing with a ``# opass-lint: module=...`` directive.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .checks import KNOWN_RULES, check_module
+from .config import LintConfig, find_pyproject, load_config
+from .model import Violation, module_directive, parse_suppressions
+
+#: Schema version of the JSON report (bump on breaking changes).
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LintReport:
+    """The outcome of linting a set of files."""
+
+    violations: list[Violation] = field(default_factory=list)
+    suppressed: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for v in self.violations:
+            out[v.rule] = out.get(v.rule, 0) + 1
+        return out
+
+    def extend(self, other: "LintReport") -> None:
+        self.violations.extend(other.violations)
+        self.suppressed.extend(other.suppressed)
+        self.files_checked += other.files_checked
+
+    def sort(self) -> None:
+        key = lambda v: (v.file, v.line, v.col, v.rule)  # noqa: E731
+        self.violations.sort(key=key)
+        self.suppressed.sort(key=key)
+
+    def render(self) -> str:
+        """Human-readable report."""
+        self.sort()
+        lines = [v.render() for v in self.violations]
+        if self.violations:
+            by_rule = ", ".join(
+                f"{rule}×{n}" for rule, n in sorted(self.counts().items())
+            )
+            lines.append(
+                f"{len(self.violations)} violation(s) in "
+                f"{self.files_checked} file(s): {by_rule}"
+            )
+        else:
+            lines.append(
+                f"ok: {self.files_checked} file(s) clean "
+                f"({len(self.suppressed)} suppressed)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        self.sort()
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "tool": "opass-lint",
+            "files_checked": self.files_checked,
+            "ok": self.ok,
+            "counts": self.counts(),
+            "violations": [v.as_dict() for v in self.violations],
+            "suppressed": [v.as_dict() for v in self.suppressed],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False)
+
+
+def _module_from_path(path: Path) -> tuple[str, bool]:
+    """Infer the dotted module from a file path (``.../repro/x/y.py``).
+
+    Returns ``(module, is_package)``.  Files outside a ``repro`` tree get
+    a synthetic top-level name, which keeps package-scoped rules off.
+    """
+    parts = list(path.parts)
+    is_package = path.name == "__init__.py"
+    if "repro" in parts:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+        mod_parts = parts[start:]
+    else:
+        mod_parts = [path.name]
+    if is_package:
+        mod_parts = mod_parts[:-1]
+    elif mod_parts[-1].endswith(".py"):
+        mod_parts[-1] = mod_parts[-1][: -len(".py")]
+    return ".".join(mod_parts), is_package
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Lint one source string; raises SyntaxError on unparsable input."""
+    config = config if config is not None else LintConfig()
+    directive = module_directive(source)
+    is_package = path.endswith("__init__.py")
+    if module is None:
+        if directive is not None:
+            module = directive
+            is_package = False
+        else:
+            module, is_package = _module_from_path(Path(path))
+    tree = ast.parse(source, filename=path)
+    raw = check_module(
+        tree, path=path, module=module, config=config, is_package=is_package
+    )
+    by_line, pragma_errors = parse_suppressions(source, path, KNOWN_RULES)
+    report = LintReport(files_checked=1)
+    report.violations.extend(pragma_errors)
+    for violation in raw:
+        pragma = by_line.get(violation.line)
+        if pragma is not None and violation.rule in pragma.rules:
+            pragma.used.add(violation.rule)
+            report.suppressed.append(
+                Violation(
+                    file=violation.file,
+                    line=violation.line,
+                    col=violation.col,
+                    rule=violation.rule,
+                    message=violation.message,
+                    suppressed=True,
+                    reason=pragma.reason,
+                )
+            )
+        else:
+            report.violations.append(violation)
+    return report
+
+
+def lint_file(path: str | Path, *, config: LintConfig | None = None) -> LintReport:
+    p = Path(path)
+    source = p.read_text(encoding="utf-8")
+    return lint_source(source, path=str(p), config=config)
+
+
+def _iter_python_files(paths: list[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return files
+
+
+def lint_paths(
+    paths: list[str | Path],
+    *,
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Lint files and directories (recursively); missing paths raise."""
+    if config is None:
+        pyproject = find_pyproject(Path(paths[0]) if paths else Path.cwd())
+        config = load_config(pyproject) if pyproject else LintConfig()
+    report = LintReport()
+    for file in _iter_python_files(paths):
+        if any(pattern in str(file) for pattern in config.exclude):
+            continue
+        report.extend(lint_file(file, config=config))
+    report.sort()
+    return report

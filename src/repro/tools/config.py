@@ -1,0 +1,174 @@
+"""``[tool.opass-lint]`` configuration.
+
+The defaults below describe *this* repository: the package layering DAG,
+the wall-clock allow-list, the names of float-typed simulation
+quantities, and the per-rule package scopes.  A ``pyproject.toml`` can
+override any key under ``[tool.opass-lint]`` (kebab-case, as usual for
+tool tables); unknown keys are rejected so typos fail loudly.
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: The layering DAG as a rank table: a module in package P may import
+#: package Q only when ``layers[Q] < layers[P]`` (or Q is P itself).
+#: ``core``/``dfs`` sit at the bottom, ``simulate`` above them, and the
+#: experiment/application/presentation layers on top.  Top-level modules
+#: (``repro.cli``, ``repro.report``) and ``repro.tools`` may import
+#: anything; nothing may import ``repro.tools``.
+DEFAULT_LAYERS: dict[str, int] = {
+    "dfs": 0,
+    "core": 1,
+    "simulate": 2,
+    "metrics": 3,
+    "workloads": 3,
+    "analysis": 3,
+    "viz": 3,
+    "parallel": 4,
+    "apps": 5,
+    "experiments": 6,
+    "report": 7,
+    "cli": 8,
+    "tools": 8,
+}
+
+#: Attribute/variable names treated as float-typed simulation quantities
+#: by OPS004 (clock readings, rates, byte residues, phase walls).
+DEFAULT_FLOAT_ATTRS: tuple[str, ...] = (
+    "now",
+    "remaining",
+    "rate",
+    "rate_cap",
+    "makespan",
+    "issue_time",
+    "end_time",
+    "start_time",
+    "finish_time",
+    "latency",
+    "duration",
+    "elapsed",
+    "settled_at",
+)
+
+#: Per-rule package scopes (None → the whole tree).
+DEFAULT_SCOPES: dict[str, tuple[str, ...] | None] = {
+    "OPS001": None,
+    "OPS002": ("simulate", "core"),
+    "OPS003": ("simulate", "core", "dfs"),
+    "OPS004": ("simulate", "core", "dfs"),
+    "OPS005": ("simulate", "core"),
+    "OPS006": None,
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved analyzer configuration."""
+
+    #: package → rank; imports must point strictly down-rank.
+    layers: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_LAYERS))
+    #: modules where wall-clock reads are legitimate (perf instrumentation).
+    wallclock_allow: tuple[str, ...] = ("repro.simulate.perf",)
+    #: receiver attribute names whose ``.remove`` is O(small) by contract.
+    remove_allow: tuple[str, ...] = ("_alloc",)
+    #: function names that ARE the tolerance helpers (OPS004 is off inside).
+    float_eq_helpers: tuple[str, ...] = ("isclose", "close_enough", "approx_equal")
+    #: names of float-typed sim quantities for OPS004.
+    float_attrs: tuple[str, ...] = DEFAULT_FLOAT_ATTRS
+    #: per-rule package scope; a rule fires only inside its scope.
+    scopes: dict[str, tuple[str, ...] | None] = field(
+        default_factory=lambda: dict(DEFAULT_SCOPES)
+    )
+    #: path substrings excluded from linting entirely.
+    exclude: tuple[str, ...] = ()
+
+    def in_scope(self, rule: str, package: str | None) -> bool:
+        scope = self.scopes.get(rule, None)
+        if scope is None:
+            return True
+        return package is not None and package in scope
+
+
+class ConfigError(ValueError):
+    """Raised for unreadable or malformed ``[tool.opass-lint]`` tables."""
+
+
+_KEYS = {
+    "layers": "layers",
+    "wallclock-allow": "wallclock_allow",
+    "remove-allow": "remove_allow",
+    "float-eq-helpers": "float_eq_helpers",
+    "float-attrs": "float_attrs",
+    "scopes": "scopes",
+    "exclude": "exclude",
+}
+
+
+def config_from_table(table: dict[str, object]) -> LintConfig:
+    """Build a :class:`LintConfig` from a ``[tool.opass-lint]`` mapping."""
+    kwargs: dict[str, object] = {}
+    for key, value in table.items():
+        attr = _KEYS.get(key)
+        if attr is None:
+            raise ConfigError(
+                f"unknown [tool.opass-lint] key {key!r} (known: {sorted(_KEYS)})"
+            )
+        if attr == "layers":
+            if not isinstance(value, dict) or not all(
+                isinstance(k, str) and isinstance(v, int) for k, v in value.items()
+            ):
+                raise ConfigError("layers must map package names to integer ranks")
+            kwargs["layers"] = dict(value)
+        elif attr == "scopes":
+            if not isinstance(value, dict):
+                raise ConfigError("scopes must map rule ids to package lists")
+            scopes: dict[str, tuple[str, ...] | None] = dict(DEFAULT_SCOPES)
+            for rule, pkgs in value.items():
+                if not isinstance(pkgs, list) or not all(
+                    isinstance(p, str) for p in pkgs
+                ):
+                    raise ConfigError(f"scopes[{rule!r}] must be a list of packages")
+                scopes[rule] = tuple(pkgs)
+            kwargs["scopes"] = scopes
+        else:
+            if not isinstance(value, list) or not all(
+                isinstance(v, str) for v in value
+            ):
+                raise ConfigError(f"{key} must be a list of strings")
+            kwargs[attr] = tuple(value)
+    return LintConfig(**kwargs)  # type: ignore[arg-type]
+
+
+def load_config(pyproject: str | Path) -> LintConfig:
+    """Load ``[tool.opass-lint]`` from a ``pyproject.toml`` file.
+
+    Missing file or missing table → the built-in defaults.
+    """
+    path = Path(pyproject)
+    if not path.is_file():
+        return LintConfig()
+    try:
+        data = tomllib.loads(path.read_text(encoding="utf-8"))
+    except tomllib.TOMLDecodeError as exc:
+        raise ConfigError(f"cannot parse {path}: {exc}") from exc
+    table = data.get("tool", {}).get("opass-lint")
+    if table is None:
+        return LintConfig()
+    if not isinstance(table, dict):
+        raise ConfigError("[tool.opass-lint] must be a table")
+    return config_from_table(table)
+
+
+def find_pyproject(start: str | Path) -> Path | None:
+    """Walk up from ``start`` to the nearest ``pyproject.toml``."""
+    here = Path(start).resolve()
+    if here.is_file():
+        here = here.parent
+    for candidate in (here, *here.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            return pyproject
+    return None

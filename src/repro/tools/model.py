@@ -1,0 +1,120 @@
+"""Shared data model for the analyzer: violations and suppressions.
+
+A violation pins a rule id to a ``file:line:col`` location.  Suppressions
+are per-line pragmas of the form::
+
+    x = risky()  # opass: ignore[OPS001] -- documented fallback seed
+
+The reason after ``--`` is mandatory: a suppression is a *recorded
+decision*, and a bare one (no reason, or an unknown rule id) is itself
+reported as **OPS000** so it cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: Matches the suppression pragma anywhere in a source line.
+_PRAGMA = re.compile(r"#\s*opass:\s*ignore\[(?P<ids>[^\]]*)\](?P<rest>.*)$")
+_REASON = re.compile(r"^\s*--\s*(?P<reason>\S.*)$")
+_RULE_ID = re.compile(r"^OPS\d{3}$")
+
+#: Matches the module-override directive used by lint fixtures::
+#:
+#:     # opass-lint: module=repro.simulate.example
+MODULE_DIRECTIVE = re.compile(r"#\s*opass-lint:\s*module=(?P<module>[\w.]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule fired at a location."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    suppressed: bool = False
+    reason: str | None = None
+
+    def as_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+        if self.suppressed:
+            out["suppressed"] = True
+            out["reason"] = self.reason
+        return out
+
+    def render(self) -> str:
+        tag = " (suppressed: {})".format(self.reason) if self.suppressed else ""
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}{tag}"
+
+
+@dataclass
+class Suppression:
+    """A parsed suppression pragma on one line."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: set[str] = field(default_factory=set)
+
+
+def parse_suppressions(
+    source: str, path: str, known_rules: frozenset[str]
+) -> tuple[dict[int, Suppression], list[Violation]]:
+    """Extract per-line suppressions; malformed pragmas become OPS000.
+
+    Returns ``(by_line, errors)``.  A pragma is malformed when its reason
+    is missing/empty or any listed rule id is not a known ``OPSnnn``.
+    """
+    by_line: dict[int, Suppression] = {}
+    errors: list[Violation] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _PRAGMA.search(text)
+        if m is None:
+            continue
+        col = m.start() + 1
+        ids = tuple(part.strip() for part in m.group("ids").split(",") if part.strip())
+        reason_m = _REASON.match(m.group("rest"))
+        bad: list[str] = []
+        if not ids:
+            bad.append("no rule ids listed")
+        for rule_id in ids:
+            if not _RULE_ID.match(rule_id):
+                bad.append(f"malformed rule id {rule_id!r}")
+            elif rule_id not in known_rules:
+                bad.append(f"unknown rule id {rule_id!r}")
+        if reason_m is None:
+            bad.append("missing reason (write `-- <why this is safe>`)")
+        if bad:
+            errors.append(
+                Violation(
+                    file=path,
+                    line=lineno,
+                    col=col,
+                    rule="OPS000",
+                    message="invalid suppression: " + "; ".join(bad),
+                )
+            )
+            continue
+        assert reason_m is not None
+        by_line[lineno] = Suppression(
+            line=lineno, rules=ids, reason=reason_m.group("reason").strip()
+        )
+    return by_line, errors
+
+
+def module_directive(source: str) -> str | None:
+    """The ``# opass-lint: module=...`` override, if present near the top."""
+    for text in source.splitlines()[:10]:
+        m = MODULE_DIRECTIVE.search(text)
+        if m is not None:
+            return m.group("module")
+    return None

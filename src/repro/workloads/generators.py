@@ -88,7 +88,7 @@ def paraview_multiblock_series(
         raise ValueError("sizes must be positive")
     if jitter_mb >= mean_size_mb:
         raise ValueError("jitter must be below the mean size")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(0)  # opass: ignore[OPS001] -- documented default: rng=None means the fixed paper workload (seed 0), callers inject a Generator for variation
     sizes = (mean_size_mb + rng.uniform(-jitter_mb, jitter_mb, num_datasets)) * MB
     return dataset_from_sizes(name, [int(s) for s in sizes])
 

@@ -1,0 +1,23 @@
+# opass-lint: module=repro.simulate.example_ops001
+"""OPS001 fixture: every flavour of unseeded/global RNG."""
+
+import random
+
+import numpy as np
+
+
+def shuffle_tasks(tasks):
+    random.shuffle(tasks)  # stdlib global RNG
+    return tasks
+
+
+def entropy_seeded():
+    return np.random.default_rng()  # unseeded → irreproducible
+
+
+def hard_coded_seed():
+    return np.random.default_rng(42)  # literal seed without a suppression
+
+
+def global_numpy_state(n):
+    return np.random.rand(n)  # numpy process-global state

@@ -1,0 +1,20 @@
+# opass-lint: module=repro.simulate.example_ops001_ok
+"""OPS001 clean twin: randomness flows through an injected Generator."""
+
+import numpy as np
+
+
+def shuffle_tasks(tasks, rng: np.random.Generator):
+    rng.shuffle(tasks)
+    return tasks
+
+
+def generator_from_caller_seed(seed):
+    # seeding from an injected value is the sanctioned construction
+    return np.random.default_rng(seed)
+
+
+def documented_fallback(rng=None):
+    if rng is None:
+        rng = np.random.default_rng(0)  # opass: ignore[OPS001] -- fixture: documented fixed-workload fallback
+    return rng

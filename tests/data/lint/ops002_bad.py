@@ -1,0 +1,19 @@
+# opass-lint: module=repro.simulate.example_ops002
+"""OPS002 fixture: wall-clock reads inside simulation code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_event(events):
+    events.append(time.time())  # wall clock leaks into sim results
+
+
+def measure(fn):
+    start = time.perf_counter()  # direct wall-clock instrumentation
+    fn()
+    return time.perf_counter() - start
+
+
+def log_line(msg):
+    return f"{datetime.now()} {msg}"  # wall clock in a sim-layer log

@@ -1,0 +1,14 @@
+# opass-lint: module=repro.simulate.example_ops002_ok
+"""OPS002 clean twin: simulated time and the sanctioned perf alias."""
+
+from repro.simulate.perf import wall_clock
+
+
+def stamp_event(sim, events):
+    events.append(sim.now)  # the simulated clock is the only time source
+
+
+def measure(perf, fn):
+    start = wall_clock()  # instrumentation routed through simulate/perf
+    fn()
+    perf.solve_wall += wall_clock() - start

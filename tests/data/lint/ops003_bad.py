@@ -1,0 +1,19 @@
+# opass-lint: module=repro.core.example_ops003
+"""OPS003 fixture: hash-order-dependent set consumption."""
+
+
+def drain(pending: set[int]):
+    order = []
+    for task in pending:  # iteration order depends on the hash seed
+        order.append(task)
+    return order
+
+
+def pick_one():
+    ready = {3, 1, 2}
+    return ready.pop()  # pops a hash-order-dependent element
+
+
+def first_remote(chunks, local):
+    remote = set(chunks) - set(local)
+    return [c for c in remote]  # comprehension over an unordered set

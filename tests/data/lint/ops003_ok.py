@@ -1,0 +1,23 @@
+# opass-lint: module=repro.core.example_ops003_ok
+"""OPS003 clean twin: every set is sorted before its order can matter."""
+
+
+def drain(pending: set[int]):
+    order = []
+    for task in sorted(pending):  # deterministic: sorted before iterating
+        order.append(task)
+    return order
+
+
+def pick_one():
+    ready = {3, 1, 2}
+    return min(ready)  # order-independent reduction
+
+
+def first_remote(chunks, local):
+    remote = set(chunks) - set(local)
+    return sorted(remote)
+
+
+def membership_is_fine(pending: set[int], task):
+    return task in pending  # membership tests never observe order

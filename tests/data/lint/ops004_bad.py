@@ -1,0 +1,14 @@
+# opass-lint: module=repro.simulate.example_ops004
+"""OPS004 fixture: exact float equality on simulation quantities."""
+
+
+def run_started(sim):
+    return sim.now != 0.0  # exact != on the float clock
+
+
+def drained(flow):
+    return flow.remaining == 0.0  # float residue compared exactly
+
+
+def rates_agree(a, b):
+    return a.rate == b.rate  # two float rates compared exactly

@@ -1,0 +1,21 @@
+# opass-lint: module=repro.simulate.example_ops004_ok
+"""OPS004 clean twin: orderings and tolerance helpers."""
+
+REMAINING_EPS = 1e-6
+
+
+def run_started(sim):
+    return sim.now > 0.0  # the clock is monotone: ordering, not equality
+
+
+def drained(flow):
+    return flow.remaining <= REMAINING_EPS  # tolerance, not exact zero
+
+
+def isclose(a, b, tol=1e-9):
+    # tolerance helpers are the one place exact compares are the point
+    return a == b or abs(a - b) <= tol
+
+
+def rates_agree(a, b):
+    return isclose(a.rate, b.rate)

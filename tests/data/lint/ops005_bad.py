@@ -1,0 +1,21 @@
+# opass-lint: module=repro.simulate.example_ops005
+"""OPS005 fixture: every banned hot-path pattern."""
+
+
+def retire(active: list, flow):
+    active.remove(flow)  # O(n) scan per completion
+
+
+def next_chunk(queue: list):
+    return queue.pop(0)  # O(n) shift per dequeue
+
+
+def requeue(queue: list, chunk):
+    queue.insert(0, chunk)  # O(n) shift per requeue
+
+
+def render(rows):
+    out = ""
+    for row in rows:
+        out += f"{row}\n"  # quadratic string building
+    return out

@@ -1,0 +1,28 @@
+# opass-lint: module=repro.simulate.example_ops005_ok
+"""OPS005 clean twin: O(1) registries, deques, and join."""
+
+from collections import deque
+
+
+def retire(active: dict, flow):
+    del active[flow]  # dict registry: O(1) removal
+
+
+def retire_from_set(active: set, flow):
+    active.remove(flow)  # set.remove is O(1) and order is not observed
+
+
+def allocator_bookkeeping(self, flow):
+    self._alloc.remove(flow)  # allow-listed O(|path|) receiver
+
+
+def next_chunk(queue: deque):
+    return queue.popleft()
+
+
+def requeue(queue: deque, chunk):
+    queue.appendleft(chunk)
+
+
+def render(rows):
+    return "".join(f"{row}\n" for row in rows)

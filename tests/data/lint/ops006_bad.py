@@ -1,0 +1,8 @@
+# opass-lint: module=repro.core.example_ops006
+"""OPS006 fixture: a core module reaching up into the simulator."""
+
+from repro.simulate.engine import Simulation  # core must not import simulate
+
+
+def make_sim():
+    return Simulation()

@@ -1,5 +1,7 @@
 """Tests for the §IV-D dynamic scheduler (guided lists + stealing)."""
 
+from collections import deque
+
 import pytest
 
 from repro.core.assignment import Assignment
@@ -30,12 +32,13 @@ def assignment():
 class TestPlanConstruction:
     def test_lists_follow_assignment(self, graph, assignment):
         plan = plan_dynamic(graph, assignment, order="as_assigned")
-        assert plan.lists == {0: [0, 3], 1: [1, 4], 2: [2, 5]}
+        # The guided lists are head-consumed deques (O(1) dispatch).
+        assert plan.lists == {0: deque([0, 3]), 1: deque([1, 4]), 2: deque([2, 5])}
 
     def test_locality_order_sorts_by_colocated_bytes(self, graph, assignment):
         plan = plan_dynamic(graph, assignment, order="locality")
         # Task 3's chunk (4 MB) on node 0 outweighs task 0's (1 MB).
-        assert plan.lists[0] == [3, 0]
+        assert plan.lists[0] == deque([3, 0])
 
     def test_invalid_order(self, graph, assignment):
         with pytest.raises(ValueError):

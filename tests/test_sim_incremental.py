@@ -1,7 +1,11 @@
 """Structural and differential tests for the incremental engine.
 
 * the hot path must stay O(1)/O(Δ): a dict-backed flow registry and no
-  ``list.remove`` left anywhere in the engine source;
+  hot-path regressions (``list.remove``, ``pop(0)``, ``insert(0, ..)``)
+  anywhere in ``repro.simulate``/``repro.core`` — enforced through the
+  opass-lint OPS005 rule via :mod:`repro.tools.api`, which generalises
+  PR 1's bespoke engine-only ``list.remove`` ban to every hot-path
+  module;
 * ``Simulation(allocator="reference")`` re-solves with the pure
   ``allocate_rates`` every time — whole runs must match the incremental
   engine event for event.
@@ -10,26 +14,45 @@
 from __future__ import annotations
 
 import inspect
-import re
+from pathlib import Path
 
 import pytest
 
 import repro.simulate.engine as engine_mod
 from repro.simulate import Simulation
 from repro.simulate.resources import Resource
+from repro.tools.api import lint_file, lint_paths
 
 
 class TestStructure:
     def test_no_linear_list_remove_in_engine(self):
         """The O(F) ``self._active.remove(flow)`` pattern must not return.
 
-        The only permitted ``.remove(`` is the allocator's O(|path|)
-        ``_alloc.remove`` bookkeeping call.
+        OPS005 permits ``.remove(`` only on `remove-allow` receivers —
+        the allocator's O(|path|) ``_alloc.remove`` bookkeeping call.
         """
-        source = inspect.getsource(engine_mod)
-        for m in re.finditer(r"[\w.]+\.remove\(", source):
-            assert m.group(0).endswith("._alloc.remove("), m.group(0)
-        assert "_active" not in source
+        engine_path = Path(inspect.getfile(engine_mod))
+        report = lint_file(engine_path)
+        assert not [v for v in report.violations if v.rule == "OPS005"], (
+            report.render()
+        )
+        assert "_active" not in engine_path.read_text()
+
+    def test_no_hot_path_regressions_anywhere(self):
+        """OPS005 holds (fixed or justified) across simulate/ and core/.
+
+        The generalisation of the old engine-only ban: `list.remove`,
+        `list.pop(0)`, `list.insert(0, ..)` and loop string-building are
+        banned in every hot-path module, and any exception must carry a
+        written `# opass: ignore[OPS005] -- reason` suppression.
+        """
+        pkg_root = Path(inspect.getfile(engine_mod)).parent.parent
+        report = lint_paths([pkg_root / "simulate", pkg_root / "core"])
+        offenders = [v for v in report.violations if v.rule == "OPS005"]
+        assert not offenders, report.render()
+        for v in report.suppressed:
+            if v.rule == "OPS005":
+                assert v.reason, f"suppression without reason: {v.render()}"
 
     def test_flow_registry_is_dict(self):
         sim = Simulation()

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from ..units import Bytes
+
 #: Default HDFS chunk (block) size used by the paper: 64 MB.
 DEFAULT_CHUNK_SIZE = 64 * 10**6
 
@@ -44,7 +46,7 @@ class Chunk:
     """
 
     id: ChunkId
-    size: int
+    size: Bytes
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -59,7 +61,7 @@ class FileMeta:
     chunks: tuple[Chunk, ...]
 
     @property
-    def size(self) -> int:
+    def size(self) -> Bytes:
         """Total file size in bytes."""
         return sum(c.size for c in self.chunks)
 
@@ -71,7 +73,7 @@ class FileMeta:
         return iter(self.chunks)
 
 
-def make_file(name: str, size: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> FileMeta:
+def make_file(name: str, size: Bytes, chunk_size: Bytes = DEFAULT_CHUNK_SIZE) -> FileMeta:
     """Split a logical file of ``size`` bytes into chunk metadata.
 
     Mirrors HDFS block splitting: full-size chunks followed by a smaller tail
@@ -110,7 +112,7 @@ class Dataset:
         self.files.append(meta)
 
     @property
-    def size(self) -> int:
+    def size(self) -> Bytes:
         return sum(f.size for f in self.files)
 
     @property
@@ -128,7 +130,7 @@ class Dataset:
 def uniform_dataset(
     name: str,
     num_chunks: int,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: Bytes = DEFAULT_CHUNK_SIZE,
 ) -> Dataset:
     """Build a dataset of ``num_chunks`` single-chunk files of equal size.
 
@@ -146,7 +148,7 @@ def uniform_dataset(
 def dataset_from_sizes(
     name: str,
     sizes: Iterable[int],
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: Bytes = DEFAULT_CHUNK_SIZE,
 ) -> Dataset:
     """Build a dataset with one file per entry of ``sizes`` (bytes each)."""
     ds = Dataset(name)

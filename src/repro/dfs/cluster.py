@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from ..units import BytesPerSec, Seconds
+
 MB = 10**6
 
 #: Effective sequential bandwidth of one 2 TB SATA disk (bytes/s).  64 MB at
@@ -46,8 +48,8 @@ class NodeSpec:
 
     node_id: int
     rack: int = 0
-    disk_bw: float = DEFAULT_DISK_BW
-    nic_bw: float = DEFAULT_NIC_BW
+    disk_bw: BytesPerSec = DEFAULT_DISK_BW
+    nic_bw: BytesPerSec = DEFAULT_NIC_BW
     disk_concurrency_penalty: float = DEFAULT_DISK_CONCURRENCY_PENALTY
 
     def __post_init__(self) -> None:
@@ -67,14 +69,14 @@ class ClusterSpec:
     """
 
     nodes: tuple[NodeSpec, ...]
-    seek_latency: float = DEFAULT_SEEK_LATENCY
-    remote_latency: float = DEFAULT_REMOTE_LATENCY
-    remote_stream_bw: float = DEFAULT_REMOTE_STREAM_BW
+    seek_latency: Seconds = DEFAULT_SEEK_LATENCY
+    remote_latency: Seconds = DEFAULT_REMOTE_LATENCY
+    remote_stream_bw: BytesPerSec = DEFAULT_REMOTE_STREAM_BW
     #: Per-rack uplink capacity (bytes/s) shared by all cross-rack traffic
     #: in each direction.  None models a non-blocking fabric (Marmot's
     #: single switch); a finite value models an oversubscribed datacenter
     #: network where cross-rack reads contend on the top-of-rack links.
-    rack_uplink_bw: float | None = None
+    rack_uplink_bw: BytesPerSec | None = None
 
     def __post_init__(self) -> None:
         if self.remote_stream_bw <= 0:
@@ -94,14 +96,14 @@ class ClusterSpec:
         cls,
         num_nodes: int,
         *,
-        disk_bw: float = DEFAULT_DISK_BW,
-        nic_bw: float = DEFAULT_NIC_BW,
+        disk_bw: BytesPerSec = DEFAULT_DISK_BW,
+        nic_bw: BytesPerSec = DEFAULT_NIC_BW,
         disk_concurrency_penalty: float = DEFAULT_DISK_CONCURRENCY_PENALTY,
         nodes_per_rack: int | None = None,
-        seek_latency: float = DEFAULT_SEEK_LATENCY,
-        remote_latency: float = DEFAULT_REMOTE_LATENCY,
-        remote_stream_bw: float = DEFAULT_REMOTE_STREAM_BW,
-        rack_uplink_bw: float | None = None,
+        seek_latency: Seconds = DEFAULT_SEEK_LATENCY,
+        remote_latency: Seconds = DEFAULT_REMOTE_LATENCY,
+        remote_stream_bw: BytesPerSec = DEFAULT_REMOTE_STREAM_BW,
+        rack_uplink_bw: BytesPerSec | None = None,
     ) -> "ClusterSpec":
         """A cluster of identical nodes, optionally grouped into racks."""
         if num_nodes <= 0:

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import count
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Annotated
+
+from ..units import BYTES, BYTES_PER_SEC
 
 if TYPE_CHECKING:  # pragma: no cover
     from .resources import Resource
@@ -24,7 +26,9 @@ if TYPE_CHECKING:  # pragma: no cover
 _flow_ids = count()
 
 
-def effective_capacity(resource: "Resource | float", concurrency: int) -> float:
+def effective_capacity(
+    resource: "Resource | float", concurrency: int
+) -> Annotated[float, BYTES_PER_SEC]:
     """Effective capacity of a resource entry under ``concurrency`` flows."""
     if isinstance(resource, (int, float)):
         return float(resource)
@@ -40,12 +44,12 @@ class Flow:
     to route the completion callback.
     """
 
-    size: float
+    size: Annotated[float, BYTES]
     path: tuple[str, ...]
     payload: object = None
-    rate_cap: float | None = None
+    rate_cap: Annotated[float, BYTES_PER_SEC] | None = None
     flow_id: int = field(default_factory=lambda: next(_flow_ids))
-    remaining: float = field(init=False)
+    remaining: Annotated[float, BYTES] = field(init=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from ..dfs.cluster import ClusterSpec
 from ..dfs.filesystem import ReadPlan
+from ..units import Bytes, BytesPerSec, Seconds
 from .resources import local_read_path, remote_read_path
 
 
@@ -25,10 +26,10 @@ from .resources import local_read_path, remote_read_path
 class ReadCost:
     """Latency, transfer path, and per-stream ceiling of one resolved read."""
 
-    latency: float
+    latency: Seconds
     path: tuple[str, ...]
-    size: int
-    rate_cap: float | None
+    size: Bytes
+    rate_cap: BytesPerSec | None
 
 
 def read_cost(plan: ReadPlan, spec: ClusterSpec) -> ReadCost:
@@ -61,7 +62,7 @@ def read_cost(plan: ReadPlan, spec: ClusterSpec) -> ReadCost:
     )
 
 
-def uncontended_read_time(plan: ReadPlan, spec: ClusterSpec) -> float:
+def uncontended_read_time(plan: ReadPlan, spec: ClusterSpec) -> Seconds:
     """The read time with no competing traffic (lower bound).
 
     Local: latency + size / disk_bw.  Remote: the bottleneck is the minimum

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..dfs.cluster import ClusterSpec
+from ..units import BytesPerSec
 
 
 @dataclass(frozen=True, slots=True)
@@ -25,7 +26,7 @@ class Resource:
     """
 
     name: str
-    capacity: float
+    capacity: BytesPerSec
     concurrency_penalty: float = 0.0
 
     def __post_init__(self) -> None:
@@ -34,7 +35,7 @@ class Resource:
         if self.concurrency_penalty < 0:
             raise ValueError(f"resource {self.name!r} needs non-negative penalty")
 
-    def effective_capacity(self, concurrency: int) -> float:
+    def effective_capacity(self, concurrency: int) -> BytesPerSec:
         """Aggregate bandwidth delivered to ``concurrency`` simultaneous flows."""
         if concurrency <= 1:
             return self.capacity

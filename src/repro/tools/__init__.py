@@ -1,29 +1,52 @@
-"""`opass-lint`: codebase-specific static analysis for the reproduction.
+"""`opass-lint` / `opass-verify`: static analysis for the reproduction.
 
 The simulator's claims — bit-reproducible runs from a seed, an
 incremental allocator equivalent to the reference solver, strict package
 layering — are properties the test suite can only spot-check.  This
 package enforces them statically, on every commit:
 
-* :mod:`repro.tools.lint` — the command-line front end
-  (``python -m repro.tools.lint src/``);
+* :mod:`repro.tools.lint` — the intraprocedural front end
+  (``python -m repro.tools.lint src/``, rules OPS000–OPS006);
+* :mod:`repro.tools.verify` — the interprocedural front end
+  (``python -m repro.tools.verify src/``, rules OPS101–OPS103:
+  determinism taint, unit/dimension checking, scheduler purity);
 * :mod:`repro.tools.api` — the programmatic entry used by the test
   suite (``lint_source`` / ``lint_file`` / ``lint_paths``);
-* :mod:`repro.tools.checks` — the AST rule implementations
-  (OPS001–OPS006);
+* :mod:`repro.tools.checks` — the per-module AST rules (OPS001–OPS006);
+* :mod:`repro.tools.callgraph` / :mod:`repro.tools.summaries` /
+  :mod:`repro.tools.interproc` — the project-wide call-graph and
+  dataflow-summary engine behind OPS101–OPS103;
+* :mod:`repro.tools.cache` — the content-addressed incremental cache
+  (``.opass-cache/``);
 * :mod:`repro.tools.config` — ``[tool.opass-lint]`` configuration.
 
 ``repro.tools`` sits at the top of the package layering DAG and must not
 be imported by any other ``repro`` package.
 """
 
-from .api import LintReport, lint_file, lint_paths, lint_source
+from .api import ALL_RULES, LintReport, lint_file, lint_paths, lint_source
+from .cache import AnalysisCache, CacheStats
 from .checks import RULES
 from .config import DEFAULT_LAYERS, LintConfig, load_config
+from .interproc import INTERPROC_RULES
 from .model import Violation
 
+
+def __getattr__(name: str):
+    # verify is imported lazily so `python -m repro.tools.verify` does not
+    # trip runpy's found-in-sys.modules warning.
+    if name in ("verify_paths", "verify_source"):
+        from . import verify
+
+        return getattr(verify, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "ALL_RULES",
+    "AnalysisCache",
+    "CacheStats",
     "DEFAULT_LAYERS",
+    "INTERPROC_RULES",
     "LintConfig",
     "LintReport",
     "RULES",
@@ -32,4 +55,6 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "load_config",
+    "verify_paths",
+    "verify_source",
 ]

@@ -20,12 +20,19 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .checks import KNOWN_RULES, check_module
+from .checks import RULES, check_module
 from .config import LintConfig, find_pyproject, load_config
+from .interproc import INTERPROC_RULES
 from .model import Violation, module_directive, parse_suppressions
 
 #: Schema version of the JSON report (bump on breaking changes).
 JSON_SCHEMA_VERSION = 1
+
+#: Every rule either front end can emit.  Suppression pragmas validate
+#: against this combined table so ignoring an interprocedural rule in a
+#: file checked by plain ``opass-lint`` is not itself an OPS000 error.
+ALL_RULES: dict[str, str] = {**RULES, **INTERPROC_RULES}
+KNOWN_RULES = frozenset(ALL_RULES)
 
 
 @dataclass
@@ -35,6 +42,7 @@ class LintReport:
     violations: list[Violation] = field(default_factory=list)
     suppressed: list[Violation] = field(default_factory=list)
     files_checked: int = 0
+    tool: str = "opass-lint"
 
     @property
     def ok(self) -> bool:
@@ -79,7 +87,7 @@ class LintReport:
         self.sort()
         return {
             "version": JSON_SCHEMA_VERSION,
-            "tool": "opass-lint",
+            "tool": self.tool,
             "files_checked": self.files_checked,
             "ok": self.ok,
             "counts": self.counts(),
@@ -111,6 +119,33 @@ def _module_from_path(path: Path) -> tuple[str, bool]:
     return ".".join(mod_parts), is_package
 
 
+def apply_suppressions(
+    raw: list[Violation], source: str, path: str, *, tool: str = "opass-lint"
+) -> LintReport:
+    """Split raw violations into reported/suppressed per the file's pragmas."""
+    by_line, pragma_errors = parse_suppressions(source, path, KNOWN_RULES)
+    report = LintReport(files_checked=1, tool=tool)
+    report.violations.extend(pragma_errors)
+    for violation in raw:
+        pragma = by_line.get(violation.line)
+        if pragma is not None and violation.rule in pragma.rules:
+            pragma.used.add(violation.rule)
+            report.suppressed.append(
+                Violation(
+                    file=violation.file,
+                    line=violation.line,
+                    col=violation.col,
+                    rule=violation.rule,
+                    message=violation.message,
+                    suppressed=True,
+                    reason=pragma.reason,
+                )
+            )
+        else:
+            report.violations.append(violation)
+    return report
+
+
 def lint_source(
     source: str,
     *,
@@ -132,27 +167,7 @@ def lint_source(
     raw = check_module(
         tree, path=path, module=module, config=config, is_package=is_package
     )
-    by_line, pragma_errors = parse_suppressions(source, path, KNOWN_RULES)
-    report = LintReport(files_checked=1)
-    report.violations.extend(pragma_errors)
-    for violation in raw:
-        pragma = by_line.get(violation.line)
-        if pragma is not None and violation.rule in pragma.rules:
-            pragma.used.add(violation.rule)
-            report.suppressed.append(
-                Violation(
-                    file=violation.file,
-                    line=violation.line,
-                    col=violation.col,
-                    rule=violation.rule,
-                    message=violation.message,
-                    suppressed=True,
-                    reason=pragma.reason,
-                )
-            )
-        else:
-            report.violations.append(violation)
-    return report
+    return apply_suppressions(raw, source, path)
 
 
 def lint_file(path: str | Path, *, config: LintConfig | None = None) -> LintReport:

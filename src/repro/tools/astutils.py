@@ -1,0 +1,128 @@
+"""Shared AST helpers for the intra- and interprocedural analyzers.
+
+These are the primitives both :mod:`repro.tools.checks` (single-module
+rules) and :mod:`repro.tools.callgraph`/:mod:`repro.tools.summaries`
+(project-wide analysis) need: dotted-name extraction, annotation root
+parsing, and the catalogue of entropy sources shared by OPS002 and the
+OPS101 taint pass.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: Wall-clock reads: banned in simulation code (OPS002) and entropy taint
+#: sources for the interprocedural pass (OPS101).
+WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Non-clock entropy sources: values differ between identical runs.
+ENTROPY_CALLS = frozenset(
+    {
+        "id",
+        "os.urandom",
+        "os.getpid",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+    }
+)
+
+
+def dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def terminal_name(node: ast.expr) -> str | None:
+    """The last component of a Name/Attribute chain (``self.a.b`` → ``b``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def root_name(node: ast.expr) -> str | None:
+    """The base Name of an attribute/subscript/call chain.
+
+    ``self.datanodes[s].record`` → ``self``; ``fs.chunk(c).size`` → ``fs``.
+    Returns None when the chain does not bottom out in a plain Name.
+    """
+    while True:
+        if isinstance(node, ast.Attribute):
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Name):
+            return node.id
+        else:
+            return None
+
+
+def annotation_roots(node: ast.expr | None) -> set[str]:
+    """Root type names of an annotation (``set[int] | None`` → {set, None})."""
+    out: set[str] = set()
+    stack = [node]
+    while stack:
+        cur = stack.pop()
+        if cur is None:
+            continue
+        if isinstance(cur, ast.Subscript):
+            stack.append(cur.value)
+        elif isinstance(cur, ast.BinOp) and isinstance(cur.op, ast.BitOr):
+            stack.extend([cur.left, cur.right])
+        elif isinstance(cur, ast.Name):
+            out.add(cur.id)
+        elif isinstance(cur, ast.Attribute):
+            out.add(cur.attr)
+        elif isinstance(cur, ast.Constant) and isinstance(cur.value, str):
+            # a quoted annotation — parse its root the cheap way
+            out.add(cur.value.split("[", 1)[0].strip())
+    return out
+
+
+def parse_string_annotation(node: ast.expr | None) -> ast.expr | None:
+    """Resolve a quoted annotation to its parsed expression when possible."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            return ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    return node
+
+
+def iter_arguments(args: ast.arguments) -> list[ast.arg]:
+    """All positional-ish parameters in declaration order (incl. *args/**kw)."""
+    return [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ]

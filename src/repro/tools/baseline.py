@@ -1,0 +1,93 @@
+"""Baseline files: adopt the analyzer on a codebase with known debt.
+
+``--write-baseline`` records a fingerprint for every *current*
+violation; later runs with ``--baseline`` drop exactly those findings
+and report only new ones.  Fingerprints deliberately exclude the line
+*number* — they hash the rule id, the file, and the stripped text of
+the offending line (plus an occurrence counter for identical lines), so
+baselined findings survive unrelated edits that shift code up or down.
+Changing the offending line itself re-surfaces the finding, which is
+the behavior a baseline should have.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .api import LintReport
+from .model import Violation
+
+BASELINE_VERSION = 1
+
+
+def _line_text(sources: dict[str, list[str]], violation: Violation) -> str:
+    lines = sources.get(violation.file)
+    if lines is None:
+        try:
+            text = Path(violation.file).read_text(encoding="utf-8")
+            lines = text.splitlines()
+        except OSError:
+            lines = []
+        sources[violation.file] = lines
+    if 1 <= violation.line <= len(lines):
+        return lines[violation.line - 1].strip()
+    return ""
+
+
+def fingerprints(violations: list[Violation]) -> list[str]:
+    """Stable fingerprints, one per violation (occurrence-counted)."""
+    sources: dict[str, list[str]] = {}
+    seen: dict[str, int] = {}
+    out: list[str] = []
+    for violation in violations:
+        base = "|".join(
+            (
+                violation.rule,
+                violation.file.replace("\\", "/"),
+                _line_text(sources, violation),
+            )
+        )
+        occurrence = seen.get(base, 0)
+        seen[base] = occurrence + 1
+        digest = hashlib.sha256(f"{base}|{occurrence}".encode()).hexdigest()
+        out.append(digest[:24])
+    return out
+
+
+def write_baseline(path: str | Path, report: LintReport) -> None:
+    report.sort()
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": report.tool,
+        "fingerprints": sorted(fingerprints(report.violations)),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> set[str]:
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: not a version-{BASELINE_VERSION} baseline")
+    prints = data.get("fingerprints")
+    if not isinstance(prints, list) or not all(
+        isinstance(p, str) for p in prints
+    ):
+        raise ValueError(f"{path}: malformed fingerprint list")
+    return set(prints)
+
+
+def apply_baseline(path: str | Path, report: LintReport) -> int:
+    """Drop baselined violations from ``report``; returns how many."""
+    known = load_baseline(path)
+    report.sort()
+    kept: list[Violation] = []
+    dropped = 0
+    for violation, print_ in zip(report.violations, fingerprints(report.violations)):
+        if print_ in known:
+            dropped += 1
+        else:
+            kept.append(violation)
+    report.violations = kept
+    return dropped

@@ -56,12 +56,40 @@ DEFAULT_FLOAT_ATTRS: tuple[str, ...] = (
 #: Per-rule package scopes (None → the whole tree).
 DEFAULT_SCOPES: dict[str, tuple[str, ...] | None] = {
     "OPS001": None,
-    "OPS002": ("simulate", "core"),
+    "OPS002": ("simulate", "core", "dfs"),
     "OPS003": ("simulate", "core", "dfs"),
     "OPS004": ("simulate", "core", "dfs"),
     "OPS005": ("simulate", "core"),
     "OPS006": None,
+    # interprocedural rules (repro.tools.interproc)
+    "OPS101": None,
+    "OPS102": ("simulate", "dfs"),
+    "OPS103": None,
 }
+
+#: Modules whose functions are matching kernels: pure readers of the
+#: block layout.  OPS103 forbids them from (transitively) mutating any
+#: protected-type argument or writing module globals.
+DEFAULT_PURE_MODULES: tuple[str, ...] = (
+    "repro.core.opass",
+    "repro.core.bipartite",
+    "repro.core.mincostflow",
+    "repro.core.multi_data",
+    "repro.core.single_data",
+)
+
+#: Class names whose instances carry DFS state; mutating one from a pure
+#: module is an OPS103 violation.
+DEFAULT_PROTECTED_TYPES: tuple[str, ...] = (
+    "Cluster",
+    "NameNode",
+    "DataNode",
+    "DistributedFileSystem",
+)
+
+#: Packages whose code makes scheduler/placement decisions — entropy
+#: reaching a call result here is an OPS101 violation.
+DEFAULT_DECISION_PACKAGES: tuple[str, ...] = ("core", "dfs")
 
 
 @dataclass(frozen=True)
@@ -84,12 +112,27 @@ class LintConfig:
     )
     #: path substrings excluded from linting entirely.
     exclude: tuple[str, ...] = ()
+    #: module prefixes holding pure matching kernels (OPS103).
+    pure_modules: tuple[str, ...] = DEFAULT_PURE_MODULES
+    #: DFS state types pure modules must not mutate (OPS103).
+    protected_types: tuple[str, ...] = DEFAULT_PROTECTED_TYPES
+    #: packages whose call results must stay entropy-free (OPS101).
+    decision_packages: tuple[str, ...] = DEFAULT_DECISION_PACKAGES
 
     def in_scope(self, rule: str, package: str | None) -> bool:
         scope = self.scopes.get(rule, None)
         if scope is None:
             return True
         return package is not None and package in scope
+
+    def fingerprint(self) -> str:
+        """Stable digest of the configuration, part of every cache key."""
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        payload = json.dumps(asdict(self), sort_keys=True, default=list)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 class ConfigError(ValueError):
@@ -104,6 +147,9 @@ _KEYS = {
     "float-attrs": "float_attrs",
     "scopes": "scopes",
     "exclude": "exclude",
+    "pure-modules": "pure_modules",
+    "protected-types": "protected_types",
+    "decision-packages": "decision_packages",
 }
 
 

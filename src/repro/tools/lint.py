@@ -14,8 +14,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from .api import LintReport, lint_file, lint_paths
-from .checks import RULES
+from .api import ALL_RULES, LintReport, lint_file, lint_paths
 from .config import ConfigError, LintConfig, find_pyproject, load_config
 
 EXIT_OK = 0
@@ -39,9 +38,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--interprocedural",
+        action="store_true",
+        help="also run the OPS101-OPS103 project-wide rules "
+        "(same engine as python -m repro.tools.verify)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress violations recorded in this baseline file",
     )
     parser.add_argument(
         "--config",
@@ -68,7 +79,7 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
 
     if args.list_rules:
-        for rule_id, description in sorted(RULES.items()):
+        for rule_id, description in sorted(ALL_RULES.items()):
             print(f"{rule_id}  {description}")
         return EXIT_OK
 
@@ -89,11 +100,33 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         report = lint_paths(list(args.paths), config=config)
+        if args.interprocedural:
+            from .verify import verify_paths
+
+            report.extend(verify_paths(list(args.paths), config=config))
+            report.files_checked //= 2  # same files, two passes
+            report.sort()
     except SyntaxError as exc:
         print(f"opass-lint: cannot parse {exc.filename}: {exc}", file=sys.stderr)
         return EXIT_ERROR
 
-    rendered = report.to_json() if args.format == "json" else report.render()
+    if args.baseline is not None:
+        from .baseline import apply_baseline
+
+        try:
+            apply_baseline(args.baseline, report)
+        except (OSError, ValueError) as exc:
+            print(f"opass-lint: cannot read baseline: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+
+    if args.format == "sarif":
+        from .sarif import to_sarif_json
+
+        rendered = to_sarif_json(report)
+    elif args.format == "json":
+        rendered = report.to_json()
+    else:
+        rendered = report.render()
     print(rendered)
     if args.output is not None:
         Path(args.output).write_text(rendered + "\n", encoding="utf-8")

@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 output for ``opass-lint`` / ``opass-verify``.
+
+One run per report.  Every known rule appears in the driver's rule
+table (stable ``ruleIndex`` ordering, sorted by id); unsuppressed
+violations become ``level: error`` results and suppressed ones carry a
+``suppressions`` entry with ``kind: inSource`` and the pragma's reason
+as the justification, which is how SARIF viewers are told "seen and
+waived, on purpose".
+"""
+
+from __future__ import annotations
+
+import json
+
+from .api import ALL_RULES, LintReport
+from .model import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def _result(violation: Violation, rule_index: dict[str, int]) -> dict:
+    out: dict = {
+        "ruleId": violation.rule,
+        "level": "error",
+        "message": {"text": violation.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": violation.file.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": violation.line,
+                        "startColumn": violation.col,
+                    },
+                }
+            }
+        ],
+    }
+    index = rule_index.get(violation.rule)
+    if index is not None:
+        out["ruleIndex"] = index
+    if violation.suppressed:
+        out["suppressions"] = [
+            {
+                "kind": "inSource",
+                "justification": violation.reason or "",
+            }
+        ]
+    return out
+
+
+def to_sarif(report: LintReport) -> dict:
+    """The report as a SARIF 2.1.0 log dict."""
+    report.sort()
+    rule_ids = sorted(ALL_RULES)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [
+        _result(v, rule_index) for v in (*report.violations, *report.suppressed)
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": report.tool,
+                        "informationUri": (
+                            "https://github.com/opass-repro/opass"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {
+                                    "text": ALL_RULES[rule_id]
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def to_sarif_json(report: LintReport) -> str:
+    return json.dumps(to_sarif(report), indent=2)

@@ -1,0 +1,213 @@
+"""The OPS102 unit lattice: bytes / seconds / bytes_per_sec / count.
+
+A tiny dimensional analysis for the quantities the simulator actually
+mixes.  Units are inferred from three sources, in priority order:
+
+1. ``Annotated[..., BYTES]`` hints (or the :mod:`repro.units` aliases
+   ``Bytes``/``Seconds``/``BytesPerSec``/``Count``) on parameters,
+   returns and dataclass fields;
+2. parameter/attribute **name conventions** (``*_bw`` → bytes_per_sec,
+   ``*_latency``/``*_time`` → seconds, ``size``/``*_bytes`` → bytes, …);
+3. fixed-point propagation: an unannotated parameter that is forwarded
+   to a callee's ``seconds`` parameter becomes ``seconds`` itself.
+
+Arithmetic follows the physical rules (``bytes / seconds →
+bytes_per_sec``, ``bytes / bytes_per_sec → seconds``, ``count`` is
+transparent under scaling, ``X / X → count``).  Anything the tables do
+not know produces ``None`` (unknown), and **unknown never flags**: the
+rule only fires when two *known, different* units meet under ``+``,
+``-``, a comparison, an argument binding or a return.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .astutils import parse_string_annotation
+
+BYTES = "bytes"
+SECONDS = "seconds"
+BYTES_PER_SEC = "bytes_per_sec"
+COUNT = "count"
+
+UNITS = (BYTES, SECONDS, BYTES_PER_SEC, COUNT)
+
+#: repro.units alias name → unit (annotation roots resolve through this).
+ALIAS_UNITS: dict[str, str] = {
+    "Bytes": BYTES,
+    "Seconds": SECONDS,
+    "BytesPerSec": BYTES_PER_SEC,
+    "Count": COUNT,
+}
+
+#: repro.units marker constant name → unit (``Annotated[float, BYTES]``).
+MARKER_UNITS: dict[str, str] = {
+    "BYTES": BYTES,
+    "SECONDS": SECONDS,
+    "BYTES_PER_SEC": BYTES_PER_SEC,
+    "COUNT": COUNT,
+}
+
+#: Exact variable/attribute names with a conventional unit.
+NAME_UNITS: dict[str, str] = {
+    "size": BYTES,
+    "nbytes": BYTES,
+    "chunk_size": BYTES,
+    "file_size": BYTES,
+    "total_bytes": BYTES,
+    "local_bytes": BYTES,
+    "remote_bytes": BYTES,
+    "bytes_served": BYTES,
+    "latency": SECONDS,
+    "seek_latency": SECONDS,
+    "remote_latency": SECONDS,
+    "duration": SECONDS,
+    "elapsed": SECONDS,
+    "timeout": SECONDS,
+    "deadline": SECONDS,
+    "makespan": SECONDS,
+    "now": SECONDS,
+    "rate": BYTES_PER_SEC,
+    "rate_cap": BYTES_PER_SEC,
+    "bandwidth": BYTES_PER_SEC,
+    "bw": BYTES_PER_SEC,
+    "throughput": BYTES_PER_SEC,
+    "concurrency": COUNT,
+    "replication": COUNT,
+}
+
+#: Suffix conventions, checked when no exact name matches.
+SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
+    ("_bytes", BYTES),
+    ("_size", BYTES),
+    ("_latency", SECONDS),
+    ("_time", SECONDS),
+    ("_seconds", SECONDS),
+    ("_deadline", SECONDS),
+    ("_bw", BYTES_PER_SEC),
+    ("_rate", BYTES_PER_SEC),
+    ("_bandwidth", BYTES_PER_SEC),
+    ("_count", COUNT),
+)
+
+#: Prefix conventions (cardinalities).
+PREFIX_UNITS: tuple[tuple[str, str], ...] = (
+    ("num_", COUNT),
+    ("n_", COUNT),
+)
+
+
+def unit_of_name(name: str | None) -> str | None:
+    """Conventional unit of a bare variable/attribute name, if any."""
+    if not name:
+        return None
+    exact = NAME_UNITS.get(name)
+    if exact is not None:
+        return exact
+    for suffix, unit in SUFFIX_UNITS:
+        if name.endswith(suffix):
+            return unit
+    for prefix, unit in PREFIX_UNITS:
+        if name.startswith(prefix):
+            return unit
+    return None
+
+
+def unit_of_annotation(
+    node: ast.expr | None, resolve: "callable[[str], str | None] | None" = None
+) -> str | None:
+    """Unit declared by an annotation expression, if any.
+
+    Recognizes the :mod:`repro.units` aliases (``Bytes`` …), the marker
+    constants inside ``Annotated[...]`` (``BYTES`` …) and literal strings
+    (``Annotated[float, "bytes"]``).  ``resolve`` maps a local binding to
+    its imported dotted target so aliased imports still count; when it is
+    None the bare names are trusted.
+    """
+    node = parse_string_annotation(node)
+    if node is None:
+        return None
+
+    def known(name: str, table: dict[str, str]) -> str | None:
+        if resolve is not None:
+            target = resolve(name)
+            if target is not None:
+                last = target.rsplit(".", 1)[-1]
+                if target.startswith("repro.units.") and last in table:
+                    return table[last]
+                if target == name and name in table:
+                    return table[name]
+                return None
+        return table.get(name)
+
+    # Annotated[base, marker, ...]
+    if isinstance(node, ast.Subscript):
+        base = node.value
+        base_name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", None)
+        if base_name == "Annotated" and isinstance(node.slice, ast.Tuple):
+            for meta in node.slice.elts[1:]:
+                if isinstance(meta, ast.Constant) and isinstance(meta.value, str):
+                    if meta.value in UNITS:
+                        return meta.value
+                name = meta.id if isinstance(meta, ast.Name) else None
+                if name is not None:
+                    unit = known(name, MARKER_UNITS)
+                    if unit is not None:
+                        return unit
+                if (
+                    isinstance(meta, ast.Call)
+                    and isinstance(meta.func, ast.Name)
+                    and meta.func.id == "Unit"
+                    and meta.args
+                    and isinstance(meta.args[0], ast.Constant)
+                    and meta.args[0].value in UNITS
+                ):
+                    return str(meta.args[0].value)
+        # Optional[Bytes], Bytes | None → look through one subscript level
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = unit_of_annotation(node.left, resolve)
+        right = unit_of_annotation(node.right, resolve)
+        return left if left is not None else right
+    if isinstance(node, ast.Name):
+        return known(node.id, ALIAS_UNITS)
+    if isinstance(node, ast.Attribute):
+        return ALIAS_UNITS.get(node.attr)
+    return None
+
+
+def combine_add(left: str | None, right: str | None) -> tuple[str | None, bool]:
+    """Unit of ``left + right`` / ``left - right`` → (unit, mismatch)."""
+    if left is None:
+        return right, False
+    if right is None:
+        return left, False
+    if left == right:
+        return left, False
+    return None, True
+
+
+def combine_mul(left: str | None, right: str | None) -> str | None:
+    """Unit of ``left * right``."""
+    if left == COUNT:
+        return right
+    if right == COUNT:
+        return left
+    if {left, right} == {BYTES_PER_SEC, SECONDS}:
+        return BYTES
+    return None
+
+
+def combine_div(left: str | None, right: str | None) -> str | None:
+    """Unit of ``left / right`` (also ``//``)."""
+    if right == COUNT:
+        return left
+    if left is not None and left == right:
+        return COUNT
+    if left == BYTES and right == SECONDS:
+        return BYTES_PER_SEC
+    if left == BYTES and right == BYTES_PER_SEC:
+        return SECONDS
+    if left == BYTES_PER_SEC and right == SECONDS:
+        return None
+    return None

@@ -1,0 +1,427 @@
+"""``opass-verify``: interprocedural analysis front end.
+
+``python -m repro.tools.verify [paths...]`` runs the OPS101–OPS103
+rules (determinism taint, unit checking, scheduler purity) over a whole
+tree at once, because unlike :mod:`repro.tools.checks` these rules need
+*project-wide* call-graph summaries: a violation may only be visible
+two or three call levels away from the code that commits it.
+
+The run is incremental.  Per-module summaries and per-module check
+results are cached in ``.opass-cache/`` keyed by content hash, config
+fingerprint and the hash of the module's transitive import closure (see
+:mod:`repro.tools.cache`).  A warm run over an unchanged tree loads
+every summary and every check result from the cache and never parses a
+single module — the fast path goes straight from content hashes to the
+final report.
+
+Exit codes match ``opass-lint``: 0 clean, 1 violations, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from .api import (
+    ALL_RULES,
+    LintReport,
+    _iter_python_files,
+    apply_suppressions,
+)
+from .cache import AnalysisCache, CacheStats, closure_signature, module_key
+from .callgraph import ModuleDecl, Project, parse_module
+from .config import ConfigError, LintConfig, find_pyproject, load_config
+from .interproc import check_module_interproc
+from .model import Violation
+from .summaries import LocalSummary, resolve_summaries, summarize_module
+
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+TOOL = "opass-verify"
+
+
+# ---- core pipeline ---------------------------------------------------------
+
+
+def _closure(
+    module: str, deps_of: dict[str, list[str] | set[str]]
+) -> set[str]:
+    """Transitive deps of ``module`` among the analyzed set, incl. itself.
+
+    Mirrors :meth:`Project.closure_of` (with the same strip-one-component
+    retry for ``from repro.x import fn`` deps) but runs on a plain deps
+    mapping so the warm path can compute closure signatures without
+    parsing anything.
+    """
+    out: set[str] = set()
+    stack = [module]
+    while stack:
+        cur = stack.pop()
+        if cur in out:
+            continue
+        if cur not in deps_of:
+            parent = cur.rpartition(".")[0]
+            if parent and parent not in out and parent in deps_of:
+                stack.append(parent)
+            continue
+        out.add(cur)
+        stack.extend(deps_of[cur])
+    return out
+
+
+def _decode_violation(data: dict, path: str) -> Violation:
+    """Rebuild a cached raw violation, re-pinned to the current path."""
+    return Violation(
+        file=path,
+        line=int(data.get("line", 1)),
+        col=int(data.get("col", 1)),
+        rule=str(data.get("rule", "OPS000")),
+        message=str(data.get("message", "")),
+    )
+
+
+def _closure_sigs(
+    entries: list[tuple[str, str, str]],
+    mod_of: dict[str, str],
+    deps_of: dict[str, list[str] | set[str]],
+) -> dict[str, str]:
+    """Per-file closure signature from module names, deps and keys."""
+    key_of_mod = {mod_of[path]: key for path, _, key in entries}
+    sigs: dict[str, str] = {}
+    for path, _, _ in entries:
+        module = mod_of[path]
+        members = [
+            (m, key_of_mod[m])
+            for m in _closure(module, deps_of)
+            if m in key_of_mod
+        ]
+        sigs[path] = closure_signature(members)
+    return sigs
+
+
+def verify_paths(
+    paths: list[str | Path],
+    *,
+    config: LintConfig | None = None,
+    cache: AnalysisCache | None = None,
+) -> LintReport:
+    """Run OPS101–OPS103 over files/directories as one project."""
+    if config is None:
+        pyproject = find_pyproject(Path(paths[0]) if paths else Path.cwd())
+        config = load_config(pyproject) if pyproject else LintConfig()
+    if cache is None:
+        cache = AnalysisCache(None)
+
+    fingerprint = config.fingerprint()
+    entries: list[tuple[str, str, str]] = []  # (path, source, key)
+    for file in _iter_python_files(list(paths)):
+        if any(pattern in str(file) for pattern in config.exclude):
+            continue
+        source = file.read_text(encoding="utf-8")
+        entries.append((str(file), source, module_key(source, fingerprint)))
+
+    bundles = {path: cache.load_bundle(key) for path, _, key in entries}
+
+    # ---- warm fast path: everything from the cache, no parsing ------------
+    checks_loaded: dict[str, list[dict] | None] = {}
+    if entries and all(bundles[path] is not None for path, _, _ in entries):
+        mod_of = {path: bundles[path]["module"] for path, _, _ in entries}
+        deps_of = {
+            bundles[path]["module"]: bundles[path]["deps"]
+            for path, _, _ in entries
+        }
+        sigs = _closure_sigs(entries, mod_of, deps_of)
+        checks_loaded = {
+            path: cache.load_checks(key, sigs[path]) for path, _, key in entries
+        }
+        if all(checks_loaded[path] is not None for path, _, _ in entries):
+            raw_by_path = {
+                path: [_decode_violation(d, path) for d in checks_loaded[path]]
+                for path, _, _ in entries
+            }
+            return _assemble(entries, raw_by_path)
+
+    # ---- full path: parse everything, reuse whatever the cache has --------
+    decls: dict[str, ModuleDecl] = {}
+    project = Project()
+    for path, source, _ in entries:
+        decl = parse_module(source, path=path)
+        decls[path] = decl
+        project.add_module(decl)
+
+    local: dict[str, LocalSummary] = {}
+    for path, source, key in entries:
+        decl = decls[path]
+        bundle = bundles[path]
+        if bundle is not None and set(bundle["functions"]) == set(decl.functions):
+            summaries = {
+                name: LocalSummary.from_dict(data)
+                for name, data in bundle["functions"].items()
+            }
+        else:
+            summaries = summarize_module(decl)
+            cache.store_bundle(key, decl.module, decl.deps, summaries)
+        for name, summary in summaries.items():
+            local[f"{decl.module}.{name}"] = summary
+
+    project_summaries = resolve_summaries(project, local)
+
+    mod_of = {path: decls[path].module for path, _, _ in entries}
+    deps_of = {decls[path].module: decls[path].deps for path, _, _ in entries}
+    sigs = _closure_sigs(entries, mod_of, deps_of)
+
+    raw_by_path = {}
+    for path, source, key in entries:
+        cached = checks_loaded.get(path)
+        if cached is None:
+            cached = cache.load_checks(key, sigs[path])
+        if cached is not None:
+            raw_by_path[path] = [_decode_violation(d, path) for d in cached]
+            continue
+        raw = check_module_interproc(decls[path], project_summaries, config)
+        cache.store_checks(key, sigs[path], [v.as_dict() for v in raw])
+        raw_by_path[path] = raw
+    return _assemble(entries, raw_by_path)
+
+
+def _assemble(
+    entries: list[tuple[str, str, str]],
+    raw_by_path: dict[str, list[Violation]],
+) -> LintReport:
+    report = LintReport(tool=TOOL)
+    for path, source, _ in entries:
+        report.extend(
+            apply_suppressions(raw_by_path.get(path, []), source, path, tool=TOOL)
+        )
+    report.sort()
+    return report
+
+
+def verify_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    config: LintConfig | None = None,
+) -> LintReport:
+    """Verify one source string as a standalone single-module project."""
+    config = config if config is not None else LintConfig()
+    decl = parse_module(source, path=path, module=module)
+    project = Project()
+    project.add_module(decl)
+    local = {
+        f"{decl.module}.{name}": summary
+        for name, summary in summarize_module(decl).items()
+    }
+    summaries = resolve_summaries(project, local)
+    raw = check_module_interproc(decl, summaries, config)
+    return apply_suppressions(raw, source, path, tool=TOOL)
+
+
+# ---- CLI -------------------------------------------------------------------
+
+
+def _changed_files(repo_root: Path) -> set[Path] | None:
+    """Files touched per git (worktree vs HEAD, plus untracked), resolved."""
+    out: set[Path] = set()
+    try:
+        for args in (
+            ["git", "diff", "--name-only", "HEAD"],
+            ["git", "ls-files", "--others", "--exclude-standard"],
+        ):
+            proc = subprocess.run(
+                args,
+                cwd=repo_root,
+                capture_output=True,
+                text=True,
+                check=True,
+                timeout=30,
+            )
+            for line in proc.stdout.splitlines():
+                if line.strip():
+                    out.add((repo_root / line.strip()).resolve())
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out
+
+
+def _git_root(start: Path) -> Path | None:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            cwd=start if start.is_dir() else start.parent,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        )
+        return Path(proc.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def _filter_changed(report: LintReport, changed: set[Path]) -> None:
+    keep = lambda v: Path(v.file).resolve() in changed  # noqa: E731
+    report.violations = [v for v in report.violations if keep(v)]
+    report.suppressed = [v for v in report.suppressed if keep(v)]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.verify",
+        description=(
+            "opass-verify: interprocedural determinism-taint, unit and "
+            "scheduler-purity analysis (OPS101-OPS103)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to verify as one project (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        default=None,
+        help="pyproject.toml with a [tool.opass-lint] table",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="also write the report to FILE (useful for CI artifacts)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress violations recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record current violations as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=".opass-cache",
+        help="incremental cache directory (default: .opass-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental cache for this run",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="report only files changed per git (analysis still sees "
+        "the whole tree, so cross-module effects are not missed)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print cache hit/miss counters and wall time to stderr",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the combined rule table and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, description in sorted(ALL_RULES.items()):
+            print(f"{rule_id}  {description}")
+        return EXIT_OK
+
+    try:
+        if args.config is not None:
+            config = load_config(args.config)
+        else:
+            pyproject = find_pyproject(Path(args.paths[0]))
+            config = load_config(pyproject) if pyproject else LintConfig()
+    except ConfigError as exc:
+        print(f"{TOOL}: config error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    for path in args.paths:
+        if not Path(path).exists():
+            print(f"{TOOL}: no such path: {path}", file=sys.stderr)
+            return EXIT_ERROR
+
+    stats = CacheStats()
+    cache = AnalysisCache(None if args.no_cache else args.cache_dir, stats)
+    started = time.perf_counter()
+    try:
+        report = verify_paths(list(args.paths), config=config, cache=cache)
+    except SyntaxError as exc:
+        print(f"{TOOL}: cannot parse {exc.filename}: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.changed:
+        root = _git_root(Path(args.paths[0]))
+        changed = _changed_files(root) if root is not None else None
+        if changed is None:
+            print(f"{TOOL}: --changed requires a git checkout", file=sys.stderr)
+            return EXIT_ERROR
+        _filter_changed(report, changed)
+
+    if args.write_baseline is not None:
+        from .baseline import write_baseline
+
+        write_baseline(args.write_baseline, report)
+        print(
+            f"{TOOL}: wrote baseline with {len(report.violations)} "
+            f"violation(s) to {args.write_baseline}"
+        )
+        return EXIT_OK
+
+    if args.baseline is not None:
+        from .baseline import apply_baseline
+
+        try:
+            apply_baseline(args.baseline, report)
+        except (OSError, ValueError) as exc:
+            print(f"{TOOL}: cannot read baseline: {exc}", file=sys.stderr)
+            return EXIT_ERROR
+
+    if args.format == "sarif":
+        from .sarif import to_sarif_json
+
+        rendered = to_sarif_json(report)
+    elif args.format == "json":
+        rendered = report.to_json()
+    else:
+        rendered = report.render()
+    print(rendered)
+    if args.output is not None:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+
+    if args.stats:
+        elapsed = time.perf_counter() - started
+        pairs = ", ".join(f"{k}={v}" for k, v in stats.as_dict().items())
+        print(f"{TOOL}: {pairs}, wall={elapsed:.3f}s", file=sys.stderr)
+    return EXIT_OK if report.ok else EXIT_VIOLATIONS
+
+
+if __name__ == "__main__":
+    sys.exit(main())

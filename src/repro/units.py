@@ -1,0 +1,61 @@
+"""Dimension markers for simulation quantities.
+
+The simulator mixes three physical dimensions — byte counts, simulated
+seconds, and transfer rates — in plain ``int``/``float`` variables.  A
+bytes value handed to a parameter expecting bytes/sec type-checks fine
+and produces silently wrong curves, so the dimensions are declared
+explicitly with :data:`typing.Annotated` markers and enforced statically
+by ``opass-verify`` (rule OPS102, :mod:`repro.tools.interproc`).
+
+Two spellings are supported and equivalent to the analyzer:
+
+* the aliases below for the common base types::
+
+      def read_time(size: Bytes, bw: BytesPerSec) -> Seconds: ...
+
+* an inline ``Annotated`` when the base type differs::
+
+      remaining: Annotated[float, BYTES]
+
+At runtime the markers are inert: ``Annotated[float, BYTES]`` *is*
+``float`` to every consumer, including mypy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Annotated
+
+
+@dataclass(frozen=True, slots=True)
+class Unit:
+    """A dimension tag carried inside ``Annotated[...]`` metadata."""
+
+    name: str
+
+
+#: Byte counts (chunk sizes, co-located bytes, residual transfer amounts).
+BYTES = Unit("bytes")
+#: Simulated-time durations and instants.
+SECONDS = Unit("seconds")
+#: Transfer rates: disk/NIC bandwidths, per-stream ceilings, flow rates.
+BYTES_PER_SEC = Unit("bytes_per_sec")
+#: Dimensionless cardinalities: node/task/replica counts, concurrency.
+COUNT = Unit("count")
+
+Bytes = Annotated[int, BYTES]
+Seconds = Annotated[float, SECONDS]
+BytesPerSec = Annotated[float, BYTES_PER_SEC]
+Count = Annotated[int, COUNT]
+
+__all__ = [
+    "BYTES",
+    "BYTES_PER_SEC",
+    "COUNT",
+    "SECONDS",
+    "Bytes",
+    "BytesPerSec",
+    "Count",
+    "Seconds",
+    "Unit",
+]

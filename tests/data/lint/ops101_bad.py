@@ -1,0 +1,30 @@
+# opass-lint: module=repro.core.badrand
+"""OPS101 violations: entropy reaching scheduler decisions and globals.
+
+The first chain is only visible interprocedurally: ``pick_node`` looks
+innocent, the entropy enters two call levels below it.
+"""
+
+import numpy as np
+
+
+def pick_node(nodes):
+    salt = _tiebreak()
+    return nodes[salt % len(nodes)]
+
+
+def _tiebreak():
+    return _raw_entropy()
+
+
+def _raw_entropy():
+    return id(object())
+
+
+def order_tasks(tasks):
+    rng = np.random.default_rng()
+    k = int(rng.integers(0, len(tasks)))
+    return tasks[k:] + tasks[:k]
+
+
+_SALT = id(object())

@@ -1,0 +1,30 @@
+# opass-lint: module=repro.core.okrand
+"""OPS101 clean: a seeded, *injected* Generator drives the same decisions.
+
+Determinism taint distinguishes the RNG machinery (fine when seeded and
+injected) from genuine run-to-run entropy; none of these may flag.
+"""
+
+import numpy as np
+
+
+def pick_node(nodes, rng: np.random.Generator):
+    salt = _tiebreak(rng)
+    return nodes[salt % len(nodes)]
+
+
+def _tiebreak(rng: np.random.Generator):
+    return _draw(rng)
+
+
+def _draw(rng: np.random.Generator):
+    return int(rng.integers(0, 1 << 30))
+
+
+def order_tasks(tasks, seed):
+    rng = np.random.default_rng(seed)
+    k = int(rng.integers(0, len(tasks)))
+    return tasks[k:] + tasks[:k]
+
+
+_LIMIT = 1 << 20

@@ -1,0 +1,28 @@
+# opass-lint: module=repro.simulate.badunits
+"""OPS102 violations: bytes/seconds/bytes_per_sec mixed across calls.
+
+``indirect`` is the interprocedural case: the swap only becomes visible
+after ``_forward``'s parameter units are inferred from what *it* passes
+to ``read_time``, two call levels below the mistake.
+"""
+
+
+def read_time(size, bw):
+    return size / bw
+
+
+def total_time(chunk_size, seek_latency):
+    padded = chunk_size + seek_latency
+    return padded
+
+
+def swapped(chunk_size, seek_latency):
+    return read_time(seek_latency, chunk_size)
+
+
+def _forward(a, b):
+    return read_time(a, b)
+
+
+def indirect(seek_latency, chunk_size):
+    return _forward(seek_latency, chunk_size)

@@ -1,0 +1,28 @@
+# opass-lint: module=repro.simulate.okunits
+"""OPS102 clean: consistent dimensions, explicit and inferred.
+
+Unknown units never flag, division converts dimensions properly, and
+``Annotated`` declarations agree with the name conventions.
+"""
+
+from repro.units import Bytes, BytesPerSec, Seconds
+
+
+def read_time(size: Bytes, bw: BytesPerSec) -> Seconds:
+    return size / bw
+
+
+def total_time(chunk_size: Bytes, disk_bw: BytesPerSec, seek_latency: Seconds):
+    return seek_latency + read_time(chunk_size, disk_bw)
+
+
+def _forward(a, b):
+    return read_time(a, b)
+
+
+def indirect(chunk_size, disk_bw):
+    return _forward(chunk_size, disk_bw)
+
+
+def opaque(x, y):
+    return x + y

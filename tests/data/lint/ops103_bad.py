@@ -1,0 +1,28 @@
+# opass-lint: module=repro.core.opass
+"""OPS103 violations: a matching kernel mutating DFS state.
+
+``assign`` never touches the cluster itself — the write happens two
+call levels down in ``_bump``, reached through an attribute chain, so
+only transitive mutation summaries can see it.
+"""
+
+
+def assign(cluster: "Cluster", tasks):
+    _account(cluster, len(tasks))
+    return [(t, 0) for t in tasks]
+
+
+def _account(cluster, n):
+    _bump(cluster.datanodes[0], n)
+
+
+def _bump(node, n):
+    node.load += n
+
+
+_ROUNDS = 0
+
+
+def bump_rounds():
+    global _ROUNDS
+    _ROUNDS += 1

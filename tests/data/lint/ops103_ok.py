@@ -1,0 +1,27 @@
+# opass-lint: module=repro.core.opass
+"""OPS103 clean: kernels read DFS state and mutate only private copies.
+
+A call result (``layout_snapshot()``) insulates: mutating the returned
+copy is not a mutation of the protected argument it came from.
+"""
+
+
+def assign(cluster: "Cluster", tasks):
+    load = _snapshot(cluster)
+    out = []
+    for t in tasks:
+        node = min(load, key=lambda n: (load[n], n))
+        load[node] += 1
+        out.append((t, node))
+    return out
+
+
+def _snapshot(cluster):
+    return dict(cluster.layout_snapshot())
+
+
+def tally(quotas, tasks):
+    quotas = dict(quotas)
+    for t in tasks:
+        quotas[t % len(quotas)] -= 1
+    return quotas

@@ -2,18 +2,32 @@
 
 Not a paper figure — a maintainer's bench.  The fluid simulator is the
 substrate every experiment stands on; this tracks its cost at and beyond
-Fig-7 scales so a regression in the incremental allocator or the
+Fig-7 scales so a regression in the component allocator or the lazy
 completion heap (see ARCHITECTURE.md §1) is caught here rather than as a
 mysteriously slow benchmark suite.
 
 Beyond the printed table the bench emits ``BENCH_sim.json`` at the repo
 root: one row per cluster size with events, wall seconds, event
-throughput and the allocator's solve counters, so CI can archive the
-trajectory and a regression shows up as a diff.
+throughput, per-phase wall clocks and the allocator's solve/component/
+heap counters, so CI can archive the trajectory and a regression shows
+up as a diff.
+
+Run standalone with a regression gate against the committed file::
+
+    PYTHONPATH=src python benchmarks/bench_sim_performance.py \
+        --scales 128,512 --check
+
+``--check`` compares each measured scale's ``events_per_second`` against
+the committed ``BENCH_sim.json`` and fails (exit 1) below
+``REGRESSION_FLOOR`` (0.7×) of the committed number; without it the
+measured rows are merged into the file.  CI runs the gated form on every
+push (see .github/workflows/ci.yml, job ``bench-regression``).
 """
 
+import argparse
 import gc
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -23,11 +37,17 @@ from repro.simulate import ParallelReadRun, StaticSource
 from repro.viz import format_table
 from repro.workloads import single_data_workload
 
-SCALES = (32, 64, 128, 256, 512)
+SCALES = (32, 64, 128, 256, 512, 1024)
 
 #: The simulation is deterministic, so run-to-run wall variance is pure
 #: scheduler/frequency noise — report the fastest of a few repeats.
 REPEATS = 3
+
+#: ``--check`` fails when a scale's measured events_per_second drops
+#: below this fraction of the committed BENCH_sim.json number.  Loose
+#: enough for shared-runner noise, tight enough to catch an accidental
+#: return to per-epoch prediction rebuilds or whole-network solves.
+REGRESSION_FLOOR = 0.7
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
@@ -49,24 +69,32 @@ def _run_once(m: int, seed: int):
     result = run.run()
     wall = time.perf_counter() - t0
     assert result.tasks_completed == len(tasks)
-    perf = run.sim.perf
+    snap = run.sim.perf.snapshot()
     return {
         "nodes": m,
         "reads": len(tasks),
         "events": run.sim.events_processed,
         "wall_s": wall,
         "events_per_second": run.sim.events_processed / wall,
-        "solves": perf.solves,
-        "solve_iterations": perf.solve_iterations,
-        "heap_rebuilds": perf.heap_rebuilds,
-        "solve_wall_s": perf.solve_wall,
-        "settle_wall_s": perf.settle_wall,
+        "solves": snap["solves"],
+        "solve_iterations": snap["solve_iterations"],
+        "prediction_rebuilds": snap["prediction_rebuilds"],
+        "heap_pushes": snap["heap_pushes"],
+        "stale_pops": snap["stale_pops"],
+        "components": snap["components"],
+        "component_solves": snap["component_solves"],
+        "component_size_max": snap["component_size_max"],
+        "component_size_mean": snap["component_size_mean"],
+        "settles": snap["settles"],
+        "solve_wall_s": snap["solve_wall"],
+        "settle_wall_s": snap["settle_wall"],
+        "scan_wall_s": snap["scan_wall"],
     }
 
 
-def run_scaling(seed: int = 0, repeats: int = REPEATS):
+def run_scaling(seed: int = 0, repeats: int = REPEATS, scales=SCALES):
     rows = []
-    for m in SCALES:
+    for m in scales:
         best = min(
             (_run_once(m, seed) for _ in range(repeats)),
             key=lambda r: r["wall_s"],
@@ -75,26 +103,126 @@ def run_scaling(seed: int = 0, repeats: int = REPEATS):
     return rows
 
 
-def test_sim_event_throughput(benchmark):
-    rows = benchmark.pedantic(lambda: run_scaling(seed=0), rounds=1, iterations=1)
+def print_rows(rows):
     print("\n=== simulator throughput (baseline runs, max contention) ===")
     print(format_table(
-        ["nodes", "reads", "events", "wall (ms)", "events/s", "solves", "iters"],
+        ["nodes", "reads", "events", "wall (ms)", "events/s", "solves",
+         "iters", "comps", "sz_max", "pushes", "stale"],
         [
             (r["nodes"], r["reads"], r["events"], r["wall_s"] * 1000,
-             r["events_per_second"], r["solves"], r["solve_iterations"])
+             r["events_per_second"], r["solves"], r["solve_iterations"],
+             r["components"], r["component_size_max"], r["heap_pushes"],
+             r["stale_pops"])
             for r in rows
         ],
         float_fmt="{:.0f}",
     ))
+
+
+def assert_row_health(r):
+    """Structural invariants every scale must satisfy."""
+    # Every scale — including the 1024-node row — must simulate within
+    # the 60 s budget at useful throughput.
+    assert r["wall_s"] < 60.0
+    assert r["events_per_second"] > 100
+    # Events scale roughly with reads (≈2 events per read + slack).
+    assert r["events"] < r["reads"] * 6
+    # One re-solve per flow start + one per finish, plus slack: the
+    # allocator must stay event-driven, never per-timestep.
+    assert r["solves"] <= r["events"] + 2
+    # The lazy heap must hold: no full prediction rebuilds, ever.
+    assert r["prediction_rebuilds"] < r["solves"]
+
+
+def test_sim_event_throughput(benchmark):
+    rows = benchmark.pedantic(lambda: run_scaling(seed=0), rounds=1, iterations=1)
+    print_rows(rows)
     BENCH_JSON.write_text(json.dumps({"scales": rows}, indent=1) + "\n")
     for r in rows:
-        # Every scale — including the 512-node row — must simulate within
-        # the 30 s budget at useful throughput.
-        assert r["wall_s"] < 30.0
-        assert r["events_per_second"] > 100
-        # Events scale roughly with reads (≈2 events per read + slack).
-        assert r["events"] < r["reads"] * 6
-        # One re-solve per flow start + one per finish, plus slack: the
-        # allocator must stay event-driven, never per-timestep.
-        assert r["solves"] <= r["events"] + 2
+        assert_row_health(r)
+        if r["nodes"] >= 512:
+            assert r["events_per_second"] > 10_000
+
+
+def check_regression(rows, committed_path=BENCH_JSON, floor=REGRESSION_FLOOR):
+    """Compare measured rows against the committed bench file.
+
+    Returns a list of failure strings (empty = pass)."""
+    committed = {
+        r["nodes"]: r for r in json.loads(committed_path.read_text())["scales"]
+    }
+    failures = []
+    for r in rows:
+        base = committed.get(r["nodes"])
+        if base is None:
+            print(f"nodes={r['nodes']}: no committed baseline, skipping gate")
+            continue
+        ratio = r["events_per_second"] / base["events_per_second"]
+        verdict = "OK" if ratio >= floor else "REGRESSION"
+        print(
+            f"nodes={r['nodes']}: {r['events_per_second']:.0f} ev/s vs "
+            f"committed {base['events_per_second']:.0f} "
+            f"({ratio:.2f}x, floor {floor:.2f}x) {verdict}"
+        )
+        if ratio < floor:
+            failures.append(
+                f"nodes={r['nodes']} regressed to {ratio:.2f}x of committed "
+                f"events_per_second"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="simulator throughput bench / regression gate"
+    )
+    parser.add_argument(
+        "--scales", default=",".join(str(s) for s in SCALES),
+        help="comma-separated cluster sizes (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=REPEATS,
+        help="runs per scale, fastest kept (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="where to write the measured rows (default: BENCH_sim.json "
+             "when merging; with --check, only written if given)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="gate against the committed BENCH_sim.json instead of "
+             "merging into it; exit 1 on regression",
+    )
+    args = parser.parse_args(argv)
+    scales = tuple(int(s) for s in args.scales.split(","))
+    rows = run_scaling(seed=0, repeats=args.repeats, scales=scales)
+    print_rows(rows)
+    for r in rows:
+        assert_row_health(r)
+    if args.check:
+        failures = check_regression(rows)
+        if args.out is not None:
+            args.out.write_text(json.dumps({"scales": rows}, indent=1) + "\n")
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1 if failures else 0
+    # Merge: measured scales replace committed ones, others are kept.
+    out = args.out if args.out is not None else BENCH_JSON
+    merged = {}
+    if BENCH_JSON.exists():
+        merged = {
+            r["nodes"]: r for r in json.loads(BENCH_JSON.read_text())["scales"]
+        }
+    merged.update({r["nodes"]: r for r in rows})
+    out.write_text(
+        json.dumps(
+            {"scales": [merged[k] for k in sorted(merged)]}, indent=1
+        ) + "\n"
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,6 +2,7 @@
 
 from .allocator import IncrementalAllocator
 from .background import BackgroundTraffic
+from .components import ComponentAllocator
 from .engine import REMAINING_EPS, Simulation
 from .faults import FaultPlan, NodeFailure, NodeRecovery
 from .flows import Flow, allocate_rates, verify_allocation
@@ -31,6 +32,7 @@ from .runner import (
 __all__ = [
     "REMAINING_EPS",
     "BackgroundTraffic",
+    "ComponentAllocator",
     "DatasetIngest",
     "FaultPlan",
     "Flow",

@@ -13,19 +13,31 @@ starts, completes or is cancelled).  Between events every flow's
 no fixed time step, no numerical integration error beyond float
 arithmetic.
 
-The hot path is incremental end to end:
+The hot path is O(affected component) end to end:
 
-* rates come from a persistent :class:`~repro.simulate.allocator.
-  IncrementalAllocator` updated in O(|path|) per flow event (the legacy
-  O(Σ|path|)-rebuild :func:`~repro.simulate.flows.allocate_rates` remains
-  available as a reference via ``Simulation(allocator="reference")``);
-* the next completion comes from a **per-epoch completion cache**: one
-  vectorised ``now + remaining/rate`` pass predicts every finish time the
-  moment rates change, and the minimum is cached.  The flow set cannot
-  change within an epoch (every start/cancel/finish marks the rates
-  dirty), so the cached winner stays valid until the next re-solve — a
-  completion-time heap degenerates to at most one pop per rebuild, and
-  the cache is the zero-overhead special case of it;
+* rates come from a persistent :class:`~repro.simulate.components.
+  ComponentAllocator` (the default) that tracks the connected components
+  of the flow–resource graph and re-runs water-filling only for the
+  components a flow event touched — the measured workloads split into
+  many components of median size one flow.  The previous engines remain
+  as differential references: ``Simulation(allocator="incremental")``
+  (persistent whole-network :class:`~repro.simulate.allocator.
+  IncrementalAllocator`) and ``allocator="reference"`` (pure
+  :func:`~repro.simulate.flows.allocate_rates` rebuild per epoch);
+* the next completion comes from a **lazy-invalidation heap**: a flow's
+  predicted absolute finish time ``t = settled_at + remaining/rate`` is
+  invariant while its rate holds (``remaining`` drains linearly at
+  exactly that rate), so an entry pushed once stays valid until the
+  flow's rate changes.  ``solve()`` reports exactly which flows changed
+  rate (the dirty components' members); only those are re-pushed, each
+  stamped with a sequence number, and superseded/finished entries are
+  skipped lazily on pop.  Entries order by ``(time, flow_id)``, and
+  candidates within a ≤1e-9-relative tie window of the top are
+  re-predicted fresh and snapped to the minimal ``flow_id`` — so
+  simultaneous completions fire in ``flow_id`` order (matching the
+  sweep) regardless of float noise in the predictions.  The cache modes
+  keep the **per-epoch completion cache** (one vectorised ``now +
+  remaining/rate`` pass per rate epoch) for bit-exact differential runs;
 * flow progress uses **credit accounting**: each flow's ``remaining`` is
   settled only at rate-epoch boundaries (one fused ``remaining -=
   rate·dt`` per epoch instead of one per event), with an O(1) dict-backed
@@ -33,10 +45,12 @@ The hot path is incremental end to end:
 
 The dense slot arrays are authoritative for ``remaining``; the ``Flow``
 objects are synchronised at observation points (completion, cancellation,
-every ``run``/``run(until=...)`` return).  Workloads whose every event
-changes the flow set (all the paper's read benchmarks) settle at every
-event and reproduce the pre-incremental engine bit for bit (pinned by
-``tests/test_sim_golden.py``).
+every ``run``/``run(until=...)`` return).  Component-sliced solves match
+the reference arithmetic operation for operation *per component*; across
+components the global water level of the reference interleaves float
+rounding differently, so end-to-end rates agree to ≤ 1e-9 relative
+(pinned by ``tests/test_properties_components.py``; the cache modes stay
+bit-for-bit against ``tests/test_sim_golden.py``'s fixtures).
 """
 
 from __future__ import annotations
@@ -49,6 +63,7 @@ from typing import Callable
 import numpy as np
 
 from .allocator import IncrementalAllocator
+from .components import ComponentAllocator
 from .flows import Flow, allocate_rates
 from .perf import SimPerf, wall_clock
 from .resources import Resource
@@ -56,32 +71,58 @@ from .resources import Resource
 #: Completion slack: a flow is done when remaining ≤ REMAINING_EPS bytes.
 REMAINING_EPS = 1e-6
 
+#: Relative width of the lazy heap's tie window: entries this close to the
+#: top are re-predicted fresh before the winner is chosen, so the pick is
+#: made from the same floats the cache modes' full rescan would produce.
+#: Parked entries drift from their fresh value only by the float rounding
+#: of the settles that ran meanwhile (≲1e-10 s absolute over the largest
+#: benches) — orders of magnitude inside this window, so the true earliest
+#: completion is always among the re-predicted candidates.
+_PEEK_TIE_WINDOW = 1e-9
+
 _GROW = 64
+
+#: Allocator mode used by ``Simulation()`` when none is named.  Tests pin
+#: historical engines by rebinding this (see ``tests/test_sim_golden.py``);
+#: library code never mutates it.
+DEFAULT_ALLOCATOR = "component"
 
 
 class Simulation:
     """Event loop owning the clock, timers, resources and active flows."""
 
-    def __init__(self, *, allocator: str = "incremental") -> None:
+    def __init__(self, *, allocator: str | None = None) -> None:
         """
         Parameters
         ----------
         allocator:
-            ``"incremental"`` (default) uses the persistent
-            :class:`IncrementalAllocator`; ``"reference"`` re-solves with
+            ``"component"`` (the module default, see
+            :data:`DEFAULT_ALLOCATOR`) re-solves only the connected
+            components a flow event touched and re-predicts only their
+            members' completions; ``"incremental"`` uses the persistent
+            whole-network :class:`IncrementalAllocator` with the
+            per-epoch completion cache; ``"reference"`` re-solves with
             the pure :func:`allocate_rates` on every dirty refresh —
-            slower, kept for differential testing.
+            slowest, kept for differential testing.
         """
-        if allocator not in ("incremental", "reference"):
+        if allocator is None:
+            allocator = DEFAULT_ALLOCATOR
+        if allocator not in ("component", "incremental", "reference"):
             raise ValueError(f"unknown allocator {allocator!r}")
+        #: which rate-solve strategy this simulation runs (read-only).
+        self.allocator = allocator
         self.now = 0.0
         self.perf = SimPerf()
         self._timers: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = count()
         self._resources: dict[str, Resource] = {}
-        self._alloc: IncrementalAllocator | None = (
-            IncrementalAllocator() if allocator == "incremental" else None
-        )
+        self._calloc: ComponentAllocator | None = None
+        self._alloc: ComponentAllocator | IncrementalAllocator | None = None
+        if allocator == "component":
+            self._calloc = ComponentAllocator()
+            self._alloc = self._calloc
+        elif allocator == "incremental":
+            self._alloc = IncrementalAllocator()
         #: O(1) registry: flow -> completion callback, insertion-ordered.
         self._flows: dict[Flow, Callable[[Flow], None]] = {}
         self._dirty = True
@@ -105,6 +146,16 @@ class Simulation:
         self._epoch = 0
         self._next_completion: tuple[float, int, Flow] | None = None
         self._pred_epoch = -1
+        # Lazy-invalidation completion heap (component mode): entries are
+        # ``(time, flow_id, fid, seq)``; ``_entry_seq[fid]`` names the only
+        # live sequence number per slot (-1 = none), so superseded and
+        # finished entries are recognised and discarded on pop.  Changed
+        # fids reported by solve() park in ``_pending_push`` (an
+        # insertion-ordered dict used as a set) until the next peek.
+        self._heap: list[tuple[float, int, int, int]] = []
+        self._entry_seq: list[int] = []
+        self._push_seq = 0
+        self._pending_push: dict[int, None] = {}
         # cached length-n views of _rem/_rate; rebuilt when the slot count
         # changes (which is also the only time the arrays can reallocate)
         self._nview = -1
@@ -154,6 +205,7 @@ class Simulation:
         else:
             fid = len(self._flow_at)
             self._flow_at.append(None)
+            self._entry_seq.append(-1)
             if fid >= len(self._rem):
                 grow = len(self._rem)
                 self._rem = np.concatenate([self._rem, np.full(grow, np.inf)])
@@ -193,10 +245,18 @@ class Simulation:
         return len(self._flows)
 
     def current_rate(self, flow: Flow) -> float:
-        """The flow's current max-min fair rate (refreshes if stale)."""
+        """The flow's current max-min fair rate (refreshes if stale).
+
+        A flow that is no longer active (finished or cancelled) reports
+        0.0 without touching the solver — its old slot may already have
+        been recycled by a younger flow, so the rate arrays must not be
+        consulted for it (and a query must not trigger a spurious
+        re-solve).
+        """
+        if flow not in self._flows:
+            return 0.0
         self._refresh_rates()
-        fid = self._fid_of.get(flow)
-        return float(self._rate[fid]) if fid is not None else 0.0
+        return float(self._rate[self._fid_of[flow]])
 
     # -- incremental state ---------------------------------------------------
 
@@ -215,6 +275,7 @@ class Simulation:
         self._flow_at[fid] = None
         self._rem[fid] = np.inf
         self._rate[fid] = 1.0
+        self._entry_seq[fid] = -1
         self._free_ids.append(fid)
 
     def _settle_all(self) -> None:
@@ -246,7 +307,22 @@ class Simulation:
         # before they are replaced.
         self._settle_all()
         t0 = wall_clock()
-        if self._alloc is not None:
+        calloc = self._calloc
+        if calloc is not None:
+            calloc.solve(out=self._rate)
+            perf = self.perf
+            perf.solve_iterations += calloc.last_iterations
+            perf.component_solves += calloc.last_component_solves
+            perf.component_flows_resolved += calloc.last_flows_resolved
+            if calloc.last_component_size_max > perf.component_size_max:
+                perf.component_size_max = calloc.last_component_size_max
+            n_comp = calloc.component_count
+            if n_comp > perf.components:
+                perf.components = n_comp
+            pending = self._pending_push
+            for fid in calloc.last_changed:
+                pending[fid] = None
+        elif self._alloc is not None:
             self._alloc.solve(out=self._rate)
             self.perf.solve_iterations += self._alloc.last_iterations
         else:
@@ -263,7 +339,116 @@ class Simulation:
     # -- event selection -----------------------------------------------------
 
     def _peek_completion(self) -> tuple[float, int, Flow] | None:
-        """The earliest predicted completion, from the epoch's cache.
+        """The earliest predicted completion.
+
+        Component mode answers from the lazy heap
+        (:meth:`_peek_completion_heap`); the cache modes from the
+        per-epoch cache (:meth:`_peek_completion_cache`).  Both order by
+        ``(time, flow_id)``.
+        """
+        self._refresh_rates()
+        if self._calloc is not None:
+            return self._peek_completion_heap()
+        return self._peek_completion_cache()
+
+    def _peek_completion_heap(self) -> tuple[float, int, Flow] | None:
+        """Lazy-invalidation heap peek (component mode).
+
+        Flows whose rate the last solves changed sit in
+        ``_pending_push``; each gets one fresh entry ``(settled_at +
+        rem/rate, flow_id, fid, seq)`` — the predicted *absolute* finish
+        time, which stays valid for as long as the rate does, however far
+        the clock advances meanwhile.  Entries whose seq is no longer the
+        slot's live one (rate re-solved again, flow finished/cancelled,
+        slot recycled) are discarded on pop.
+        """
+        pending = self._pending_push
+        if pending:
+            t0 = wall_clock()
+            base = self._settled_at
+            rem = self._rem
+            rate = self._rate
+            flow_at = self._flow_at
+            entry_seq = self._entry_seq
+            heap = self._heap
+            seq = self._push_seq
+            pushed = 0
+            for fid in pending:
+                flow = flow_at[fid]
+                if flow is None:
+                    # Re-solved, then removed before the push drained; its
+                    # entry_seq is already -1 (any recycled successor gets
+                    # its own re-solve and push).
+                    continue
+                entry_seq[fid] = seq
+                heapq.heappush(
+                    heap, (float(base + rem[fid] / rate[fid]), flow.flow_id, fid, seq)
+                )
+                seq += 1
+                pushed += 1
+            self._push_seq = seq
+            pending.clear()
+            self.perf.heap_pushes += pushed
+            self.perf.scan_wall += wall_clock() - t0
+        heap = self._heap
+        entry_seq = self._entry_seq
+        rem = self._rem
+        rate = self._rate
+        base = self._settled_at
+        stale = 0
+        best: tuple[float, int, int] | None = None
+        while heap and best is None:
+            t_top, _, fid_top, seq_top = heap[0]
+            if entry_seq[fid_top] != seq_top:
+                heapq.heappop(heap)
+                stale += 1
+                continue
+            # Pop every candidate in the tie window, re-predict each from
+            # the current settled state (a parked prediction drifts from
+            # its fresh value only by the settles' float rounding, far
+            # inside the window), then snap: the winner is the minimal
+            # ``flow_id`` among candidates within the window of the fresh
+            # minimum.  Symmetric workloads finish whole waves of chunks
+            # at the *exact same* simulated instant, and which prediction
+            # rounds lowest is float noise — snapping makes the firing
+            # order (and with it every downstream RNG draw) depend only
+            # on flow identity, matching the sweep's retire order.
+            horizon = t_top + _PEEK_TIE_WINDOW * max(1.0, abs(t_top))
+            cands: list[tuple[float, int, int]] = []
+            while heap and heap[0][0] <= horizon:
+                _, flow_id, fid, seq = heapq.heappop(heap)
+                if entry_seq[fid] != seq:
+                    stale += 1
+                    continue
+                cands.append((float(base + rem[fid] / rate[fid]), flow_id, fid))
+            pushed = 0
+            t_min = math.inf
+            for fresh in cands:
+                t_new, flow_id, fid = fresh
+                seq = self._push_seq
+                self._push_seq += 1
+                entry_seq[fid] = seq
+                heapq.heappush(heap, (t_new, flow_id, fid, seq))
+                pushed += 1
+                if t_new < t_min:
+                    t_min = t_new
+            self.perf.heap_pushes += pushed
+            if cands:
+                snap = t_min + _PEEK_TIE_WINDOW * max(1.0, abs(t_min))
+                for fresh in cands:
+                    if fresh[0] <= snap and (best is None or fresh[1] < best[1]):
+                        best = fresh
+        if stale:
+            self.perf.stale_pops += stale
+        if best is None:
+            return None
+        t, flow_id, fid = best
+        flow = self._flow_at[fid]
+        assert flow is not None
+        return (t, flow_id, flow)
+
+    def _peek_completion_cache(self) -> tuple[float, int, Flow] | None:
+        """Per-epoch full-prediction cache (incremental/reference modes).
 
         One vectorised prediction pass per rate epoch; the ``(time,
         flow_id)``-minimal flow is cached and stays valid for the whole
@@ -271,7 +456,6 @@ class Simulation:
         predicted time break by ``flow_id`` — the registry's insertion
         order, matching the pre-incremental engine's scan.
         """
-        self._refresh_rates()
         if self._pred_epoch != self._epoch:
             t0 = wall_clock()
             if self._fid_of:
@@ -291,7 +475,7 @@ class Simulation:
             else:
                 self._next_completion = None
             self._pred_epoch = self._epoch
-            self.perf.heap_rebuilds += 1
+            self.perf.prediction_rebuilds += 1
             self.perf.scan_wall += wall_clock() - t0
         return self._next_completion
 
@@ -394,4 +578,3 @@ class Simulation:
                 raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")
         self._sync_remaining()
         return self.now
-

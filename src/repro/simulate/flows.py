@@ -69,6 +69,8 @@ class Flow:
 def allocate_rates(
     flows: list[Flow],
     resources: dict[str, "Resource"] | dict[str, float],
+    *,
+    stats: dict[str, int] | None = None,
 ) -> dict[Flow, float]:
     """Max-min fair rates for ``flows`` over ``resources``.
 
@@ -79,8 +81,13 @@ def allocate_rates(
     the standard max-min extension for flows with demand limits).  Raises
     ``KeyError`` if a flow crosses an unknown resource.  At least one flow
     freezes per iteration, so the loop runs at most F times.
+
+    ``stats``, when given, receives ``{"iterations": <water-filling loop
+    count>}`` — instrumentation only, it never alters the allocation.
     """
     if not flows:
+        if stats is not None:
+            stats["iterations"] = 0
         return {}
     users: dict[str, list[Flow]] = {}
     for f in flows:
@@ -104,6 +111,7 @@ def allocate_rates(
     )
     capped_idx = 0
     level = 0.0
+    iterations = 0
     rates: dict[Flow, float] = {}
 
     def freeze(f: Flow, rate: float) -> None:
@@ -113,6 +121,7 @@ def allocate_rates(
             unfrozen_count[r] -= 1
 
     while unfrozen:
+        iterations += 1
         # Headroom: how much further the water level can rise before some
         # resource saturates or some flow hits its rate cap.
         delta = None
@@ -161,6 +170,8 @@ def allocate_rates(
         if not froze_any:
             for f in list(unfrozen):
                 freeze(f, level)
+    if stats is not None:
+        stats["iterations"] = iterations
     return rates
 
 

@@ -1,12 +1,13 @@
 """Instrumentation counters for the simulator hot path.
 
 Every :class:`~repro.simulate.engine.Simulation` owns a :class:`SimPerf`;
-the engine and the incremental allocator bump its counters as they work.
-The counters are plain ints/floats (negligible overhead) and answer the
+the engine and the allocators bump its counters as they work.  The
+counters are plain ints/floats (negligible overhead) and answer the
 questions a performance regression hunt starts with: how many rate
-re-solves ran, how many water-filling iterations they took, how often the
-completion heap was rebuilt versus served from cache, and how much wall
-time each phase consumed.
+re-solves ran, how many water-filling iterations they took, how many
+components they touched, how the lazy completion heap behaved (pushes,
+stale pops, full prediction rebuilds), and how much wall time each phase
+consumed.
 
 ``repro.metrics`` re-exports :class:`SimPerf` and
 :func:`repro.metrics.export.perf_summary`; the runner attaches a snapshot
@@ -36,10 +37,22 @@ class SimPerf:
     solves: int = 0
     #: total water-filling iterations across all solves
     solve_iterations: int = 0
-    #: completion-heap rebuilds (one per rate epoch that reached a peek)
-    heap_rebuilds: int = 0
-    #: lazy-deleted stale heap entries skipped during peeks
-    heap_pops: int = 0
+    #: full completion-prediction passes (one per rate epoch that reached
+    #: a peek in the cache modes; 0 in component mode, which re-predicts
+    #: per changed flow instead)
+    prediction_rebuilds: int = 0
+    #: per-flow completion predictions pushed onto the lazy heap
+    heap_pushes: int = 0
+    #: invalidated heap entries lazily discarded on pop
+    stale_pops: int = 0
+    #: peak connected-component count of the flow–resource graph
+    components: int = 0
+    #: per-component water-filling runs (component allocator only)
+    component_solves: int = 0
+    #: largest component (in flows) any single solve touched
+    component_size_max: int = 0
+    #: total flows whose rate was re-solved across all component solves
+    component_flows_resolved: int = 0
     #: settle passes (bulk remaining updates at rate-epoch boundaries)
     settles: int = 0
     #: flow-remaining updates performed by those settle passes
@@ -58,13 +71,50 @@ class SimPerf:
 
     _extra: dict[str, float] = field(default_factory=dict, repr=False)
 
+    # -- deprecated aliases ---------------------------------------------------
+
+    @property
+    def heap_rebuilds(self) -> int:
+        """Deprecated alias for :attr:`prediction_rebuilds` (pre-PR-4 name)."""
+        return self.prediction_rebuilds
+
+    @heap_rebuilds.setter
+    def heap_rebuilds(self, value: int) -> None:
+        self.prediction_rebuilds = value
+
+    @property
+    def heap_pops(self) -> int:
+        """Deprecated alias for :attr:`stale_pops` (pre-PR-4 name)."""
+        return self.stale_pops
+
+    @heap_pops.setter
+    def heap_pops(self, value: int) -> None:
+        self.stale_pops = value
+
     def snapshot(self) -> dict[str, float]:
-        """A plain-dict copy, JSON-ready (for RunResult / BENCH files)."""
+        """A plain-dict copy, JSON-ready (for RunResult / BENCH files).
+
+        Emits both the current counter names and the deprecated aliases
+        (``heap_rebuilds`` for ``prediction_rebuilds``, ``heap_pops`` for
+        ``stale_pops``) so existing readers keep working, plus the
+        derived ``component_size_mean``.
+        """
+        solves = self.component_solves
         out = {
             "solves": self.solves,
             "solve_iterations": self.solve_iterations,
-            "heap_rebuilds": self.heap_rebuilds,
-            "heap_pops": self.heap_pops,
+            "prediction_rebuilds": self.prediction_rebuilds,
+            "heap_rebuilds": self.prediction_rebuilds,
+            "heap_pushes": self.heap_pushes,
+            "stale_pops": self.stale_pops,
+            "heap_pops": self.stale_pops,
+            "components": self.components,
+            "component_solves": self.component_solves,
+            "component_size_max": self.component_size_max,
+            "component_size_mean": (
+                self.component_flows_resolved / solves if solves else 0.0
+            ),
+            "component_flows_resolved": self.component_flows_resolved,
             "settles": self.settles,
             "flows_settled": self.flows_settled,
             "flow_events": self.flow_events,

@@ -76,6 +76,7 @@ DEFAULT_PURE_MODULES: tuple[str, ...] = (
     "repro.core.mincostflow",
     "repro.core.multi_data",
     "repro.core.single_data",
+    "repro.simulate.components",
 )
 
 #: Class names whose instances carry DFS state; mutating one from a pure

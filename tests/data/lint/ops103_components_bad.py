@@ -1,0 +1,26 @@
+# opass-lint: module=repro.simulate.components
+"""OPS103 violations: a rate solve that writes back into DFS state.
+
+The solve itself looks innocent — the mutation happens two call levels
+down (``solve`` → ``_commit`` → ``_charge``) on a ``DataNode`` reached
+through the flow's payload, so only transitive mutation summaries
+catch it.
+"""
+
+
+def solve(components, cluster: "Cluster"):
+    rates = {}
+    for members in components:
+        for f in members:
+            rates[f] = 1.0 / max(1, len(members))
+    _commit(cluster, rates)
+    return rates
+
+
+def _commit(cluster, rates):
+    for f in rates:
+        _charge(cluster.datanodes[0], f.size)
+
+
+def _charge(node, nbytes):
+    node.served_bytes += nbytes

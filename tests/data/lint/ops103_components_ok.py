@@ -1,0 +1,33 @@
+# opass-lint: module=repro.simulate.components
+"""OPS103 clean: a component-sliced solve that mutates only its own
+bookkeeping.
+
+Mirrors ``ComponentAllocator.solve``: reads protected cluster/node state
+through snapshots and per-flow paths, writes rates into private caches —
+never into ``Cluster``/``NameNode``/``DataNode`` objects.
+"""
+
+
+class MiniAllocator:
+    def __init__(self):
+        self._rate_of = {}
+        self._dirty = {}
+
+    def solve(self, components, resources):
+        for members in components:
+            share = _fair_share(members, resources)
+            for f in members:
+                self._rate_of[f] = share
+        self._dirty.clear()
+        return dict(self._rate_of)
+
+
+def _fair_share(members, resources):
+    cap = min(resources[r] for f in members for r in f.path)
+    return cap / max(1, len(members))
+
+
+def capacities_from(cluster: "Cluster"):
+    # A call result insulates: the snapshot dict is ours to reshape.
+    caps = dict(cluster.layout_snapshot())
+    return {name: float(c) for name, c in caps.items()}

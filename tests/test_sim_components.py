@@ -1,0 +1,184 @@
+"""Engine-level tests for the component allocator and its lazy heap.
+
+Covers what the golden and property suites don't: the perf-counter
+semantics of the lazy-invalidation completion heap, the
+``current_rate``-after-cancel regression (stale slot recycled by a
+younger flow), ``run(until=...)`` resumability, the tie-snap firing
+order, and allocator selection/validation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.simulate.engine as engine_mod
+from repro.simulate import REMAINING_EPS, Simulation
+from repro.simulate.resources import Resource
+
+
+def make_sim(allocator=None, resources=4, capacity=10.0):
+    sim = Simulation(allocator=allocator)
+    for i in range(resources):
+        sim.add_resource(Resource(f"r{i}", capacity))
+    return sim
+
+
+class TestAllocatorSelection:
+    def test_default_is_component(self):
+        assert engine_mod.DEFAULT_ALLOCATOR == "component"
+        sim = Simulation()
+        assert sim.allocator == "component"
+
+    def test_default_follows_module_global(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "DEFAULT_ALLOCATOR", "reference")
+        assert Simulation().allocator == "reference"
+
+    def test_unknown_allocator_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation(allocator="magic")
+
+
+class TestLazyHeap:
+    def test_no_full_rebuilds_and_component_counters(self):
+        sim = make_sim(resources=6)
+        done = []
+        # Disjoint singleton components with staggered sizes: every
+        # completion is its own event and dirties only its own component.
+        for i in range(6):
+            sim.start_flow(10.0 * (i + 1), [f"r{i}"], done.append)
+        sim.run()
+        p = sim.perf
+        assert len(done) == 6
+        assert p.prediction_rebuilds == 0
+        assert p.heap_pushes >= 6
+        assert p.components == 6
+        assert p.component_size_max == 1
+        # Each event re-solves one singleton component, never the world.
+        assert p.component_flows_resolved == p.component_solves
+        assert p.snapshot()["component_size_mean"] == 1.0
+
+    def test_stale_entries_skipped_on_pop(self):
+        sim = make_sim(resources=1)
+        done = []
+        # Two flows sharing one resource: the first finish changes the
+        # survivor's rate, invalidating its parked prediction.
+        sim.start_flow(10.0, ["r0"], done.append)
+        sim.start_flow(30.0, ["r0"], done.append)
+        sim.run()
+        assert len(done) == 2
+        assert sim.perf.stale_pops >= 1
+        assert sim.perf.prediction_rebuilds == 0
+
+    def test_tie_snap_fires_lowest_flow_id_first(self):
+        # Four equal flows on disjoint resources all finish at the same
+        # simulated instant; the snap policy must retire them in flow_id
+        # (= creation) order, like the cache engines' argmin tie-break.
+        sim = make_sim(resources=4)
+        order = []
+        flows = [
+            sim.start_flow(50.0, [f"r{i}"], lambda f: order.append(f.flow_id))
+            for i in range(4)
+        ]
+        sim.run()
+        assert order == sorted(f.flow_id for f in flows)
+        assert sim.now == pytest.approx(5.0)
+
+
+class TestCurrentRate:
+    def test_rates_reflect_sharing(self):
+        sim = make_sim(resources=1)
+        a = sim.start_flow(100.0, ["r0"], lambda f: None)
+        assert sim.current_rate(a) == 10.0
+        b = sim.start_flow(100.0, ["r0"], lambda f: None)
+        assert sim.current_rate(a) == 5.0
+        assert sim.current_rate(b) == 5.0
+
+    def test_cancelled_flow_reads_zero_through_recycled_slot(self):
+        """Regression: after cancel, the flow's old slot may be recycled
+        by a younger flow — querying the cancelled flow must return 0.0
+        from the membership check, never the recycled slot's rate, and
+        must not trigger a spurious re-solve."""
+        sim = make_sim(resources=2)
+        a = sim.start_flow(100.0, ["r0"], lambda f: None)
+        assert sim.current_rate(a) == 10.0
+        sim.cancel_flow(a)
+        # The next start recycles a's slot id before any refresh runs.
+        b = sim.start_flow(100.0, ["r1"], lambda f: None)
+        solves_before = sim.perf.solves
+        assert sim.current_rate(a) == 0.0
+        assert sim.perf.solves == solves_before  # no spurious solve
+        assert sim.current_rate(b) == 10.0
+
+    def test_finished_flow_reads_zero(self):
+        sim = make_sim(resources=1)
+        done = []
+        a = sim.start_flow(10.0, ["r0"], done.append)
+        sim.run()
+        assert done == [a]
+        assert sim.current_rate(a) == 0.0
+
+    def test_cancel_credits_partial_progress(self):
+        sim = make_sim(resources=1)
+        a = sim.start_flow(100.0, ["r0"], lambda f: None)
+        sim.schedule(4.0, lambda: sim.cancel_flow(a))
+        sim.run()
+        assert a.remaining == pytest.approx(60.0, abs=REMAINING_EPS)
+
+
+class TestRunUntil:
+    @pytest.mark.parametrize("allocator", ["component", "incremental", "reference"])
+    def test_pause_and_resume_matches_single_shot(self, allocator):
+        def build():
+            sim = make_sim(allocator=allocator, resources=3)
+            done = []
+            for i in range(3):
+                for k in range(3):
+                    sim.start_flow(
+                        10.0 * (i + 1) + 3.0 * k, [f"r{i}"], done.append
+                    )
+            return sim, done
+
+        sim_a, done_a = build()
+        end_a = sim_a.run()
+
+        sim_b, done_b = build()
+        sim_b.run(until=2.5)
+        assert sim_b.now == 2.5
+        mid = len(done_b)
+        end_b = sim_b.run()
+        assert mid < len(done_b) == len(done_a) == 9
+        # Pausing splits one settle interval in two, which perturbs the
+        # drained remainders in the last ulp (all engines, pre-existing);
+        # the retire order must be identical and times within float noise.
+        assert end_b == pytest.approx(end_a, rel=1e-12)
+        # flow_id is a process-global counter, so normalise per run.
+        base_a = min(f.flow_id for f in done_a)
+        base_b = min(f.flow_id for f in done_b)
+        assert [f.flow_id - base_b for f in done_b] == [
+            f.flow_id - base_a for f in done_a
+        ]
+
+
+class TestCrossEngineAgreement:
+    def test_component_matches_reference_end_to_end(self):
+        def makespan(allocator):
+            sim = make_sim(allocator=allocator, resources=4)
+            done = []
+            for i in range(4):
+                for k in range(4):
+                    sim.start_flow(
+                        7.0 * (i + 1) + 2.0 * k + 0.5,
+                        [f"r{i}", f"r{(i + 1) % 4}"],
+                        done.append,
+                    )
+            end = sim.run()
+            return end, [f.flow_id for f in done]
+
+        ref_end, ref_order = makespan("reference")
+        comp_end, comp_order = makespan("component")
+        assert comp_end == pytest.approx(ref_end, rel=1e-9)
+        # flow_ids differ across runs (global counter) but the relative
+        # retire order must match.
+        assert [o - min(ref_order) for o in ref_order] == [
+            o - min(comp_order) for o in comp_order
+        ]

@@ -1,15 +1,31 @@
-"""Golden regression: the incremental engine reproduces the seed engine.
+"""Golden regression: both pinned engines reproduce their fixture files.
 
-``tests/data/golden_sim_seed.json`` was captured from the pre-incremental
-engine (pure ``allocate_rates`` re-solve + linear scans).  Workloads whose
-every event changes the flow set (all parallel-read benchmarks) must
-reproduce it **bit for bit** — makespans compared by ``repr`` string and
-the full record stream by sha256 digest.
+Two fixture files, one per pinned engine (regenerate with
+``tests/data/make_golden_sim_seed.py``):
 
-Timer-heavy workloads (failure injection, irregular compute) merge
-several events into one settle interval, so their float error differs in
-the last ulp; those pin byte counts and discrete decisions exactly and
-makespans to 1e-9 relative.
+``golden_sim_seed.json`` — captured from the pre-incremental seed engine
+and **never rewritten**.  ``Simulation(allocator="incremental")`` must
+reproduce it bit for bit on workloads whose every event changes the flow
+set (all parallel-read benchmarks): makespans compared by ``repr`` string
+and the full record stream by sha256 digest.  Timer-heavy workloads
+(failure injection, irregular compute) merge several events into one
+settle interval, so their float error differs in the last ulp; those pin
+byte counts and discrete decisions exactly and makespans to 1e-9
+relative.
+
+``golden_sim_component.json`` — pins the **default** engine
+(``allocator="component"``), bit for bit on every fixture.  Component-
+sliced water-filling is arithmetically identical to the reference solver
+within a component but rounds the global water level differently across
+components, so its trajectories sit an ulp from the seed engine's:
+cross-checking the two files shows ≤3e-15 relative deviation on 12 of
+the 13 workloads.  The one exception, ``fig7_m16_s0_base``, hits a wave
+of chunk reads finishing at the *exact same* simulated instant; the
+firing order among the tied flows (float noise in the seed engine,
+canonical ``flow_id`` order in the component engine) permutes downstream
+replica-pick RNG draws, so its makespan diverges while byte counts and
+locality stay identical.  That cross-file deviation is asserted here so
+a silent re-convergence or a new divergence both fail loudly.
 """
 
 from __future__ import annotations
@@ -20,9 +36,29 @@ from pathlib import Path
 
 import pytest
 
+import repro.simulate.engine as engine_mod
+
 GOLDEN = json.loads(
     (Path(__file__).parent / "data" / "golden_sim_seed.json").read_text()
 )
+GOLDEN_COMPONENT = json.loads(
+    (Path(__file__).parent / "data" / "golden_sim_component.json").read_text()
+)
+
+#: The one fixture where the component engine's tie policy changes the
+#: firing order of simultaneous completions (see module docstring).
+TIE_DIVERGENT = ("fig7_m16_s0_base",)
+
+
+@pytest.fixture(params=["incremental", "component"])
+def pinned(request, monkeypatch):
+    """Run the test body once per pinned engine; yields that engine's
+    golden dict.  Experiment entry points construct ``Simulation()``
+    internally, so the default allocator is patched module-wide."""
+    monkeypatch.setattr(engine_mod, "DEFAULT_ALLOCATOR", request.param)
+    if request.param == "incremental":
+        return GOLDEN
+    return GOLDEN_COMPONENT
 
 
 def records_digest(result):
@@ -57,15 +93,15 @@ def assert_ulp(result, golden):
 @pytest.mark.parametrize(
     "num_nodes,seed", [(16, 9), (16, 0), (32, 0), (64, 1)]
 )
-def test_fig7_single_data_bitwise(num_nodes, seed):
+def test_fig7_single_data_bitwise(num_nodes, seed, pinned):
     from repro.experiments.single_data import run_single_data_comparison
 
     c = run_single_data_comparison(num_nodes, seed=seed)
-    assert_exact(c.base, GOLDEN[f"fig7_m{num_nodes}_s{seed}_base"])
-    assert_exact(c.opass, GOLDEN[f"fig7_m{num_nodes}_s{seed}_opass"])
+    assert_exact(c.base, pinned[f"fig7_m{num_nodes}_s{seed}_base"])
+    assert_exact(c.opass, pinned[f"fig7_m{num_nodes}_s{seed}_opass"])
 
 
-def test_validation_grid_bitwise():
+def test_validation_grid_bitwise(pinned):
     from repro.analysis import validation_grid
 
     rows = validation_grid(
@@ -77,21 +113,21 @@ def test_validation_grid_bitwise():
          "sim_std": repr(r.simulated_served_std)}
         for r in rows
     ]
-    assert got == GOLDEN["validation"]
+    assert got == pinned["validation"]
 
 
-def test_paraview_bitwise():
+def test_paraview_bitwise(pinned):
     from repro.experiments.paraview import run_paraview_comparison
 
     pv = run_paraview_comparison(num_nodes=8, num_datasets=48, seed=3)
-    g = GOLDEN["paraview_8_s3"]
+    g = pinned["paraview_8_s3"]
     assert_exact(pv.stock.run, g["stock"])
     assert_exact(pv.opass.run, g["opass"])
     assert repr(pv.stock.total_execution_time) == g["stock_total"]
     assert repr(pv.opass.total_execution_time) == g["opass_total"]
 
 
-def test_ingest_bitwise():
+def test_ingest_bitwise(pinned):
     from repro.core import ProcessPlacement
     from repro.dfs import ClusterSpec, DistributedFileSystem, uniform_dataset
     from repro.dfs.chunk import MB
@@ -105,12 +141,12 @@ def test_ingest_bitwise():
         seed=7,
     )
     res = ing.run()
-    g = GOLDEN["ingest_8"]
+    g = pinned["ingest_8"]
     assert repr(res.makespan) == g["makespan"]
     assert {k: repr(v) for k, v in res.write_stats().items()} == g["writes"]
 
 
-def test_faults_ulp():
+def _faults_run():
     from repro.core import (
         ProcessPlacement,
         rank_interval_assignment,
@@ -132,15 +168,69 @@ def test_faults_ulp():
         seed=5,
     )
     FaultPlan().fail(1.5, 2).fail(3.0, 5).attach(run)
-    assert_ulp(run.run(), GOLDEN["faults_8"])
+    return run.run()
 
 
-def test_dynamic_ulp():
+def test_faults(pinned):
+    # The seed file predates the incremental engine and pins faults_8
+    # only to 1e-9 (merged settle intervals); the component file pins
+    # its own engine exactly.
+    if pinned is GOLDEN:
+        assert_ulp(_faults_run(), pinned["faults_8"])
+    else:
+        assert_exact(_faults_run(), pinned["faults_8"])
+
+
+def test_dynamic(pinned):
     from repro.experiments.dynamic import run_dynamic_comparison
 
     dyn = run_dynamic_comparison(num_nodes=8, num_fragments=48, seed=2)
-    g = GOLDEN["dynamic_8_s2"]
-    assert_ulp(dyn.base.result, g["base"])
-    assert_ulp(dyn.opass.result, g["opass"])
+    g = pinned["dynamic_8_s2"]
+    check = assert_ulp if pinned is GOLDEN else assert_exact
+    check(dyn.base.result, g["base"])
+    check(dyn.opass.result, g["opass"])
     assert dyn.base.steals == g["base_steals"]
     assert dyn.opass.steals == g["opass_steals"]
+
+
+def test_cross_engine_agreement_is_tight():
+    """The two fixture files agree to float noise everywhere except the
+    documented tie-divergent fixture — pin that, both ways."""
+    def floats(entry, path=""):
+        if isinstance(entry, dict):
+            for k, v in entry.items():
+                if k != "digest":
+                    yield from floats(v, f"{path}.{k}" if path else k)
+        elif isinstance(entry, list):
+            for i, v in enumerate(entry):
+                yield from floats(v, f"{path}[{i}]")
+        else:
+            try:
+                yield path, float(entry)
+            except (TypeError, ValueError):
+                pass
+
+    for key, seed_entry in GOLDEN.items():
+        seed_vals = dict(floats(seed_entry, key))
+        comp_vals = dict(floats(GOLDEN_COMPONENT[key], key))
+        assert seed_vals.keys() == comp_vals.keys()
+        worst = max(
+            abs(comp_vals[p] - sv) / max(abs(sv), 1e-12)
+            for p, sv in seed_vals.items()
+        )
+        if key in TIE_DIVERGENT:
+            assert worst > 1e-9, (
+                f"{key} re-converged; drop it from TIE_DIVERGENT and in "
+                "tests/data/make_golden_sim_seed.py"
+            )
+            # Tie order permutes replica picks, never byte totals.
+            assert (
+                GOLDEN_COMPONENT[key]["local_bytes"]
+                == seed_entry["local_bytes"]
+            )
+            assert (
+                GOLDEN_COMPONENT[key]["remote_bytes"]
+                == seed_entry["remote_bytes"]
+            )
+        else:
+            assert worst <= 1e-9, f"{key} deviates by {worst:.3e}"

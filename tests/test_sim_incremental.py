@@ -110,16 +110,25 @@ def build_workload(sim):
 class TestReferenceDifferential:
     def test_runs_match_event_for_event(self):
         runs = {}
-        for mode in ("incremental", "reference"):
+        for mode in ("component", "incremental", "reference"):
             sim = Simulation(allocator=mode)
             events = build_workload(sim)
             end = sim.run()
             runs[mode] = (events, end, sim.events_processed, sim.completed_flows)
         assert runs["incremental"] == runs["reference"]
+        # Component-sliced rounding drifts from the global solve by at
+        # most an ulp: same tag order and event counts, times ≤1e-9 off.
+        comp_events, comp_end, comp_n, comp_done = runs["component"]
+        ref_events, ref_end, ref_n, ref_done = runs["reference"]
+        assert (comp_n, comp_done) == (ref_n, ref_done)
+        assert [tag for tag, _ in comp_events] == [tag for tag, _ in ref_events]
+        for (_, tc), (_, tr) in zip(comp_events, ref_events):
+            assert tc == pytest.approx(tr, rel=1e-9, abs=1e-9)
+        assert comp_end == pytest.approx(ref_end, rel=1e-9)
 
     def test_partial_run_remaining_match(self):
         states = {}
-        for mode in ("incremental", "reference"):
+        for mode in ("component", "incremental", "reference"):
             sim = Simulation(allocator=mode)
             sim.add_resources([Resource("a", 10.0), Resource("b", 4.0)])
             f1 = sim.start_flow(100, ["a", "b"], lambda f: None)
@@ -127,10 +136,11 @@ class TestReferenceDifferential:
             sim.run(until=3.0)
             states[mode] = (sim.now, f1.remaining, f2.remaining)
         assert states["incremental"] == states["reference"]
+        assert states["component"] == pytest.approx(states["reference"], rel=1e-9)
 
     def test_current_rate_matches(self):
         rates = {}
-        for mode in ("incremental", "reference"):
+        for mode in ("component", "incremental", "reference"):
             sim = Simulation(allocator=mode)
             sim.add_resources([Resource("a", 10.0), Resource("b", 4.0)])
             f1 = sim.start_flow(100, ["a", "b"], lambda f: None)
@@ -138,3 +148,4 @@ class TestReferenceDifferential:
             f3 = sim.start_flow(100, ["b"], lambda f: None, rate_cap=1.0)
             rates[mode] = (sim.current_rate(f1), sim.current_rate(f2), sim.current_rate(f3))
         assert rates["incremental"] == rates["reference"]
+        assert rates["component"] == pytest.approx(rates["reference"], rel=1e-9)

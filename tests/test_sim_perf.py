@@ -42,7 +42,7 @@ class TestEngineCounters:
         assert sim.perf.flow_events == 0
 
     def test_solves_and_heap_are_lazy(self):
-        """Timer-only churn must not trigger re-solves or heap rebuilds."""
+        """Timer-only churn must not trigger re-solves or predictions."""
         sim = Simulation()
         sim.add_resource(Resource("r", 10.0))
         sim.start_flow(100, ["r"], lambda f: None)
@@ -51,8 +51,26 @@ class TestEngineCounters:
         drain(sim)
         # one initial solve, nothing dirtied until the flow completed
         assert sim.perf.solves == 2
-        assert sim.perf.heap_rebuilds == 2
+        # the default (component) engine predicts per changed flow and
+        # never rebuilds the full prediction set; pushes are bounded by
+        # peeks (the tie-snap re-push), not flows x epochs
+        assert sim.perf.prediction_rebuilds == 0
+        assert 1 <= sim.perf.heap_pushes <= sim.perf.events + 2
         assert sim.perf.solve_iterations >= 1
+
+    def test_cache_modes_rebuild_per_epoch(self):
+        """The cache-scan engines rebuild predictions once per rate epoch
+        (and report it through the deprecated alias too)."""
+        for allocator in ("incremental", "reference"):
+            sim = Simulation(allocator=allocator)
+            sim.add_resource(Resource("r", 10.0))
+            sim.start_flow(100, ["r"], lambda f: None)
+            for i in range(5):
+                sim.schedule(float(i + 1), lambda: None)
+            drain(sim)
+            assert sim.perf.prediction_rebuilds == 2
+            assert sim.perf.heap_rebuilds == 2
+            assert sim.perf.heap_pushes == 0
 
     def test_wall_clocks_accumulate(self):
         sim = Simulation()

@@ -101,6 +101,32 @@ class TestInterproceduralDepth:
         assert verify_fixture("ops103_ok").ok
 
 
+class TestComponentAllocatorPurity:
+    """The component allocator's solve path is registered pure: it may
+    read cluster state but never write Cluster/NameNode/DataNode."""
+
+    def test_module_is_registered_pure(self):
+        from repro.tools.config import DEFAULT_PURE_MODULES
+
+        assert "repro.simulate.components" in DEFAULT_PURE_MODULES
+
+    def test_solve_mutating_dfs_state_is_flagged(self):
+        report = verify_fixture("ops103_components_bad")
+        assert rules_in(report) == {"OPS103"}, report.render()
+        [mutation] = [v for v in report.violations if "cluster" in v.message]
+        assert mutation.line == 11  # flagged at solve's def, not _charge
+        assert "_commit" in mutation.message
+
+    def test_private_bookkeeping_solve_is_clean(self):
+        assert verify_fixture("ops103_components_ok").ok
+
+    def test_real_components_module_is_clean_with_zero_suppressions(self):
+        path = REPO_ROOT / "src" / "repro" / "simulate" / "components.py"
+        report = verify_source(path.read_text(encoding="utf-8"), path=str(path))
+        assert report.ok, report.render()
+        assert report.suppressed == [], report.render()
+
+
 class TestSuppressions:
     def test_pragma_suppresses_verify_rule(self):
         source = (

@@ -9,7 +9,7 @@ Paper findings:
   in the paper; quantified here).
 """
 
-from repro.core import optimize_single_data, rank_interval_assignment
+from repro.core import SchedPerf, optimize_single_data, rank_interval_assignment
 from repro.experiments import (
     build_single_data_graph,
     matching_scalability_sweep,
@@ -40,17 +40,33 @@ def test_sec5c_matching_overhead_under_one_percent(benchmark):
 
 def test_sec5c_scheduler_scalability(benchmark):
     """Matching cost growth across problem sizes (the paper's future-work
-    concern, quantified)."""
+    concern, quantified out to 1024 nodes / 10240 tasks)."""
+    perf = SchedPerf()
     rows = benchmark.pedantic(
-        lambda: matching_scalability_sweep(), rounds=1, iterations=1
+        lambda: matching_scalability_sweep(measure_io=True, perf=perf),
+        rounds=1, iterations=1,
     )
     print("\n=== matching scalability (10 chunks/process, r=3) ===")
     print(format_table(
-        ["nodes", "tasks", "graph edges", "matching time (ms)"],
-        [(r.num_nodes, r.num_tasks, r.num_edges, r.matching_ms) for r in rows],
+        ["nodes", "tasks", "graph edges", "matching (ms)",
+         "sim I/O (s)", "matching / I/O"],
+        [
+            (
+                r.num_nodes, r.num_tasks, r.num_edges,
+                f"{r.matching_ms:.2f}",
+                f"{r.access_s:.2f}",
+                f"{r.overhead_fraction:.3%}",
+            )
+            for r in rows
+        ],
     ))
-    # Even at 256 nodes / 2560 tasks the matcher runs in well under a
-    # second — far below a single remote chunk read (>2 s in the paper).
+    print(f"graph builds: {perf.graph_builds}, solves: {perf.solves}, "
+          f"augmentations: {perf.augmentations}")
+    # The paper's "<1 %" claim holds at its scales; at 1024 nodes the
+    # matcher still finishes far below a single remote chunk read (>2 s).
+    for row in rows:
+        if row.num_nodes <= 256:
+            assert row.overhead_fraction < 0.01
     assert rows[-1].matching_ms < 2000.0
 
 

@@ -15,8 +15,11 @@ from .bipartite import (
     LocalityGraph,
     ProcessPlacement,
     build_locality_graph,
+    clear_graph_cache,
+    graph_cache_stats,
     graph_from_filesystem,
 )
+from .csr import LocalityCSR, build_csr, csr_from_rows
 from .delay_scheduling import DelaySchedulingPolicy, LocalityGreedyPolicy
 from .dynamic import DynamicPlan, plan_dynamic
 from .flownetwork import FlowNetwork
@@ -30,9 +33,11 @@ from .incremental import IncrementalResult, rematch_incremental
 from .mincostflow import MinCostFlowNetwork
 from .multi_data import MultiDataResult, optimize_multi_data
 from .opass import opass_dynamic_plan, opass_multi_data, opass_single_data
+from .perf import SchedPerf
 from .quincy import optimize_quincy
 from .remote_balance import (
     PlannedReplicaChoice,
+    RemoteBalancePlanner,
     RemoteBalanceResult,
     plan_remote_reads,
 )
@@ -62,17 +67,24 @@ __all__ = [
     "FlowNetwork",
     "HeterogeneousPlan",
     "IncrementalResult",
+    "LocalityCSR",
     "LocalityGraph",
     "LocalityGreedyPolicy",
     "MinCostFlowNetwork",
     "MultiDataResult",
     "PlannedReplicaChoice",
     "ProcessPlacement",
+    "RemoteBalancePlanner",
     "RemoteBalanceResult",
+    "SchedPerf",
     "SingleDataResult",
     "Task",
+    "build_csr",
     "build_locality_graph",
+    "clear_graph_cache",
+    "csr_from_rows",
     "equal_quotas",
+    "graph_cache_stats",
     "fully_local_tasks",
     "graph_from_filesystem",
     "is_full_matching",

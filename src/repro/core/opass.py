@@ -14,6 +14,7 @@ from ..dfs.filesystem import DistributedFileSystem
 from .bipartite import LocalityGraph, ProcessPlacement, graph_from_filesystem
 from .dynamic import DynamicPlan, plan_dynamic
 from .multi_data import MultiDataResult, optimize_multi_data
+from .perf import SchedPerf
 from .single_data import SingleDataResult, optimize_single_data
 from .tasks import Task, tasks_from_dataset, tasks_from_datasets
 
@@ -26,6 +27,7 @@ def opass_single_data(
     algorithm: str = "dinic",
     fallback: str = "random",
     seed: int | np.random.Generator = 0,
+    perf: SchedPerf | None = None,
 ) -> tuple[SingleDataResult, LocalityGraph, list[Task]]:
     """Optimize equal-share single-data access for one dataset.
 
@@ -34,9 +36,9 @@ def opass_single_data(
     """
     ds = fs.dataset(dataset) if isinstance(dataset, str) else dataset
     tasks = tasks_from_dataset(ds)
-    graph = graph_from_filesystem(fs, tasks, placement)
+    graph = graph_from_filesystem(fs, tasks, placement, perf=perf)
     result = optimize_single_data(
-        graph, algorithm=algorithm, fallback=fallback, seed=seed
+        graph, algorithm=algorithm, fallback=fallback, seed=seed, perf=perf
     )
     return result, graph, tasks
 
@@ -45,6 +47,8 @@ def opass_multi_data(
     fs: DistributedFileSystem,
     datasets: list[Dataset | str],
     placement: ProcessPlacement,
+    *,
+    perf: SchedPerf | None = None,
 ) -> tuple[MultiDataResult, LocalityGraph, list[Task]]:
     """Optimize multi-input task access across several datasets.
 
@@ -53,8 +57,8 @@ def opass_multi_data(
     """
     resolved = [fs.dataset(d) if isinstance(d, str) else d for d in datasets]
     tasks = tasks_from_datasets(resolved)
-    graph = graph_from_filesystem(fs, tasks, placement)
-    result = optimize_multi_data(graph)
+    graph = graph_from_filesystem(fs, tasks, placement, perf=perf)
+    result = optimize_multi_data(graph, perf=perf)
     return result, graph, tasks
 
 
@@ -64,7 +68,10 @@ def opass_dynamic_plan(
     placement: ProcessPlacement,
     *,
     seed: int | np.random.Generator = 0,
+    perf: SchedPerf | None = None,
 ) -> tuple[DynamicPlan, LocalityGraph, list[Task]]:
     """Build §IV-D guided lists for a master/worker run over one dataset."""
-    result, graph, tasks = opass_single_data(fs, dataset, placement, seed=seed)
+    result, graph, tasks = opass_single_data(
+        fs, dataset, placement, seed=seed, perf=perf
+    )
     return plan_dynamic(graph, result.assignment), graph, tasks

@@ -30,6 +30,7 @@ import numpy as np
 from .assignment import Assignment, equal_quotas
 from .bipartite import LocalityGraph
 from .mincostflow import MinCostFlowNetwork
+from .perf import SchedPerf, wall_clock
 
 logger = logging.getLogger(__name__)
 
@@ -43,6 +44,7 @@ def optimize_quincy(
     *,
     quotas: list[int] | None = None,
     cost_granularity: int = COST_GRANULARITY,
+    perf: SchedPerf | None = None,
 ) -> tuple[Assignment, int]:
     """Byte-optimal assignment via global min-cost flow.
 
@@ -59,6 +61,7 @@ def optimize_quincy(
     if sum(quotas) < n:
         raise ValueError(f"total quota {sum(quotas)} < {n} tasks")
 
+    t0 = wall_clock() if perf is not None else 0.0
     # Vertices: 0 = s, 1..m = processes, m+1..m+n = tasks, m+n+1 = t.
     net = MinCostFlowNetwork(m + n + 2)
     s, t = 0, m + n + 1
@@ -76,9 +79,11 @@ def optimize_quincy(
     for task_id in range(n):
         net.add_edge(1 + m + task_id, t, 1, 0)
 
-    flow, cost = net.min_cost_flow(s, t)
+    flow, cost = net.min_cost_flow(s, t, perf=perf)
     if flow != n:
         raise RuntimeError(f"quincy flow routed {flow} of {n} tasks")
+    if perf is not None:
+        perf.solve_wall += wall_clock() - t0
 
     assignment = Assignment.empty(m)
     for (rank, task_id), handle in handles.items():

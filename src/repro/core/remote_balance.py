@@ -14,6 +14,20 @@ as the replica constraints allow — this is the classic reduction for
 minimising maximum load (a flow saturating k unit arcs at a node pays
 1+2+…+k, so total cost strictly prefers flatter load vectors).
 
+A node's serving load can never exceed its in-degree (each chunk→node arc
+has capacity 1), so the convex chain is pruned at the in-degree: the
+dropped tail arcs could never carry flow, and because each node's chain is
+emitted contiguously the arc scan order — hence every solver decision — is
+unchanged.  This cuts the network from O(nodes·chunks) arcs to O(E).
+
+For dynamic workloads (§IV-D) remote chunks arrive in batches as tasks
+are dispatched; :class:`RemoteBalancePlanner` keeps one growing network
+and re-plans each batch with :meth:`MinCostFlowNetwork.resolve`,
+augmenting from the previous optimal flow instead of re-solving from
+scratch.  The per-node load vector of a convex min-cost optimum is unique
+(strict convexity), so the incremental plan's load profile and cost match
+a from-scratch batch solve exactly.
+
 The resulting plan plugs into the file system as a
 :class:`PlannedReplicaChoice` read policy, so execution needs no changes.
 """
@@ -27,9 +41,10 @@ import numpy as np
 from ..dfs.chunk import ChunkId
 from ..dfs.policies import RandomRemote, ReplicaChoicePolicy
 from .mincostflow import MinCostFlowNetwork
+from .perf import SchedPerf, wall_clock
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RemoteBalanceResult:
     """A serving plan for a set of remote chunk reads."""
 
@@ -42,6 +57,8 @@ class RemoteBalanceResult:
 def plan_remote_reads(
     chunk_ids: list[ChunkId],
     locations: dict[ChunkId, tuple[int, ...]],
+    *,
+    perf: SchedPerf | None = None,
 ) -> RemoteBalanceResult:
     """Choose a serving replica for every chunk, minimising load imbalance.
 
@@ -58,6 +75,7 @@ def plan_remote_reads(
     node_index = {n: i for i, n in enumerate(nodes)}
     n_chunks, n_nodes = len(chunk_ids), len(nodes)
 
+    t0 = wall_clock() if perf is not None else 0.0
     # Vertices: 0 = s, 1..n_chunks = chunks, then nodes, last = t.
     s = 0
     chunk_base = 1
@@ -65,37 +83,146 @@ def plan_remote_reads(
     t = node_base + n_nodes
     net = MinCostFlowNetwork(t + 1)
 
+    in_degree = [0] * n_nodes
     handles: dict[tuple[int, int], ChunkId] = {}
     for i, cid in enumerate(chunk_ids):
         net.add_edge(s, chunk_base + i, 1, 0)
         for node in locations[cid]:
-            handle = net.add_edge(chunk_base + i, node_base + node_index[node], 1, 0)
+            j = node_index[node]
+            handle = net.add_edge(chunk_base + i, node_base + j, 1, 0)
             handles[handle] = cid
-    # Convex load costs: serving the k-th chunk from a node costs k.
-    # A node can serve at most all chunks, but arcs beyond the worst-case
-    # even share are pointless; cap at n_chunks for correctness.
+            in_degree[j] += 1
+    # Convex load costs: serving the k-th chunk from a node costs k.  A
+    # node's load is bounded by its in-degree (every inbound arc has
+    # capacity 1), so arcs beyond that can never carry flow — prune them.
     for j in range(n_nodes):
-        for k in range(1, n_chunks + 1):
+        for k in range(1, in_degree[j] + 1):
             net.add_edge(node_base + j, t, 1, k)
 
-    flow, cost = net.min_cost_flow(s, t)
+    flow, cost = net.min_cost_flow(s, t, perf=perf)
     if flow != n_chunks:
         raise RuntimeError("remote balancing failed to route every chunk")
 
     server_of: dict[ChunkId, int] = {}
-    for (u, idx), cid in handles.items():
-        if net.flow_on((u, idx)) > 0:
-            node = nodes[net.adj[u][idx].to - node_base]
-            server_of[cid] = node
+    for handle, cid in handles.items():
+        if net.flow_on(handle) > 0:
+            server_of[cid] = nodes[net.edge_to(handle) - node_base]
     load: dict[int, int] = {}
     for node in server_of.values():
         load[node] = load.get(node, 0) + 1
+    if perf is not None:
+        perf.solve_wall += wall_clock() - t0
     return RemoteBalanceResult(
         server_of=server_of,
         load_per_node=load,
         max_load=max(load.values(), default=0),
         cost=cost,
     )
+
+
+class RemoteBalancePlanner:
+    """Incrementally balanced remote serving over arriving chunk batches.
+
+    Keeps one min-cost-flow network alive across batches: the node
+    universe is fixed up front (vertices ``1..n``; source 0, sink
+    ``n + 1``), each arriving chunk gets a fresh vertex via
+    :meth:`MinCostFlowNetwork.add_vertex`, and each node's convex cost
+    chain is topped up lazily as its in-degree grows (the next arc is
+    always the costliest parallel, which is exactly the growth shape
+    :meth:`MinCostFlowNetwork.resolve` supports).  The first batch runs a
+    normal solve; later batches augment from the standing optimal flow.
+    """
+
+    def __init__(
+        self,
+        nodes: list[int],
+        *,
+        perf: SchedPerf | None = None,
+    ) -> None:
+        uniq = sorted(set(nodes))
+        if not uniq:
+            raise ValueError("need at least one servable node")
+        if any(n < 0 for n in uniq):
+            raise ValueError("node ids must be non-negative")
+        self._nodes = uniq
+        self._index = {n: j for j, n in enumerate(uniq)}
+        self._s = 0
+        self._t = len(uniq) + 1
+        self._net = MinCostFlowNetwork(len(uniq) + 2)
+        self._in_degree = [0] * len(uniq)
+        self._convex = [0] * len(uniq)
+        self._handles: list[tuple[ChunkId, tuple[int, int]]] = []
+        self._chunks: set[ChunkId] = set()
+        self._solved = False
+        self._cost = 0
+        self.perf = perf
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._chunks)
+
+    def extend(
+        self,
+        chunk_ids: list[ChunkId],
+        locations: dict[ChunkId, tuple[int, ...]],
+    ) -> RemoteBalanceResult:
+        """Add a batch of remote chunks and return the cumulative plan."""
+        perf = self.perf
+        t0 = wall_clock() if perf is not None else 0.0
+        net = self._net
+        fresh = 0
+        for cid in chunk_ids:
+            if cid in self._chunks:
+                raise ValueError(f"chunk {cid} already planned")
+            replicas = locations[cid]
+            if not replicas:
+                raise ValueError("every chunk needs at least one replica")
+            for node in replicas:
+                if node not in self._index:
+                    raise ValueError(f"replica node {node} outside planner universe")
+            self._chunks.add(cid)
+            cv = net.add_vertex()
+            net.add_edge(self._s, cv, 1, 0)
+            for node in replicas:
+                j = self._index[node]
+                self._handles.append((cid, net.add_edge(cv, 1 + j, 1, 0)))
+                self._in_degree[j] += 1
+            fresh += 1
+        # Top the convex chains up to the new in-degrees (pruned as in
+        # plan_remote_reads; each new arc is the costliest at its node).
+        for j, deg in enumerate(self._in_degree):
+            while self._convex[j] < deg:
+                self._convex[j] += 1
+                net.add_edge(1 + j, self._t, 1, self._convex[j])
+        if fresh:
+            if self._solved:
+                flow, cost = net.resolve(self._s, self._t, perf=perf)
+            else:
+                flow, cost = net.min_cost_flow(self._s, self._t, perf=perf)
+                self._solved = True
+            if flow != fresh:
+                raise RuntimeError("remote balancing failed to route every chunk")
+            self._cost += cost
+        if perf is not None:
+            perf.solve_wall += wall_clock() - t0
+        return self.result()
+
+    def result(self) -> RemoteBalanceResult:
+        """The cumulative plan over every chunk extended so far."""
+        net = self._net
+        server_of: dict[ChunkId, int] = {}
+        for cid, handle in self._handles:
+            if net.flow_on(handle) > 0:
+                server_of[cid] = self._nodes[net.edge_to(handle) - 1]
+        load: dict[int, int] = {}
+        for node in server_of.values():
+            load[node] = load.get(node, 0) + 1
+        return RemoteBalanceResult(
+            server_of=server_of,
+            load_per_node=load,
+            max_load=max(load.values(), default=0),
+            cost=self._cost,
+        )
 
 
 class PlannedReplicaChoice(ReplicaChoicePolicy):

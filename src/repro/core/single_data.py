@@ -36,11 +36,12 @@ import numpy as np
 from .assignment import Assignment, equal_quotas
 from .bipartite import LocalityGraph
 from .flownetwork import FlowNetwork
+from .perf import SchedPerf, wall_clock
 
 logger = logging.getLogger(__name__)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SingleDataResult:
     """Outcome of the flow-based optimizer."""
 
@@ -57,36 +58,58 @@ class SingleDataResult:
 
 def _build_unit_network(
     graph: LocalityGraph, quotas: list[int]
-) -> tuple[FlowNetwork, dict[tuple[int, int], tuple[int, int]]]:
+) -> tuple[FlowNetwork, list[tuple[int, int, tuple[int, int]]]]:
     m, n = graph.num_processes, graph.num_tasks
     # Vertex ids: 0 = s, 1..m = processes, m+1..m+n = tasks, m+n+1 = t.
     net = FlowNetwork(m + n + 2)
     s, t = 0, m + n + 1
+    csr = graph.csr
+    ptr, row_task = csr.proc_ptr, csr.proc_task
+    edges: list[tuple[int, int, int]] = [
+        (s, 1 + rank, quotas[rank]) for rank in range(m)
+    ]
+    meta: list[tuple[int, int]] = []
     for rank in range(m):
-        net.add_edge(s, 1 + rank, quotas[rank])
-    handles: dict[tuple[int, int], tuple[int, int]] = {}
-    for rank in range(m):
-        for task_id in graph.edges_of_process(rank):
-            handles[(rank, task_id)] = net.add_edge(1 + rank, 1 + m + task_id, 1)
-    for task_id in range(n):
-        net.add_edge(1 + m + task_id, t, 1)
+        base = 1 + rank
+        for j in range(ptr[rank], ptr[rank + 1]):
+            task_id = row_task[j]
+            meta.append((rank, task_id))
+            edges.append((base, 1 + m + task_id, 1))
+    edges.extend((1 + m + task_id, t, 1) for task_id in range(n))
+    edge_handles = net.add_edges(edges)
+    handles = [
+        (rank, task_id, edge_handles[m + i])
+        for i, (rank, task_id) in enumerate(meta)
+    ]
     return net, handles
 
 
 def _build_byte_network(
     graph: LocalityGraph, quotas_bytes: list[int]
-) -> tuple[FlowNetwork, dict[tuple[int, int], tuple[int, int]]]:
+) -> tuple[FlowNetwork, list[tuple[int, int, tuple[int, int]]]]:
     m, n = graph.num_processes, graph.num_tasks
     net = FlowNetwork(m + n + 2)
     s, t = 0, m + n + 1
+    csr = graph.csr
+    ptr, row_task, row_weight = csr.proc_ptr, csr.proc_task, csr.proc_weight
+    edges: list[tuple[int, int, int]] = [
+        (s, 1 + rank, quotas_bytes[rank]) for rank in range(m)
+    ]
+    meta: list[tuple[int, int]] = []
     for rank in range(m):
-        net.add_edge(s, 1 + rank, quotas_bytes[rank])
-    handles: dict[tuple[int, int], tuple[int, int]] = {}
-    for rank in range(m):
-        for task_id, weight in graph.edges_of_process(rank).items():
-            handles[(rank, task_id)] = net.add_edge(1 + rank, 1 + m + task_id, weight)
-    for task_id in range(n):
-        net.add_edge(1 + m + task_id, t, graph.task_bytes(task_id))
+        base = 1 + rank
+        for j in range(ptr[rank], ptr[rank + 1]):
+            task_id = row_task[j]
+            meta.append((rank, task_id))
+            edges.append((base, 1 + m + task_id, row_weight[j]))
+    edges.extend(
+        (1 + m + task_id, t, graph.task_bytes(task_id)) for task_id in range(n)
+    )
+    edge_handles = net.add_edges(edges)
+    handles = [
+        (rank, task_id, edge_handles[m + i])
+        for i, (rank, task_id) in enumerate(meta)
+    ]
     return net, handles
 
 
@@ -135,6 +158,7 @@ def optimize_single_data(
     algorithm: str = "dinic",
     fallback: str = "random",
     seed: int | np.random.Generator = 0,
+    perf: SchedPerf | None = None,
 ) -> SingleDataResult:
     """Compute the Opass assignment for single-data (equal-share) access.
 
@@ -167,44 +191,77 @@ def optimize_single_data(
         raise ValueError(f"unknown fallback policy {fallback!r}")
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
-    if capacity_mode == "unit":
-        net, handles = _build_unit_network(graph, quotas)
-    elif capacity_mode == "bytes":
-        # Byte quota proportional to the task quota; for the common equal
-        # case this is ceil(TotalSize/m) per process, the paper's TotalSize/m.
-        total_bytes = graph.total_bytes()
-        quota_sum = sum(quotas)
-        quotas_bytes = [-(-total_bytes * q // quota_sum) for q in quotas]
-        net, handles = _build_byte_network(graph, quotas_bytes)
-    else:
+    if capacity_mode not in ("unit", "bytes"):
         raise ValueError(f"unknown capacity_mode {capacity_mode!r}")
+    # The network is a pure function of (graph, mode, quotas), so repeated
+    # solves over a cached graph reuse it: reset() restores the original
+    # capacities and the solver replays bit-for-bit on the same arrays.
+    scratch_key = ("single_data_net", capacity_mode, tuple(quotas))
+    cached = graph.scratch.get(scratch_key)
+    if cached is not None:
+        net, handles, handle_list = cached  # type: ignore[misc]
+        net.reset()
+    else:
+        if capacity_mode == "unit":
+            net, handles = _build_unit_network(graph, quotas)
+        else:
+            # Byte quota proportional to the task quota; for the common
+            # equal case this is ceil(TotalSize/m) per process, the
+            # paper's TotalSize/m.
+            total_bytes = graph.total_bytes()
+            quota_sum = sum(quotas)
+            quotas_bytes = [-(-total_bytes * q // quota_sum) for q in quotas]
+            net, handles = _build_byte_network(graph, quotas_bytes)
+        handle_list = [h for _, _, h in handles]
+        graph.scratch[scratch_key] = (net, handles, handle_list)
 
     s, t = 0, m + n + 1
-    max_flow = net.max_flow(s, t, algorithm=algorithm)
+    t0 = wall_clock() if perf is not None else 0.0
+    max_flow = net.max_flow(s, t, algorithm=algorithm, perf=perf)
+    if perf is not None:
+        perf.solves += 1
+        perf.solve_wall += wall_clock() - t0
 
     # Extract the integral assignment: a task is matched to the process
     # carrying (the most of) its flow.
     assignment = Assignment.empty(m)
-    flow_to: dict[int, list[tuple[int, int]]] = {}
-    for (rank, task_id), handle in handles.items():
-        f = net.flow_on(handle)
-        if f > 0:
-            flow_to.setdefault(task_id, []).append((f, rank))
+    flows = net.flows_on(handle_list)
     matched: set[int] = set()
     pending: list[int] = []
-    for task_id in range(n):
-        carriers = flow_to.get(task_id)
-        if not carriers:
-            pending.append(task_id)
-            continue
-        carriers.sort(reverse=True)  # most flow first; ties to high rank — break by rank next
-        best_flow = carriers[0][0]
-        best_rank = min(r for f, r in carriers if f == best_flow)
-        if capacity_mode == "unit" or best_flow * 2 >= graph.task_bytes(task_id):
-            assignment.assign(best_rank, task_id)
-            matched.add(task_id)
-        else:
-            pending.append(task_id)
+    if capacity_mode == "unit":
+        # Unit mode: every task→sink edge has capacity 1, so integral flow
+        # puts at most one unit on at most one carrier per task — the
+        # general sort/argmin tie-break below degenerates to "the carrier".
+        carrier_of: dict[int, int] = {}
+        for (rank, task_id, _), f in zip(handles, flows):
+            if f > 0:
+                carrier_of[task_id] = rank
+        carrier_get = carrier_of.get
+        for task_id in range(n):
+            rank = carrier_get(task_id, -1)
+            if rank < 0:
+                pending.append(task_id)
+            else:
+                assignment.assign(rank, task_id)
+                matched.add(task_id)
+    else:
+        flow_to: dict[int, list[tuple[int, int]]] = {}
+        for (rank, task_id, _), f in zip(handles, flows):
+            if f > 0:
+                flow_to.setdefault(task_id, []).append((f, rank))
+        for task_id in range(n):
+            carriers = flow_to.get(task_id)
+            if not carriers:
+                pending.append(task_id)
+                continue
+            carriers.sort(reverse=True)  # most flow first; ties to high rank — break by rank next
+            best_flow = carriers[0][0]
+            best_rank = min(r for f, r in carriers if f == best_flow)
+            if best_flow * 2 >= graph.task_bytes(task_id):
+                assignment.assign(best_rank, task_id)
+                matched.add(task_id)
+            else:
+                pending.append(task_id)
 
     # Rounding in bytes mode can push a process over its task quota; demote
     # its least-local tasks back to the pending pool.

@@ -18,6 +18,26 @@ from .filesystem import DistributedFileSystem
 
 FORMAT_VERSION = 1
 
+_TOKEN_MASK = (1 << 64) - 1
+
+
+def layout_token(locations: dict[ChunkId, tuple[int, ...]]) -> int:
+    """A cheap 64-bit content token for a chunk→replica-nodes map.
+
+    Order-independent (summing per-entry hashes commutes), so two
+    snapshots with the same chunk→nodes content produce the same token
+    regardless of dict ordering; any replica move, add or drop changes
+    an entry hash and thus (except for engineered collisions) the token.
+    Used by :func:`repro.core.bipartite.graph_from_filesystem` as part
+    of its cache key.  In-memory use only — ``hash`` is salted per
+    interpreter, so tokens must never be persisted or compared across
+    processes.
+    """
+    total = len(locations)
+    for cid, nodes in locations.items():
+        total = (total + hash((cid, nodes))) & _TOKEN_MASK
+    return total
+
 
 def snapshot_to_dict(fs: DistributedFileSystem) -> dict:
     """Serialise every dataset and replica location of a file system."""

@@ -1,10 +1,12 @@
 """Measurement utilities: summaries, fairness indices, serve monitoring."""
 
+from ..core.perf import SchedPerf
 from ..simulate.perf import SimPerf
 from .export import (
     perf_summary,
     records_to_rows,
     run_summary,
+    sched_perf_summary,
     write_records_csv,
     write_run_json,
     write_series_csv,
@@ -21,6 +23,7 @@ from .stats import (
 )
 
 __all__ = [
+    "SchedPerf",
     "ServeMonitor",
     "SimPerf",
     "Summary",
@@ -31,6 +34,7 @@ __all__ = [
     "percentile_summary",
     "records_to_rows",
     "run_summary",
+    "sched_perf_summary",
     "write_records_csv",
     "write_run_json",
     "write_series_csv",

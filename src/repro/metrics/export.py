@@ -81,6 +81,8 @@ def run_summary(result: RunResult, *, num_nodes: int | None = None) -> dict[str,
         ).tolist()
     if result.sim_perf is not None:
         summary["sim_perf"] = perf_summary(result.sim_perf)
+    if result.sched_perf is not None:
+        summary["sched_perf"] = sched_perf_summary(result.sched_perf)
     return summary
 
 
@@ -97,6 +99,21 @@ def perf_summary(perf: "Mapping[str, float] | object") -> dict[str, float]:
         snap.get("solve_iterations", 0) / solves if solves else 0.0
     )
     snap["solves_per_event"] = solves / events if events else 0.0
+    return snap
+
+
+def sched_perf_summary(perf: "Mapping[str, float] | object") -> dict[str, float]:
+    """Normalise a :class:`~repro.core.perf.SchedPerf` (or its snapshot
+    dict) for embedding in run summaries and ``BENCH_sched.json``.  The
+    derived ratios make scheduler-side regressions (cold caches, lost warm
+    starts) legible at a glance."""
+    snap = dict(perf.snapshot()) if hasattr(perf, "snapshot") else dict(perf)
+    lookups = snap.get("cache_hits", 0) + snap.get("cache_misses", 0)
+    solves = snap.get("solves", 0)
+    snap["cache_hit_rate"] = snap.get("cache_hits", 0) / lookups if lookups else 0.0
+    snap["augmentations_per_solve"] = (
+        snap.get("augmentations", 0) / solves if solves else 0.0
+    )
     return snap
 
 

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..core.assignment import Assignment
 from ..core.bipartite import ProcessPlacement
+from ..core.perf import SchedPerf
 from ..core.tasks import Task, Wait
 from ..dfs.chunk import ChunkId
 from ..dfs.filesystem import DistributedFileSystem
@@ -111,6 +112,9 @@ class RunResult:
     #: simulator instrumentation snapshot (solve counts, heap stats, phase
     #: walls) — see :class:`repro.simulate.perf.SimPerf`.
     sim_perf: dict[str, float] | None = None
+    #: scheduler-side instrumentation snapshot (graph builds, matching
+    #: solves, cache hits) — see :class:`repro.core.perf.SchedPerf`.
+    sched_perf: dict[str, float] | None = None
 
     def durations(self) -> np.ndarray:
         """Chunk read times ordered by completion (Figure 7(c)'s series)."""
@@ -184,6 +188,7 @@ class ParallelReadRun:
         barrier_compute_time: float = 0.0,
         seed: int | np.random.Generator = 0,
         sim: Simulation | None = None,
+        sched_perf: SchedPerf | None = None,
     ) -> None:
         """
         Parameters
@@ -203,6 +208,11 @@ class ParallelReadRun:
             The caller is then responsible for registering the cluster's
             resources once and for driving the clock — use
             :meth:`prepare`/:meth:`collect` instead of :meth:`run`.
+        sched_perf:
+            Scheduler-side counters accumulated while *building* the plan
+            this run executes (graph builds, matching solves, cache hits).
+            When given, a snapshot is attached to the
+            :class:`RunResult` as ``sched_perf``.
         """
         if barrier and not isinstance(source, StaticSource):
             raise ValueError("barrier mode requires a StaticSource")
@@ -225,6 +235,7 @@ class ParallelReadRun:
                 raise ValueError("compute_time must be non-negative")
             self._compute = lambda rank, task, rng: constant
 
+        self.sched_perf = sched_perf
         self._owns_sim = sim is None
         self.sim = Simulation() if sim is None else sim
         if self._owns_sim:
@@ -452,4 +463,9 @@ class ParallelReadRun:
             tasks_completed=self._tasks_completed,
             read_retries=self.read_retries,
             sim_perf=self.sim.perf.snapshot(),
+            sched_perf=(
+                self.sched_perf.snapshot()
+                if self.sched_perf is not None
+                else None
+            ),
         )

@@ -73,6 +73,8 @@ DEFAULT_SCOPES: dict[str, tuple[str, ...] | None] = {
 DEFAULT_PURE_MODULES: tuple[str, ...] = (
     "repro.core.opass",
     "repro.core.bipartite",
+    "repro.core.csr",
+    "repro.core.flownetwork",
     "repro.core.mincostflow",
     "repro.core.multi_data",
     "repro.core.single_data",
@@ -100,7 +102,10 @@ class LintConfig:
     #: package → rank; imports must point strictly down-rank.
     layers: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_LAYERS))
     #: modules where wall-clock reads are legitimate (perf instrumentation).
-    wallclock_allow: tuple[str, ...] = ("repro.simulate.perf",)
+    wallclock_allow: tuple[str, ...] = (
+        "repro.core.perf",
+        "repro.simulate.perf",
+    )
     #: receiver attribute names whose ``.remove`` is O(small) by contract.
     remove_allow: tuple[str, ...] = ("_alloc",)
     #: function names that ARE the tolerance helpers (OPS004 is off inside).

@@ -1,0 +1,26 @@
+# opass-lint: module=repro.core.flownetwork
+"""OPS103 violations: a solver that "reserves" capacity in the DFS.
+
+The augmenting loop looks pure — the write happens two call levels down
+(``max_flow`` → ``_augment`` → ``_reserve``) on a ``DataNode`` reached
+through the file system argument, so only transitive mutation summaries
+catch it.
+"""
+
+
+def max_flow(paths, fs: "DistributedFileSystem"):
+    total = 0
+    for path in paths:
+        total += _augment(path, fs)
+    return total
+
+
+def _augment(path, fs):
+    bottleneck = min(cap for _, cap in path)
+    for node_id, _ in path:
+        _reserve(fs.datanodes[node_id], bottleneck)
+    return bottleneck
+
+
+def _reserve(node, amount):
+    node.pending_bytes += amount

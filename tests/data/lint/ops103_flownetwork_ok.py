@@ -1,0 +1,38 @@
+# opass-lint: module=repro.core.flownetwork
+"""OPS103 clean: a CSR-style solver that mutates only its own buffers.
+
+Mirrors ``FlowNetwork.dinic``: capacities, levels and current-arc
+pointers live in flat private lists; graph construction reads the chunk
+layout through a snapshot call, never by touching
+``DistributedFileSystem`` state directly.
+"""
+
+
+class MiniFlowNetwork:
+    def __init__(self, n):
+        self._cap = []
+        self._to = []
+        self._adj = [[] for _ in range(n)]
+        self._level = [0] * n
+        self._it = [0] * n
+
+    def add_edge(self, u, v, capacity):
+        self._adj[u].append(len(self._to))
+        self._to.append(v)
+        self._cap.append(capacity)
+        self._adj[v].append(len(self._to))
+        self._to.append(u)
+        self._cap.append(0)
+
+    def push(self, eid, amount):
+        self._cap[eid] -= amount
+        self._cap[eid ^ 1] += amount
+
+
+def network_from_layout(fs: "DistributedFileSystem", chunks):
+    # The snapshot call result insulates: rows are ours to index.
+    layout = dict(fs.chunk_locations(chunks))
+    net = MiniFlowNetwork(2 + len(layout))
+    for i, nodes in enumerate(layout.values()):
+        net.add_edge(0, 2 + i, len(nodes))
+    return net

@@ -127,6 +127,42 @@ class TestComponentAllocatorPurity:
         assert report.suppressed == [], report.render()
 
 
+class TestMatchingKernelPurity:
+    """The CSR matching kernels are registered pure: they may read the
+    block layout through snapshots but never write DFS state."""
+
+    def test_new_kernel_modules_are_registered_pure(self):
+        from repro.tools.config import DEFAULT_PURE_MODULES
+
+        assert "repro.core.csr" in DEFAULT_PURE_MODULES
+        assert "repro.core.flownetwork" in DEFAULT_PURE_MODULES
+
+    def test_solver_reserving_dfs_capacity_is_flagged(self):
+        report = verify_fixture("ops103_flownetwork_bad")
+        assert rules_in(report) == {"OPS103"}, report.render()
+        [mutation] = [v for v in report.violations if "fs" in v.message]
+        assert mutation.line == 11  # flagged at max_flow's def, not _reserve
+        assert "_augment" in mutation.message
+
+    def test_private_buffer_solver_is_clean(self):
+        assert verify_fixture("ops103_flownetwork_ok").ok
+
+    @pytest.mark.parametrize(
+        "relpath",
+        [
+            ("core", "csr.py"),
+            ("core", "flownetwork.py"),
+            ("core", "mincostflow.py"),
+            ("core", "bipartite.py"),
+        ],
+    )
+    def test_real_kernel_modules_clean_with_zero_suppressions(self, relpath):
+        path = REPO_ROOT.joinpath("src", "repro", *relpath)
+        report = verify_source(path.read_text(encoding="utf-8"), path=str(path))
+        assert report.ok, report.render()
+        assert report.suppressed == [], report.render()
+
+
 class TestSuppressions:
     def test_pragma_suppresses_verify_rule(self):
         source = (

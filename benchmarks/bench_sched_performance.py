@@ -74,6 +74,10 @@ REPEATS = 5
 #: cache, a dropped solve memo, or a return to dict-of-dict graphs.
 REGRESSION_FLOOR = 0.7
 
+#: Extra sweep points for the scaling-curve artifact.  Not part of CI's
+#: quick gate; `--extended` appends them.
+EXTENDED_SCALES = (2048, 4096)
+
 #: Per-edge heap bytes allocated by a cold CSR graph build (tracemalloc).
 #: The flat-list CSR measures ~92 B/edge (which includes the graph's
 #: O(n) task/size bookkeeping); the pre-PR dict-of-dict builder measures
@@ -276,8 +280,15 @@ def main(argv=None):
         help="gate against the committed BENCH_sched.json instead of "
              "merging into it; exit 1 on regression",
     )
+    parser.add_argument(
+        "--extended", action="store_true",
+        help=f"also sweep the artifact-only scales {EXTENDED_SCALES} "
+             "(kept out of CI's quick gate)",
+    )
     args = parser.parse_args(argv)
     scales = tuple(int(s) for s in args.scales.split(","))
+    if args.extended:
+        scales = scales + tuple(s for s in EXTENDED_SCALES if s not in scales)
     rows = run_scaling(seed=1, repeats=args.repeats, scales=scales)
     print_rows(rows)
     for r in rows:

@@ -19,9 +19,19 @@ Run standalone with a regression gate against the committed file::
 
 ``--check`` compares each measured scale's ``events_per_second`` against
 the committed ``BENCH_sim.json`` and fails (exit 1) below
-``REGRESSION_FLOOR`` (0.7×) of the committed number; without it the
-measured rows are merged into the file.  CI runs the gated form on every
-push (see .github/workflows/ci.yml, job ``bench-regression``).
+``REGRESSION_FLOOR`` (0.7×) of the committed number, and additionally
+gates each scale's solve-wall fraction of the run (the events/s ratio
+alone can hide the solver growing superlinearly while cheaper phases
+shrink).  Without ``--check`` the measured rows are merged into the
+file.  ``--extended`` appends the 2048/4096-node artifact-only scales.
+CI runs the gated form on every push (see .github/workflows/ci.yml,
+job ``bench-regression``).
+
+``--parallel on`` runs the same workload with component solves routed
+through a force-dispatched ``ComponentSolvePool`` (pooled rows are never
+merged into the committed serial baseline), and ``--trace-out`` dumps
+the full event trace per scale so CI's ``bench-parallel`` legs can
+assert the pooled and serial runs are byte-identical.
 """
 
 import argparse
@@ -33,7 +43,12 @@ from pathlib import Path
 
 from repro.core import ProcessPlacement, rank_interval_assignment, tasks_from_dataset
 from repro.dfs import ClusterSpec, DistributedFileSystem
-from repro.simulate import ParallelReadRun, StaticSource
+from repro.simulate import (
+    ParallelReadRun,
+    Simulation,
+    StaticSource,
+    cluster_resources,
+)
 from repro.viz import format_table
 from repro.workloads import single_data_workload
 
@@ -49,18 +64,36 @@ REPEATS = 3
 #: return to per-epoch prediction rebuilds or whole-network solves.
 REGRESSION_FLOOR = 0.7
 
+#: ``--check`` also gates each scale's solve-time *fraction* of the run
+#: (solve_wall_s / wall_s).  The events/s ratio alone hides a scale
+#: inversion where the solver grows superlinearly while cheaper phases
+#: shrink; the fraction gate catches the solver reclaiming the run.
+#: The committed fraction may be exceeded by this multiple plus a small
+#: absolute slack (both phases jitter on shared runners).
+SOLVE_FRACTION_CEIL = 1.25
+SOLVE_FRACTION_SLACK = 0.05
+
+#: Extra sweep points for the scaling-curve artifact.  Not part of CI's
+#: quick gate (they alone take minutes); `--extended` appends them.
+EXTENDED_SCALES = (2048, 4096)
+
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 
-def _run_once(m: int, seed: int):
+def _run_once(m: int, seed: int, pool=None, want_trace: bool = False):
     fs = DistributedFileSystem(ClusterSpec.homogeneous(m), seed=seed)
     data = single_data_workload(m, 10)
     fs.put_dataset(data)
     placement = ProcessPlacement.one_per_node(m)
     tasks = tasks_from_dataset(data)
+    sim = None
+    if pool is not None:
+        sim = Simulation(allocator="component", parallel=pool)
+        sim.add_resources(cluster_resources(fs.spec))
     run = ParallelReadRun(
         fs, placement, tasks,
         StaticSource(rank_interval_assignment(len(tasks), m)), seed=seed,
+        sim=sim,
     )
     # Keep runs independent: don't let garbage from the previous run
     # trigger a collection pause inside this run's timed region.
@@ -70,7 +103,19 @@ def _run_once(m: int, seed: int):
     wall = time.perf_counter() - t0
     assert result.tasks_completed == len(tasks)
     snap = run.sim.perf.snapshot()
+    trace = None
+    if want_trace:
+        trace = {
+            "makespan": result.makespan,
+            "records": [
+                [r.seq, r.rank, r.task_id, r.chunk.file, r.chunk.index,
+                 r.server_node, r.reader_node, r.local, r.issue_time,
+                 r.end_time]
+                for r in result.records
+            ],
+        }
     return {
+        **({"trace": trace} if want_trace else {}),
         "nodes": m,
         "reads": len(tasks),
         "events": run.sim.events_processed,
@@ -86,17 +131,24 @@ def _run_once(m: int, seed: int):
         "component_size_max": snap["component_size_max"],
         "component_size_mean": snap["component_size_mean"],
         "settles": snap["settles"],
+        "vectorized_solves": snap["vectorized_solves"],
+        "parallel_solves": snap["parallel_solves"],
         "solve_wall_s": snap["solve_wall"],
         "settle_wall_s": snap["settle_wall"],
         "scan_wall_s": snap["scan_wall"],
+        "pool_dispatch_wall_s": snap["pool_dispatch_wall"],
     }
 
 
-def run_scaling(seed: int = 0, repeats: int = REPEATS, scales=SCALES):
+def run_scaling(
+    seed: int = 0, repeats: int = REPEATS, scales=SCALES, pool=None,
+    want_trace: bool = False,
+):
     rows = []
     for m in scales:
         best = min(
-            (_run_once(m, seed) for _ in range(repeats)),
+            (_run_once(m, seed, pool=pool, want_trace=want_trace)
+             for _ in range(repeats)),
             key=lambda r: r["wall_s"],
         )
         rows.append(best)
@@ -169,6 +221,23 @@ def check_regression(rows, committed_path=BENCH_JSON, floor=REGRESSION_FLOOR):
                 f"nodes={r['nodes']} regressed to {ratio:.2f}x of committed "
                 f"events_per_second"
             )
+        # Per-scale solve-fraction gate: the solver must not quietly
+        # reclaim the run while overall throughput stays inside the
+        # events/s floor.
+        if "solve_wall_s" in base and base.get("wall_s"):
+            base_frac = base["solve_wall_s"] / base["wall_s"]
+            frac = r["solve_wall_s"] / r["wall_s"]
+            allowed = base_frac * SOLVE_FRACTION_CEIL + SOLVE_FRACTION_SLACK
+            fverdict = "OK" if frac <= allowed else "REGRESSION"
+            print(
+                f"nodes={r['nodes']}: solve fraction {frac:.3f} vs committed "
+                f"{base_frac:.3f} (allowed {allowed:.3f}) {fverdict}"
+            )
+            if frac > allowed:
+                failures.append(
+                    f"nodes={r['nodes']} solve fraction grew to {frac:.3f} "
+                    f"(committed {base_frac:.3f}, allowed {allowed:.3f})"
+                )
     return failures
 
 
@@ -194,12 +263,57 @@ def main(argv=None):
         help="gate against the committed BENCH_sim.json instead of "
              "merging into it; exit 1 on regression",
     )
+    parser.add_argument(
+        "--extended", action="store_true",
+        help=f"also sweep the artifact-only scales {EXTENDED_SCALES} "
+             "(kept out of CI's quick gate)",
+    )
+    parser.add_argument(
+        "--parallel", choices=("off", "on"), default="off",
+        help="'on' routes component solves through a ComponentSolvePool "
+             "with forced dispatch (min_flows=0); traces must match the "
+             "serial run byte-for-byte (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--trace-out", type=Path, default=None,
+        help="write the full event trace (records + makespan per scale) "
+             "to this JSON file for cross-leg identity checks",
+    )
     args = parser.parse_args(argv)
     scales = tuple(int(s) for s in args.scales.split(","))
-    rows = run_scaling(seed=0, repeats=args.repeats, scales=scales)
+    if args.extended:
+        scales = scales + tuple(s for s in EXTENDED_SCALES if s not in scales)
+    pool = None
+    if args.parallel == "on":
+        from repro.parallel import ComponentSolvePool
+
+        pool = ComponentSolvePool(min_flows=0)
+    try:
+        rows = run_scaling(
+            seed=0, repeats=args.repeats, scales=scales, pool=pool,
+            want_trace=args.trace_out is not None,
+        )
+    finally:
+        if pool is not None:
+            pool.close()
+    if args.trace_out is not None:
+        traces = {str(r["nodes"]): r.pop("trace") for r in rows}
+        args.trace_out.write_text(
+            json.dumps(traces, separators=(",", ":")) + "\n"
+        )
+        print(f"wrote {args.trace_out}")
     print_rows(rows)
     for r in rows:
         assert_row_health(r)
+        if pool is not None:
+            # Forced dispatch: every scale must actually exercise the pool.
+            assert r["parallel_solves"] > 0, r
+    if args.parallel == "on" and not args.check:
+        # Pooled rows never merge into the committed serial baseline.
+        if args.out is not None:
+            args.out.write_text(json.dumps({"scales": rows}, indent=1) + "\n")
+            print(f"wrote {args.out}")
+        return 0
     if args.check:
         failures = check_regression(rows)
         if args.out is not None:

@@ -7,7 +7,10 @@ readable locally, and the balance of serve load across nodes.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from .bipartite import LocalityGraph
 
@@ -71,6 +74,35 @@ class Assignment:
         exact_quota: bool = False,
     ) -> None:
         """Check disjointness, coverage, and (optionally) quota adherence."""
+        # Vectorized happy path: every task in [0, num_tasks) exactly once
+        # (and quotas respected) proves in a few array ops.  Any failure
+        # falls through to the scalar walk below, which reproduces the
+        # precise per-task error messages.
+        total = sum(len(ts) for ts in self.tasks_of.values())
+        if total == num_tasks:
+            quotas_ok = quotas is None or (
+                len(quotas) == len(self.tasks_of)
+                and all(
+                    len(self.tasks_of.get(rank, [])) == quota
+                    if exact_quota
+                    else len(self.tasks_of.get(rank, [])) <= quota
+                    for rank, quota in enumerate(quotas)
+                )
+            )
+            if quotas_ok:
+                if total == 0:
+                    return
+                arr = np.fromiter(
+                    itertools.chain.from_iterable(self.tasks_of.values()),
+                    np.int64,
+                    total,
+                )
+                if (
+                    int(arr.min()) >= 0
+                    and int(arr.max()) < num_tasks
+                    and int(np.bincount(arr, minlength=num_tasks).max()) <= 1
+                ):
+                    return
         owner = self.process_of()
         expected = set(range(num_tasks))
         got = set(owner)

@@ -24,13 +24,28 @@ iterator-advance rule on dead ends, same restart-from-source after every
 augmentation) so augmenting paths — and therefore flows on every handle —
 are bit-for-bit unchanged.  ``adj`` remains available as a read-only view
 for tests and debugging.
+
+On graphs with at least :data:`VECTOR_MIN_VERTICES` vertices, Dinic's
+level BFS runs as a frontier-synchronous numpy kernel over a lazily
+built CSR mirror of the adjacency.  BFS levels are exact shortest
+distances, independent of queue order, so the kernel's levels — and
+therefore every downstream DFS decision — match the scalar FIFO BFS
+exactly.
 """
 
 from __future__ import annotations
 
+import operator
 from collections import deque
 
+import numpy as np
+
 from .perf import SchedPerf
+
+#: Vertex count at and above which Dinic's level BFS runs on the numpy
+#: frontier kernel.  Below it the Python BFS wins (the arrays' fixed
+#: setup cost outweighs the per-edge savings on small graphs).
+VECTOR_MIN_VERTICES = 512
 
 
 class _EdgeView:
@@ -75,6 +90,10 @@ class FlowNetwork:
         "_virgin",
         "_virgin_levels",
         "_virgin_solves",
+        "_csr_ptr",
+        "_csr_eids",
+        "_to_np",
+        "_orig_np",
     )
 
     def __init__(self, num_vertices: int) -> None:
@@ -99,6 +118,13 @@ class FlowNetwork:
         # (source, sink, algorithm) and replays it on repeat solves after a
         # reset() — bit-identical to re-running the solver.
         self._virgin_solves: dict[tuple[int, int, str], tuple[list[int], int]] = {}
+        # CSR mirror of the adjacency (built lazily, invalidated by edge
+        # adds) for the numpy frontier BFS on large graphs.
+        self._csr_ptr: "np.ndarray | None" = None
+        self._csr_eids: "np.ndarray | None" = None
+        self._to_np: "np.ndarray | None" = None
+        # Original capacities as numpy (rebuilt when edge adds grow _orig).
+        self._orig_np: "np.ndarray | None" = None
 
     def _check_vertex(self, v: int) -> None:
         if not 0 <= v < self.num_vertices:
@@ -125,6 +151,7 @@ class FlowNetwork:
         self._adj[v].append(eid + 1)
         self._virgin_levels.clear()
         self._virgin_solves.clear()
+        self._csr_ptr = None
         return (u, len(self._adj[u]) - 1)
 
     def add_edges(
@@ -156,6 +183,7 @@ class FlowNetwork:
             eid += 2
         self._virgin_levels.clear()
         self._virgin_solves.clear()
+        self._csr_ptr = None
         return handles
 
     @property
@@ -185,6 +213,48 @@ class FlowNetwork:
             eid = adj[u][idx]
             append(orig[eid] - cap[eid])
         return out
+
+    def edge_ids(self, handles: list[tuple[int, int]]) -> "np.ndarray":
+        """Resolve handles to internal edge ids (for bulk numpy queries).
+
+        Edge ids are stable for the life of the network, so callers that
+        query the same handles every solve resolve them once and reuse
+        the array with :meth:`flows_on_eids`.
+        """
+        adj = self._adj
+        return np.fromiter(
+            (adj[u][idx] for u, idx in handles), np.int64, len(handles)
+        )
+
+    def flows_on_eids(self, eids: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`flows_on` over pre-resolved edge ids."""
+        orig = self._orig_np
+        if orig is None or len(orig) != len(self._orig):
+            orig = self._orig_np = np.array(self._orig, dtype=np.int64)
+        cap = np.array(self._cap, dtype=np.int64)
+        return orig[eids] - cap[eids]
+
+    def flow_probe(self, handles: list[tuple[int, int]]):
+        """Build a reusable bulk-flow query for a fixed handle set.
+
+        Returns a zero-argument callable producing the same int64 array
+        as :meth:`flows_on_eids` over these handles' edge ids, but with
+        the handle resolution, original capacities, and residual-list
+        selector all precomputed — the per-call work is one C-speed
+        gather of the residuals.  Valid until edges are added (the
+        residual list object itself is never rebound, only mutated).
+        """
+        eids = self.edge_ids(handles)
+        if len(eids) == 0:
+            empty = np.zeros(0, np.int64)
+            return lambda: empty.copy()
+        orig_sel = np.array([self._orig[e] for e in eids], dtype=np.int64)
+        cap = self._cap
+        if len(eids) == 1:
+            e = int(eids[0])
+            return lambda: orig_sel - cap[e]
+        getter = operator.itemgetter(*eids.tolist())
+        return lambda: orig_sel - np.array(getter(cap), dtype=np.int64)
 
     def reset(self) -> None:
         """Zero all flow (restore residual capacities)."""
@@ -241,14 +311,81 @@ class FlowNetwork:
 
     # -- Dinic ---------------------------------------------------------------
 
+    def _ensure_csr(self) -> tuple["np.ndarray", "np.ndarray", "np.ndarray"]:
+        """CSR mirror of the adjacency for the numpy BFS (built lazily).
+
+        ``ptr``/``eids`` are the standard row-pointer/flat-edge-id pair;
+        ``to_np`` mirrors ``_to``.  All three are topology-only (residual
+        capacities are re-read each BFS), so the mirror stays valid until
+        the next edge add.
+        """
+        ptr = self._csr_ptr
+        if ptr is not None:
+            return ptr, self._csr_eids, self._to_np
+        adj = self._adj
+        counts = np.fromiter((len(row) for row in adj), np.int64, len(adj))
+        ptr = np.empty(len(adj) + 1, np.int64)
+        ptr[0] = 0
+        np.cumsum(counts, out=ptr[1:])
+        eids = np.fromiter(
+            (e for row in adj for e in row), np.int64, int(ptr[-1])
+        )
+        to_np = np.fromiter(self._to, np.int64, len(self._to))
+        self._csr_ptr, self._csr_eids, self._to_np = ptr, eids, to_np
+        return ptr, eids, to_np
+
+    def _bfs_levels_vec(
+        self, source: int, sink: int, level: list[int]
+    ) -> list[int] | None:
+        """Frontier-synchronous numpy BFS; levels identical to the FIFO BFS.
+
+        BFS levels are exact shortest-path distances in the admissible
+        (positive-residual) graph, and shortest distances do not depend on
+        the order vertices leave the queue — so expanding the whole
+        frontier at once assigns every vertex the same level the scalar
+        FIFO loop would.
+        """
+        ptr, eids, to_np = self._ensure_csr()
+        cap = np.fromiter(self._cap, np.int64, len(self._cap))
+        lvl = np.full(self.num_vertices, -1, np.int64)
+        lvl[source] = 0
+        frontier = np.array([source], np.int64)
+        depth = 0
+        while frontier.size:
+            depth += 1
+            starts = ptr[frontier]
+            counts = ptr[frontier + 1] - starts
+            total = int(counts.sum())
+            if total == 0:
+                break
+            # Gather every out-edge of the frontier in one shot: for each
+            # frontier vertex f, the slots [offsets, offsets+counts) of
+            # ``idx`` walk eids[starts[f] : starts[f]+counts[f]].
+            ends = np.cumsum(counts)
+            offsets = np.repeat(ends - counts, counts)
+            idx = np.arange(total, dtype=np.int64) - offsets
+            idx += np.repeat(starts, counts)
+            es = eids[idx]
+            es = es[cap[es] > 0]
+            vs = to_np[es]
+            vs = vs[lvl[vs] < 0]
+            if vs.size == 0:
+                break
+            fresh = np.unique(vs)
+            lvl[fresh] = depth
+            frontier = fresh
+        level[:] = lvl.tolist()
+        return level if level[sink] >= 0 else None
+
     def _bfs_levels(self, source: int, sink: int) -> list[int] | None:
         n = self.num_vertices
         level = self._level
         if len(level) != n:
             level = self._level = [-1] * n
-        else:
-            # Slice-assignment resets at C speed (vs a Python loop).
-            level[:] = [-1] * n
+        if n >= VECTOR_MIN_VERTICES:
+            return self._bfs_levels_vec(source, sink, level)
+        # Slice-assignment resets at C speed (vs a Python loop).
+        level[:] = [-1] * n
         level[source] = 0
         adj, to, cap = self._adj, self._to, self._cap
         queue = deque([source])
@@ -338,16 +475,12 @@ class FlowNetwork:
                     stack.append(v)
                     continue
                 # Augmenting path found: its edges are adj[w][it[w]], one per
-                # stacked vertex, in path order.
-                bottleneck = cap[row[iu]]
-                for w in stack:
-                    c = cap[adj[w][it[w]]]
-                    if c < bottleneck:
-                        bottleneck = c
-                for w in stack:
-                    eid = adj[w][it[w]]
-                    cap[eid] -= bottleneck
-                    cap[eid ^ 1] += bottleneck
+                # stacked vertex, in path order (the last is row[iu]).
+                path_eids = [adj[w][it[w]] for w in stack]
+                bottleneck = min(cap[e] for e in path_eids)
+                for e in path_eids:
+                    cap[e] -= bottleneck
+                    cap[e ^ 1] += bottleneck
                 flow += bottleneck
                 augmentations += 1
                 self._virgin = False

@@ -126,6 +126,8 @@ def _fallback_distribute(
     to each such process until all processes are matched"); ``"least_loaded"``
     picks the emptiest process first.
     """
+    if not unmatched:
+        return
     deficits = {
         rank: quotas[rank] - len(assignment.tasks_of.get(rank, []))
         for rank in range(len(quotas))
@@ -199,7 +201,7 @@ def optimize_single_data(
     scratch_key = ("single_data_net", capacity_mode, tuple(quotas))
     cached = graph.scratch.get(scratch_key)
     if cached is not None:
-        net, handles, handle_list = cached  # type: ignore[misc]
+        net, handles, handle_list, harr = cached  # type: ignore[misc]
         net.reset()
     else:
         if capacity_mode == "unit":
@@ -213,7 +215,15 @@ def optimize_single_data(
             quotas_bytes = [-(-total_bytes * q // quota_sum) for q in quotas]
             net, handles = _build_byte_network(graph, quotas_bytes)
         handle_list = [h for _, _, h in handles]
-        graph.scratch[scratch_key] = (net, handles, handle_list)
+        # Handle metadata for the vectorized extraction: a precompiled
+        # bulk-flow probe plus flat rank/task arrays, built once per
+        # network and reused by every later solve.
+        harr = (
+            net.flow_probe(handle_list),
+            np.fromiter((r for r, _, _ in handles), np.int64, len(handles)),
+            np.fromiter((t for _, t, _ in handles), np.int64, len(handles)),
+        )
+        graph.scratch[scratch_key] = (net, handles, handle_list, harr)
 
     s, t = 0, m + n + 1
     t0 = wall_clock() if perf is not None else 0.0
@@ -225,26 +235,35 @@ def optimize_single_data(
     # Extract the integral assignment: a task is matched to the process
     # carrying (the most of) its flow.
     assignment = Assignment.empty(m)
-    flows = net.flows_on(handle_list)
     matched: set[int] = set()
     pending: list[int] = []
     if capacity_mode == "unit":
         # Unit mode: every task→sink edge has capacity 1, so integral flow
-        # puts at most one unit on at most one carrier per task — the
-        # general sort/argmin tie-break below degenerates to "the carrier".
-        carrier_of: dict[int, int] = {}
-        for (rank, task_id, _), f in zip(handles, flows):
-            if f > 0:
-                carrier_of[task_id] = rank
-        carrier_get = carrier_of.get
-        for task_id in range(n):
-            rank = carrier_get(task_id, -1)
-            if rank < 0:
-                pending.append(task_id)
-            else:
-                assignment.assign(rank, task_id)
-                matched.add(task_id)
+        # puts at most one unit on at most one carrier per task — which
+        # makes the whole extraction a scatter: owner[task] = carrier
+        # rank (no colliding indices), grouped per rank by a stable sort
+        # that preserves ascending task order, exactly the order the
+        # scalar range(n) loop appends in.
+        probe, h_ranks, h_tasks = harr
+        flows_np = probe()
+        pos = flows_np > 0
+        owner = np.full(n, -1, np.int64)
+        owner[h_tasks[pos]] = h_ranks[pos]
+        matched_np = np.flatnonzero(owner >= 0)
+        pending = np.flatnonzero(owner < 0).tolist()
+        owners = owner[matched_np]
+        counts = np.bincount(owners, minlength=m)
+        grouped = matched_np[np.argsort(owners, kind="stable")]
+        tasks_of = assignment.tasks_of
+        start = 0
+        for rank in range(m):
+            c = int(counts[rank])
+            if c:
+                tasks_of[rank] = grouped[start : start + c].tolist()
+                start += c
+        matched = set(matched_np.tolist())
     else:
+        flows = net.flows_on(handle_list)
         flow_to: dict[int, list[tuple[int, int]]] = {}
         for (rank, task_id, _), f in zip(handles, flows):
             if f > 0:

@@ -102,6 +102,11 @@ class DistributedFileSystem:
     def layout_snapshot(self) -> dict[ChunkId, tuple[int, ...]]:
         return self.namenode.layout_snapshot()
 
+    @property
+    def layout_token(self) -> int:
+        """O(1) content token for the current layout (see NameNode)."""
+        return self.namenode.layout_token
+
     def dataset(self, name: str) -> Dataset:
         return self.namenode.dataset(name)
 
@@ -116,10 +121,18 @@ class DistributedFileSystem:
         Updates the serving DataNode's counters; the caller is responsible
         for actually timing the transfer (see :mod:`repro.simulate`).
         """
-        self.spec.node(reader_node)  # validate
-        chunk = self.namenode.chunk(chunk_id)
-        replicas = self.namenode.locations_of(chunk_id)
-        live = tuple(n for n in replicas if self.cluster.is_active(n))
+        cluster = self.cluster
+        spec = cluster.spec
+        if not 0 <= reader_node < spec.num_nodes:
+            spec.node(reader_node)  # raise the canonical error
+        namenode = self.namenode
+        chunk = namenode.chunk(chunk_id)
+        replicas = namenode.locations_of(chunk_id)
+        if cluster.num_active == spec.num_nodes:
+            # Healthy cluster: every replica is live; skip the filter.
+            live = replicas
+        else:
+            live = tuple(n for n in replicas if cluster.is_active(n))
         if not live:
             raise RuntimeError(f"no live replica for {chunk_id}")
         if reader_node in live:

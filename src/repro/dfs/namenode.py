@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 from .chunk import Chunk, ChunkId, Dataset, FileMeta
 
+_TOKEN_MASK = (1 << 64) - 1
+
 
 @dataclass
 class NameNode:
@@ -21,6 +23,12 @@ class NameNode:
     _files: dict[str, FileMeta] = field(default_factory=dict)
     _locations: dict[ChunkId, tuple[int, ...]] = field(default_factory=dict)
     _datasets: dict[str, Dataset] = field(default_factory=dict)
+    # Running Σ hash((cid, nodes)) over _locations, mod 2^64.  Every
+    # mutator below keeps it in sync, so layout_token is O(1) instead of
+    # a full-map rescan.  The sum commutes, so mutation order is
+    # irrelevant — the token matches repro.dfs.snapshot.layout_token
+    # recomputed from scratch at all times.
+    _token_sum: int = 0
 
     # -- namespace ---------------------------------------------------------
 
@@ -38,7 +46,9 @@ class NameNode:
                 raise ValueError(f"chunk {chunk.id} has duplicate replica nodes")
         self._files[meta.name] = meta
         for chunk in meta.chunks:
-            self._locations[chunk.id] = tuple(locations[chunk.id])
+            nodes = tuple(locations[chunk.id])
+            self._locations[chunk.id] = nodes
+            self._token_sum = (self._token_sum + hash((chunk.id, nodes))) & _TOKEN_MASK
 
     def register_dataset(self, dataset: Dataset, layout: dict[ChunkId, tuple[int, ...]]) -> None:
         if dataset.name in self._datasets:
@@ -89,6 +99,24 @@ class NameNode:
         """A copy of the full chunk→nodes map (what Opass's graph builder reads)."""
         return dict(self._locations)
 
+    @property
+    def layout_token(self) -> int:
+        """O(1) content token for the current chunk→nodes map.
+
+        Equal to :func:`repro.dfs.snapshot.layout_token` applied to
+        :meth:`layout_snapshot`, but maintained incrementally by the
+        mutators instead of rescanning the map.  In-memory use only
+        (``hash`` is salted per interpreter).
+        """
+        return (len(self._locations) + self._token_sum) & _TOKEN_MASK
+
+    def _token_swap(
+        self, cid: ChunkId, old: tuple[int, ...], new: tuple[int, ...]
+    ) -> None:
+        self._token_sum = (
+            self._token_sum - hash((cid, old)) + hash((cid, new))
+        ) & _TOKEN_MASK
+
     # -- maintenance ---------------------------------------------------------
 
     def drop_node_replicas(self, node_id: int) -> list[ChunkId]:
@@ -101,7 +129,9 @@ class NameNode:
         touched = []
         for cid, nodes in self._locations.items():
             if node_id in nodes:
-                self._locations[cid] = tuple(n for n in nodes if n != node_id)
+                remaining = tuple(n for n in nodes if n != node_id)
+                self._locations[cid] = remaining
+                self._token_swap(cid, nodes, remaining)
                 touched.append(cid)
         return touched
 
@@ -109,7 +139,9 @@ class NameNode:
         nodes = self.locations_of(chunk_id)
         if node_id in nodes:
             raise ValueError(f"{chunk_id} already on node {node_id}")
-        self._locations[chunk_id] = tuple(sorted((*nodes, node_id)))
+        grown = tuple(sorted((*nodes, node_id)))
+        self._locations[chunk_id] = grown
+        self._token_swap(chunk_id, nodes, grown)
 
     def remove_replica(self, chunk_id: ChunkId, node_id: int) -> None:
         """Drop one replica location (balancer delete-after-copy)."""
@@ -118,4 +150,6 @@ class NameNode:
             raise ValueError(f"{chunk_id} has no replica on node {node_id}")
         if len(nodes) == 1:
             raise ValueError(f"refusing to drop the last replica of {chunk_id}")
-        self._locations[chunk_id] = tuple(n for n in nodes if n != node_id)
+        shrunk = tuple(n for n in nodes if n != node_id)
+        self._locations[chunk_id] = shrunk
+        self._token_swap(chunk_id, nodes, shrunk)

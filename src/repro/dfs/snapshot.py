@@ -28,10 +28,12 @@ def layout_token(locations: dict[ChunkId, tuple[int, ...]]) -> int:
     snapshots with the same chunk→nodes content produce the same token
     regardless of dict ordering; any replica move, add or drop changes
     an entry hash and thus (except for engineered collisions) the token.
-    Used by :func:`repro.core.bipartite.graph_from_filesystem` as part
-    of its cache key.  In-memory use only — ``hash`` is salted per
-    interpreter, so tokens must never be persisted or compared across
-    processes.
+    :class:`repro.dfs.NameNode` maintains the same token incrementally
+    (``NameNode.layout_token``) so live file systems answer it in O(1);
+    this function is the from-scratch definition the incremental one is
+    tested against, and serves ad-hoc location dicts.  In-memory use
+    only — ``hash`` is salted per interpreter, so tokens must never be
+    persisted or compared across processes.
     """
     total = len(locations)
     for cid, nodes in locations.items():

@@ -1,0 +1,308 @@
+"""Shared-memory worker pool for parallel component solves.
+
+:class:`ComponentSolvePool` maps a batch of dirty flow–resource
+components (in the lowered flat-array form of
+:mod:`repro.simulate.vectorized`) onto persistent fork workers.  The
+numeric payload travels through one ``multiprocessing.shared_memory``
+block — the parent packs each component's ``(lens, fr_flat, eff,
+caps)`` arrays into the block, workers attach read-only views with
+``np.frombuffer`` and write the solved rates back in place, and only
+tiny offset tables and iteration counts cross the control pipes.  No
+Flow or Resource object is ever pickled.
+
+The workers run :func:`repro.simulate.vectorized.solve_arrays` — the
+exact kernels the in-process path dispatches to — so pooled and serial
+solves are byte-identical and the engine's event replay is unchanged
+with the pool on or off.
+
+A dispatch round-trip has a fixed cost (pipe wakeup + scheduling), so
+the pool advertises a measured :attr:`min_flows` work threshold,
+calibrated from ping round-trips at construction; the component
+allocator solves smaller dirty sets in-process.  Construct with
+``min_flows=0`` to force dispatch (the identity tests do).
+
+This module sits in the :mod:`repro.parallel` layer, *above*
+:mod:`repro.simulate` in the layering DAG: the engine never imports it
+— a pool instance is handed to ``Simulation(parallel=...)`` as a duck
+object (``min_flows``, ``solve_batch``, ``last_dispatch_wall``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..simulate.vectorized import Lowered, solve_arrays
+
+__all__ = ["ComponentSolvePool"]
+
+_ITEM = 8  # bytes per element; every wire array is int64 or float64
+
+#: calibration bounds for the measured dispatch threshold
+_MIN_FLOWS_FLOOR = 32
+_MIN_FLOWS_CEIL = 65536
+#: assumed serial solve cost per flow when converting the measured
+#: round-trip time into a break-even flow count
+_SERIAL_COST_PER_FLOW_S = 2e-6
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to the parent's block without adopting cleanup duty.
+
+    Attaching registers the segment with this process's resource
+    tracker (fixed only in Python 3.13's ``track=False``); unregister
+    it so worker exit neither unlinks the live block nor warns about a
+    "leak" the parent owns.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+    return shm
+
+
+def _solve_descs(shm: shared_memory.SharedMemory, descs) -> list[int]:
+    """Solve each described component in place; return iteration counts.
+
+    All numpy views of the block live and die inside this frame, so the
+    caller can later ``shm.close()`` without tripping the exported-
+    pointer guard.
+    """
+    buf = shm.buf
+    iters: list[int] = []
+    for off_lens, nflows, off_fr, npath, off_eff, nres, off_caps in descs:
+        lens = np.frombuffer(buf, np.int64, nflows, off_lens)
+        fr_flat = np.frombuffer(buf, np.int64, npath, off_fr)
+        eff = np.frombuffer(buf, np.float64, nres, off_eff)
+        caps = np.frombuffer(buf, np.float64, nflows, off_caps)
+        rates, n_iter = solve_arrays(lens, fr_flat, eff, caps)
+        # Rates overwrite the caps slot: same dtype and length, and caps
+        # are dead once the component is solved.
+        np.frombuffer(buf, np.float64, nflows, off_caps)[:] = rates
+        iters.append(n_iter)
+    return iters
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: attach the block, solve assigned components in place."""
+    shm: shared_memory.SharedMemory | None = None
+    shm_name: str | None = None
+    try:
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "solve":
+                _, name, descs = msg
+                if name != shm_name:
+                    if shm is not None:
+                        shm.close()
+                    shm = _attach(name)
+                    shm_name = name
+                conn.send(_solve_descs(shm, descs))
+            elif cmd == "ping":
+                conn.send("pong")
+            else:  # "exit"
+                break
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        if shm is not None:
+            shm.close()
+        conn.close()
+
+
+class ComponentSolvePool:
+    """Persistent fork workers solving lowered components over shared memory.
+
+    Parameters
+    ----------
+    workers:
+        Process count; defaults to ``os.cpu_count()``.
+    min_flows:
+        Dispatch threshold (total multi-flow-component flows in the dirty
+        set below which the caller should solve in-process).  ``None``
+        calibrates it from measured ping round-trips; ``0`` forces every
+        batch through the workers (identity testing).
+    """
+
+    def __init__(self, workers: int | None = None, *,
+                 min_flows: int | None = None) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        ctx = mp.get_context("fork")
+        self._procs = []
+        self._conns = []
+        for _ in range(workers):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(target=_worker_main, args=(child,), daemon=True)
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+        self.workers = workers
+        # Single-slot box so the finalizer can reach the current block
+        # without referencing ``self`` (which would make it immortal).
+        self._shm_box: list[shared_memory.SharedMemory | None] = [None]
+        self._closed = False
+        self.last_dispatch_wall = 0.0
+        # weakref.finalize also fires at interpreter exit, so orphaned
+        # pools cannot leak workers or the shared block.
+        self._finalizer = weakref.finalize(
+            self, _shutdown, self._procs, self._conns, self._shm_box
+        )
+        if min_flows is None:
+            min_flows = self._calibrate()
+        self.min_flows = min_flows
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and release the shared block (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()
+
+    def __enter__(self) -> "ComponentSolvePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- calibration ---------------------------------------------------------
+
+    def _calibrate(self, rounds: int = 5) -> int:
+        """Break-even flow count from the fastest measured ping round-trip."""
+        best = float("inf")
+        conn = self._conns[0]
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            conn.send(("ping",))
+            conn.recv()
+            rtt = time.perf_counter() - t0
+            if rtt < best:
+                best = rtt
+        flows = int(best / _SERIAL_COST_PER_FLOW_S)
+        return max(_MIN_FLOWS_FLOOR, min(_MIN_FLOWS_CEIL, flows))
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _block(self, nbytes: int) -> shared_memory.SharedMemory:
+        """The shared block, grown geometrically when the batch outgrows it."""
+        shm = self._shm_box[0]
+        if shm is None or shm.size < nbytes:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+            size = 1 << max(16, (nbytes - 1).bit_length())
+            shm = shared_memory.SharedMemory(create=True, size=size)
+            self._shm_box[0] = shm
+        return shm
+
+    def solve_batch(self, lowered: list[Lowered]) -> list[tuple[list[float], int]]:
+        """Solve every component; results keep the input order.
+
+        Packs the batch into the shared block, assigns workers contiguous
+        component ranges balanced by flow count, and reads the rates back
+        from the block once every worker reports in.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if not lowered:
+            return []
+        t0 = time.perf_counter()
+        # -- pack ------------------------------------------------------------
+        descs: list[tuple[int, int, int, int, int, int, int]] = []
+        off = 0
+        sizes: list[tuple[int, int]] = []
+        for low in lowered:
+            npath = sum(len(ids) for ids in low.fr)
+            sizes.append((npath, low.nres))
+            off += (low.nflows + npath + low.nres + low.nflows) * _ITEM
+        shm = self._block(off)
+        buf = shm.buf
+        off = 0
+        for low, (npath, nres) in zip(lowered, sizes):
+            nflows = low.nflows
+            off_lens = off
+            off_fr = off_lens + nflows * _ITEM
+            off_eff = off_fr + npath * _ITEM
+            off_caps = off_eff + nres * _ITEM
+            off = off_caps + nflows * _ITEM
+            lens = np.frombuffer(buf, np.int64, nflows, off_lens)
+            fr_flat = np.frombuffer(buf, np.int64, npath, off_fr)
+            pos = 0
+            for fi, ids in enumerate(low.fr):
+                lens[fi] = len(ids)
+                fr_flat[pos : pos + len(ids)] = ids
+                pos += len(ids)
+            np.frombuffer(buf, np.float64, nres, off_eff)[:] = low.eff
+            np.frombuffer(buf, np.float64, nflows, off_caps)[:] = low.caps
+            descs.append((off_lens, nflows, off_fr, npath, off_eff, nres, off_caps))
+        # -- assign contiguous ranges balanced by flow count -----------------
+        total = sum(low.nflows for low in lowered)
+        nw = min(self.workers, len(lowered))
+        share = total / nw
+        bounds = [0]
+        acc = 0.0
+        for i, low in enumerate(lowered):
+            acc += low.nflows
+            if acc >= share * len(bounds) and len(bounds) < nw:
+                bounds.append(i + 1)
+        bounds.append(len(lowered))
+        busy = []
+        for w in range(nw):
+            lo, hi = bounds[w], bounds[w + 1]
+            if lo == hi:
+                continue
+            self._conns[w].send(("solve", shm.name, descs[lo:hi]))
+            busy.append(w)
+        iters: list[int] = [0] * len(lowered)
+        for w in busy:
+            lo, hi = bounds[w], bounds[w + 1]
+            iters[lo:hi] = self._conns[w].recv()
+        # -- unpack ----------------------------------------------------------
+        results: list[tuple[list[float], int]] = []
+        for low, desc, n_iter in zip(lowered, descs, iters):
+            rates = np.frombuffer(buf, np.float64, low.nflows, desc[6]).tolist()
+            results.append((rates, n_iter))
+        del buf
+        self.last_dispatch_wall = time.perf_counter() - t0
+        return results
+
+
+def _shutdown(procs, conns, shm_box) -> None:
+    """Finalizer body: ask workers to exit, reap them, free the block."""
+    for conn in conns:
+        try:
+            conn.send(("exit",))
+        except (OSError, ValueError):
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+    shm = shm_box[0]
+    if shm is not None:
+        shm_box[0] = None
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass

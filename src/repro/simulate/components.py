@@ -52,6 +52,15 @@ import numpy as np
 
 from .flows import Flow, allocate_rates
 from .resources import Resource
+from .vectorized import (
+    VECTOR_MIN_FLOWS,
+    _solve_numpy,
+    lower_component,
+    res_entry,
+    solve_pair,
+    solve_single,
+    solve_small,
+)
 
 __all__ = ["ComponentAllocator"]
 
@@ -67,10 +76,37 @@ class ComponentAllocator:
     consume (:attr:`last_changed`, :attr:`component_count`, ...).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, kernel: str = "auto", pool: object | None = None) -> None:
+        """
+        Parameters
+        ----------
+        kernel:
+            ``"auto"`` (default) dispatches each dirty component to the
+            flat kernels in :mod:`repro.simulate.vectorized` — closed
+            form for singletons, flat scalar below
+            :data:`~repro.simulate.vectorized.VECTOR_MIN_FLOWS` flows,
+            numpy at and above it; ``"reference"`` hands every component
+            to :func:`~repro.simulate.flows.allocate_rates` instead
+            (differential CI).
+        pool:
+            Optional shared-memory solve pool (duck-typed:
+            ``min_flows``, ``solve_batch(lowered)`` and
+            ``last_dispatch_wall`` — see
+            :class:`repro.parallel.pool.ComponentSolvePool`).  When the
+            dirty multi-flow components carry at least ``pool.min_flows``
+            flows in total they are lowered once and solved by the pool's
+            workers; below the threshold (or with no pool) the same
+            kernels run in-process, byte-identically.
+        """
+        if kernel not in ("auto", "reference"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self._kernel = kernel
+        self._pool = pool
         #: resource name -> Resource (or plain float capacity); the dict
         #: handed verbatim to the reference allocator.
         self._resources: dict[str, Resource | float] = {}
+        #: resource name -> (capacity, penalty) floats for the kernels.
+        self._res_caps: dict[str, tuple[float, float]] = {}
         #: active-flow count per resource (only resources with ≥ 1 flow).
         self._res_users: dict[str, int] = {}
         #: resource name -> component id (only active resources).
@@ -104,6 +140,9 @@ class ComponentAllocator:
         self.last_component_solves = 0
         self.last_component_size_max = 0
         self.last_flows_resolved = 0
+        self.last_vectorized_solves = 0
+        self.last_parallel_solves = 0
+        self.last_pool_wall = 0.0
 
     # -- resource registration ------------------------------------------------
 
@@ -112,6 +151,7 @@ class ComponentAllocator:
         if name in self._resources:
             raise ValueError(f"duplicate resource {name!r}")
         self._resources[name] = resource
+        self._res_caps[name] = res_entry(resource)
 
     def has_resource(self, name: str) -> bool:
         return name in self._resources
@@ -268,6 +308,29 @@ class ComponentAllocator:
         members = self._comp_flows[cid]
         if len(members) <= 1:
             return [cid]
+        if len(members) == 2:
+            # The dominant shrink case after a remove: either the two
+            # survivors still share a resource (no split) or they are two
+            # singletons — decidable by one path intersection, no BFS.
+            f0, f1 = members
+            path1 = f1.path
+            for r in f0.path:
+                if r in path1:
+                    return [cid]
+            gid = self._next_comp
+            self._next_comp += 1
+            del self._comp_flows[cid][f1]
+            self._comp_flows[gid] = {f1: None}
+            self._comp_of[f1] = gid
+            g_res: dict[str, None] = {}
+            comp_res = self._comp_res[cid]
+            res_comp = self._res_comp
+            for r in path1:
+                del comp_res[r]
+                g_res[r] = None
+                res_comp[r] = gid
+            self._comp_res[gid] = g_res
+            return [cid, gid]
         res_flows: dict[str, list[Flow]] = {}
         for f in members:
             for r in f.path:
@@ -315,10 +378,14 @@ class ComponentAllocator:
         """Max-min fair rates, re-solved only for the dirty components.
 
         Each dirty (and, if shrunk, freshly re-partitioned) component is
-        handed to the reference :func:`allocate_rates` in isolation; clean
-        components keep their cached rates untouched.  With ``out`` (the
-        engine's slot-indexed rate array) only the re-solved flows' slots
-        are written and ``None`` is returned; :attr:`last_changed` then
+        solved in isolation — by the flat kernels of
+        :mod:`repro.simulate.vectorized` (``kernel="auto"``, optionally
+        batched to the shared-memory pool) or by the reference
+        :func:`allocate_rates` (``kernel="reference"``); either way the
+        rates are bit-for-bit the reference's.  Clean components keep
+        their cached rates untouched.  With ``out`` (the engine's
+        slot-indexed rate array) only the re-solved flows' slots are
+        written and ``None`` is returned; :attr:`last_changed` then
         lists exactly those slot ids.  Without ``out`` a Flow-keyed dict
         of *all* tracked flows is returned (the reference-compatible API
         the property tests consume).
@@ -327,41 +394,199 @@ class ComponentAllocator:
         self.last_component_solves = 0
         self.last_component_size_max = 0
         self.last_flows_resolved = 0
+        self.last_vectorized_solves = 0
+        self.last_parallel_solves = 0
+        self.last_pool_wall = 0.0
         changed: list[int] = []
         if self._dirty:
-            order = self._order
-            id_of = self._id_of
-            rate_of = self._rate_of
-            resources = self._resources
-            stats: dict[str, int] = {}
-            for cid in list(self._dirty):
-                if cid in self._shrunk:
-                    gids = self._repartition(cid)
-                else:
-                    gids = [cid]
-                for gid in gids:
-                    members = sorted(self._comp_flows[gid], key=order.__getitem__)
-                    rates = allocate_rates(members, resources, stats=stats)
-                    self.last_iterations += stats["iterations"]
-                    self.last_component_solves += 1
-                    k = len(members)
-                    if k > self.last_component_size_max:
-                        self.last_component_size_max = k
-                    self.last_flows_resolved += k
-                    if out is None:
-                        for f in members:
-                            rate_of[f] = rates[f]
-                            changed.append(id_of[f])
-                    else:
-                        for f in members:
-                            rate = rates[f]
-                            rate_of[f] = rate
-                            fid = id_of[f]
-                            out[fid] = rate
-                            changed.append(fid)
+            if self._kernel == "reference":
+                self._solve_reference(changed, out)
+            else:
+                self._solve_kernels(changed, out)
             self._dirty.clear()
             self._shrunk.clear()
         self.last_changed = changed
         if out is not None:
             return None
         return {f: self._rate_of[f] for f in self._id_of}
+
+    def _dirty_groups(self) -> list[int]:
+        """Dirty component ids, with shrunk components re-partitioned."""
+        gids: list[int] = []
+        for cid in list(self._dirty):
+            if cid in self._shrunk:
+                gids.extend(self._repartition(cid))
+            else:
+                gids.append(cid)
+        return gids
+
+    def _solve_reference(
+        self, changed: list[int], out: "np.ndarray | None"
+    ) -> None:
+        """The pre-kernel solve loop: reference allocator per component."""
+        order = self._order
+        id_of = self._id_of
+        rate_of = self._rate_of
+        resources = self._resources
+        stats: dict[str, int] = {}
+        for gid in self._dirty_groups():
+            members = sorted(self._comp_flows[gid], key=order.__getitem__)
+            rates = allocate_rates(members, resources, stats=stats)
+            self.last_iterations += stats["iterations"]
+            self.last_component_solves += 1
+            k = len(members)
+            if k > self.last_component_size_max:
+                self.last_component_size_max = k
+            self.last_flows_resolved += k
+            if out is None:
+                for f in members:
+                    rate_of[f] = rates[f]
+                    changed.append(id_of[f])
+            else:
+                for f in members:
+                    rate = rates[f]
+                    rate_of[f] = rate
+                    fid = id_of[f]
+                    out[fid] = rate
+                    changed.append(fid)
+
+    def _solve_kernels(
+        self, changed: list[int], out: "np.ndarray | None"
+    ) -> None:
+        """Flat-kernel solve loop, optionally batching to the pool."""
+        if self._pool is not None:
+            self._solve_pooled(changed, out)
+            return
+        order = self._order
+        id_of = self._id_of
+        rate_of = self._rate_of
+        res_caps = self._res_caps
+        comp_flows = self._comp_flows
+        solves = 0
+        size_max = self.last_component_size_max
+        resolved = 0
+        iterations = 0
+        vectorized = 0
+        for gid in self._dirty_groups():
+            group = comp_flows[gid]
+            k = len(group)
+            solves += 1
+            resolved += k
+            if k > size_max:
+                size_max = k
+            if k == 1:
+                f = next(iter(group))
+                rate = solve_single(f, res_caps)
+                iterations += 1
+                rate_of[f] = rate
+                fid = id_of[f]
+                if out is not None:
+                    out[fid] = rate
+                changed.append(fid)
+                continue
+            members = sorted(group, key=order.__getitem__)
+            if k == 2:
+                rates, iters = solve_pair(members[0], members[1], res_caps)
+            elif k < VECTOR_MIN_FLOWS:
+                rates, iters = solve_small(members, res_caps)
+            else:
+                rates, iters = _solve_numpy(lower_component(members, res_caps))
+                vectorized += 1
+            iterations += iters
+            if out is None:
+                for f, rate in zip(members, rates):
+                    rate_of[f] = rate
+                    changed.append(id_of[f])
+            else:
+                for f, rate in zip(members, rates):
+                    rate_of[f] = rate
+                    fid = id_of[f]
+                    out[fid] = rate
+                    changed.append(fid)
+        self.last_iterations += iterations
+        self.last_component_solves += solves
+        self.last_component_size_max = size_max
+        self.last_flows_resolved += resolved
+        self.last_vectorized_solves += vectorized
+
+    def _solve_pooled(
+        self, changed: list[int], out: "np.ndarray | None"
+    ) -> None:
+        """Kernel solve with multi-flow components batched to the pool.
+
+        Falls back to the in-process kernels when the dirty set carries
+        fewer than the pool's measured ``min_flows`` — the dispatch
+        round-trip would cost more than it saves.  Either way the rates
+        are byte-identical: the workers run the same kernels on the same
+        lowered arrays.
+        """
+        order = self._order
+        id_of = self._id_of
+        rate_of = self._rate_of
+        res_caps = self._res_caps
+        comp_flows = self._comp_flows
+        pool = self._pool
+        comps: list[list[Flow]] = []
+        total_multi = 0
+        for gid in self._dirty_groups():
+            group = comp_flows[gid]
+            if len(group) == 1:
+                members = list(group)
+            else:
+                members = sorted(group, key=order.__getitem__)
+                total_multi += len(members)
+            comps.append(members)
+        results = None
+        if total_multi >= pool.min_flows:
+            lowered = [
+                lower_component(m, res_caps) for m in comps if len(m) > 1
+            ]
+            if lowered:
+                results = iter(pool.solve_batch(lowered))
+                self.last_parallel_solves = len(lowered)
+                self.last_pool_wall = pool.last_dispatch_wall
+        solves = 0
+        size_max = self.last_component_size_max
+        resolved = 0
+        iterations = 0
+        vectorized = 0
+        for members in comps:
+            k = len(members)
+            solves += 1
+            resolved += k
+            if k > size_max:
+                size_max = k
+            if k == 1:
+                f = members[0]
+                rate = solve_single(f, res_caps)
+                iterations += 1
+                rate_of[f] = rate
+                fid = id_of[f]
+                if out is not None:
+                    out[fid] = rate
+                changed.append(fid)
+                continue
+            if k >= VECTOR_MIN_FLOWS:
+                vectorized += 1
+            if results is not None:
+                rates, iters = next(results)
+            elif k < VECTOR_MIN_FLOWS:
+                rates, iters = solve_small(members, res_caps)
+            else:
+                rates, iters = _solve_numpy(lower_component(members, res_caps))
+            iterations += iters
+            if out is None:
+                for f, rate in zip(members, rates):
+                    rate_of[f] = rate
+                    changed.append(id_of[f])
+            else:
+                for f, rate in zip(members, rates):
+                    rate_of[f] = rate
+                    fid = id_of[f]
+                    out[fid] = rate
+                    changed.append(fid)
+        self.last_iterations += iterations
+        self.last_component_solves += solves
+        self.last_component_size_max = size_max
+        self.last_flows_resolved += resolved
+        self.last_vectorized_solves += vectorized

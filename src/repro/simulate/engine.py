@@ -91,7 +91,9 @@ DEFAULT_ALLOCATOR = "component"
 class Simulation:
     """Event loop owning the clock, timers, resources and active flows."""
 
-    def __init__(self, *, allocator: str | None = None) -> None:
+    def __init__(
+        self, *, allocator: str | None = None, parallel: object | None = None
+    ) -> None:
         """
         Parameters
         ----------
@@ -104,11 +106,22 @@ class Simulation:
             per-epoch completion cache; ``"reference"`` re-solves with
             the pure :func:`allocate_rates` on every dirty refresh —
             slowest, kept for differential testing.
+        parallel:
+            Optional shared-memory component-solve pool (component mode
+            only), e.g. :class:`repro.parallel.pool.ComponentSolvePool`.
+            The pool is handed in as an object — this module sits below
+            :mod:`repro.parallel` in the layering DAG, so the engine
+            never constructs one itself.  Solves stay byte-identical
+            with the pool on or off (same kernels either side of the
+            process boundary); below the pool's measured work threshold
+            components are solved in-process as usual.
         """
         if allocator is None:
             allocator = DEFAULT_ALLOCATOR
         if allocator not in ("component", "incremental", "reference"):
             raise ValueError(f"unknown allocator {allocator!r}")
+        if parallel is not None and allocator != "component":
+            raise ValueError("parallel= requires allocator='component'")
         #: which rate-solve strategy this simulation runs (read-only).
         self.allocator = allocator
         self.now = 0.0
@@ -119,7 +132,7 @@ class Simulation:
         self._calloc: ComponentAllocator | None = None
         self._alloc: ComponentAllocator | IncrementalAllocator | None = None
         if allocator == "component":
-            self._calloc = ComponentAllocator()
+            self._calloc = ComponentAllocator(pool=parallel)
             self._alloc = self._calloc
         elif allocator == "incremental":
             self._alloc = IncrementalAllocator()
@@ -156,11 +169,15 @@ class Simulation:
         self._entry_seq: list[int] = []
         self._push_seq = 0
         self._pending_push: dict[int, None] = {}
-        # cached length-n views of _rem/_rate; rebuilt when the slot count
-        # changes (which is also the only time the arrays can reallocate)
+        #: scratch buffer for the settle/sweep passes (same capacity as
+        #: the slot arrays) so the per-event array math allocates nothing
+        self._scratch = np.empty(_GROW)
+        # cached length-n views of _rem/_rate/_scratch; rebuilt when the
+        # slot count changes (the only time the arrays can reallocate)
         self._nview = -1
         self._rem_v = self._rem[:0]
         self._rate_v = self._rate[:0]
+        self._scr_v = self._scratch[:0]
 
     # -- configuration -------------------------------------------------------
 
@@ -210,6 +227,7 @@ class Simulation:
                 grow = len(self._rem)
                 self._rem = np.concatenate([self._rem, np.full(grow, np.inf)])
                 self._rate = np.concatenate([self._rate, np.ones(grow)])
+                self._scratch = np.empty(len(self._rem))
         self._fid_of[flow] = fid
         self._flow_at[fid] = flow
         self._rem[fid] = flow.remaining
@@ -260,14 +278,15 @@ class Simulation:
 
     # -- incremental state ---------------------------------------------------
 
-    def _views(self) -> tuple[np.ndarray, np.ndarray]:
+    def _views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Length-n views of the slot arrays (cached between grows)."""
         n = len(self._flow_at)
         if n != self._nview:
             self._nview = n
             self._rem_v = self._rem[:n]
             self._rate_v = self._rate[:n]
-        return self._rem_v, self._rate_v
+            self._scr_v = self._scratch[:n]
+        return self._rem_v, self._rate_v, self._scr_v
 
     def _release_fid(self, flow: Flow) -> None:
         """Return the flow's slot to the free list, restoring sentinels."""
@@ -289,8 +308,12 @@ class Simulation:
         if dt <= 0.0 or not self._flow_at:
             return
         t0 = wall_clock()
-        rem, rate = self._views()
-        np.maximum(0.0, rem - rate * dt, out=rem)
+        rem, rate, scratch = self._views()
+        # rem = max(0, rem - rate*dt), fused through the scratch buffer —
+        # elementwise identical to the allocating form.
+        np.multiply(rate, dt, out=scratch)
+        np.subtract(rem, scratch, out=rem)
+        np.maximum(rem, 0.0, out=rem)
         self.perf.settles += 1
         self.perf.flows_settled += len(self._fid_of)
         self.perf.settle_wall += wall_clock() - t0
@@ -314,6 +337,10 @@ class Simulation:
             perf.solve_iterations += calloc.last_iterations
             perf.component_solves += calloc.last_component_solves
             perf.component_flows_resolved += calloc.last_flows_resolved
+            perf.vectorized_solves += calloc.last_vectorized_solves
+            if calloc.last_parallel_solves:
+                perf.parallel_solves += calloc.last_parallel_solves
+                perf.pool_dispatch_wall += calloc.last_pool_wall
             if calloc.last_component_size_max > perf.component_size_max:
                 perf.component_size_max = calloc.last_component_size_max
             n_comp = calloc.component_count
@@ -366,11 +393,12 @@ class Simulation:
         if pending:
             t0 = wall_clock()
             base = self._settled_at
-            rem = self._rem
-            rate = self._rate
+            rem_item = self._rem.item
+            rate_item = self._rate.item
             flow_at = self._flow_at
             entry_seq = self._entry_seq
             heap = self._heap
+            push = heapq.heappush
             seq = self._push_seq
             pushed = 0
             for fid in pending:
@@ -381,9 +409,7 @@ class Simulation:
                     # its own re-solve and push).
                     continue
                 entry_seq[fid] = seq
-                heapq.heappush(
-                    heap, (float(base + rem[fid] / rate[fid]), flow.flow_id, fid, seq)
-                )
+                push(heap, (base + rem_item(fid) / rate_item(fid), flow.flow_id, fid, seq))
                 seq += 1
                 pushed += 1
             self._push_seq = seq
@@ -392,17 +418,39 @@ class Simulation:
             self.perf.scan_wall += wall_clock() - t0
         heap = self._heap
         entry_seq = self._entry_seq
-        rem = self._rem
-        rate = self._rate
+        rem_item = self._rem.item
+        rate_item = self._rate.item
         base = self._settled_at
         stale = 0
         best: tuple[float, int, int] | None = None
         while heap and best is None:
-            t_top, _, fid_top, seq_top = heap[0]
+            t_top, flowid_top, fid_top, seq_top = heap[0]
             if entry_seq[fid_top] != seq_top:
                 heapq.heappop(heap)
                 stale += 1
                 continue
+            horizon = t_top + _PEEK_TIE_WINDOW * max(1.0, abs(t_top))
+            # Single-candidate fast path: the heap's second-smallest parked
+            # time sits at the root's children, so when both are beyond the
+            # horizon the tie-window loop below would pop exactly the top.
+            # Do that pop/re-predict/re-push directly — same entries, same
+            # floats, same counters as the general loop on this input.
+            n = len(heap)
+            second = heap[1][0] if n > 1 else math.inf
+            if n > 2 and heap[2][0] < second:
+                second = heap[2][0]
+            if second > horizon:
+                t_new = base + rem_item(fid_top) / rate_item(fid_top)
+                seq = self._push_seq
+                self._push_seq = seq + 1
+                entry_seq[fid_top] = seq
+                # heapreplace = pop + push in one sift; every read of the
+                # heap (root, min of the root's children, ascending pops)
+                # is arrangement-independent, so the replay is unchanged.
+                heapq.heapreplace(heap, (t_new, flowid_top, fid_top, seq))
+                self.perf.heap_pushes += 1
+                best = (t_new, flowid_top, fid_top)
+                break
             # Pop every candidate in the tie window, re-predict each from
             # the current settled state (a parked prediction drifts from
             # its fresh value only by the settles' float rounding, far
@@ -413,14 +461,13 @@ class Simulation:
             # rounds lowest is float noise — snapping makes the firing
             # order (and with it every downstream RNG draw) depend only
             # on flow identity, matching the sweep's retire order.
-            horizon = t_top + _PEEK_TIE_WINDOW * max(1.0, abs(t_top))
             cands: list[tuple[float, int, int]] = []
             while heap and heap[0][0] <= horizon:
                 _, flow_id, fid, seq = heapq.heappop(heap)
                 if entry_seq[fid] != seq:
                     stale += 1
                     continue
-                cands.append((float(base + rem[fid] / rate[fid]), flow_id, fid))
+                cands.append((base + rem_item(fid) / rate_item(fid), flow_id, fid))
             pushed = 0
             t_min = math.inf
             for fresh in cands:
@@ -459,7 +506,7 @@ class Simulation:
         if self._pred_epoch != self._epoch:
             t0 = wall_clock()
             if self._fid_of:
-                rem, rate = self._views()
+                rem, rate, _ = self._views()
                 t = self.now + rem / rate
                 i = int(t.argmin())
                 tv = t[i]
@@ -521,14 +568,18 @@ class Simulation:
         if not self._fid_of:
             return
         dt = self.now - self._settled_at
-        rem, rate = self._views()
+        rem, rate, scratch = self._views()
         if dt > 0.0:
-            current = rem - rate * dt
+            np.multiply(rate, dt, out=scratch)
+            np.subtract(rem, scratch, out=scratch)
+            current = scratch
         else:
             current = rem
-        drained = current <= REMAINING_EPS
-        if not drained.any():
+        # Early out on the common case (nothing drained): one fused min
+        # reduction instead of a boolean temporary + any().
+        if current.min() > REMAINING_EPS:
             return
+        drained = current <= REMAINING_EPS
         hits = sorted(
             ((self._flow_at[i], current[i]) for i in drained.nonzero()[0].tolist()),
             key=lambda item: item[0].flow_id,

@@ -53,6 +53,11 @@ class SimPerf:
     component_size_max: int = 0
     #: total flows whose rate was re-solved across all component solves
     component_flows_resolved: int = 0
+    #: component solves that ran the numpy water-filling kernel
+    #: (components of ≥ VECTOR_MIN_FLOWS flows; see repro.simulate.vectorized)
+    vectorized_solves: int = 0
+    #: component solves dispatched to the shared-memory worker pool
+    parallel_solves: int = 0
     #: settle passes (bulk remaining updates at rate-epoch boundaries)
     settles: int = 0
     #: flow-remaining updates performed by those settle passes
@@ -68,6 +73,8 @@ class SimPerf:
     solve_wall: float = 0.0
     settle_wall: float = 0.0
     scan_wall: float = 0.0
+    #: wall seconds spent inside pool dispatch (subset of solve_wall)
+    pool_dispatch_wall: float = 0.0
 
     _extra: dict[str, float] = field(default_factory=dict, repr=False)
 
@@ -115,6 +122,8 @@ class SimPerf:
                 self.component_flows_resolved / solves if solves else 0.0
             ),
             "component_flows_resolved": self.component_flows_resolved,
+            "vectorized_solves": self.vectorized_solves,
+            "parallel_solves": self.parallel_solves,
             "settles": self.settles,
             "flows_settled": self.flows_settled,
             "flow_events": self.flow_events,
@@ -125,6 +134,7 @@ class SimPerf:
             "solve_wall": self.solve_wall,
             "settle_wall": self.settle_wall,
             "scan_wall": self.scan_wall,
+            "pool_dispatch_wall": self.pool_dispatch_wall,
         }
         out.update(self._extra)
         return out

@@ -253,6 +253,12 @@ class ParallelReadRun:
         self.waits = 0
         self._last_activity = 0.0
         self._served_baseline = dict(fs.bytes_served_per_node())
+        # (server, reader) -> (latency, path, rate_cap).  The cluster spec
+        # is frozen, so a read's cost depends only on the endpoint pair
+        # (size comes from the chunk itself).
+        self._cost_cache: dict[
+            tuple[int, int], tuple[float, tuple[str, ...], float | None]
+        ] = {}
         # Barrier bookkeeping.
         self._round_waiting = 0
         self._round_participants = 0
@@ -290,7 +296,14 @@ class ParallelReadRun:
     ) -> None:
         """Resolve and begin one chunk read (fresh attempt or retry)."""
         plan = self.fs.resolve_read(chunk_id, state.node)
-        cost = read_cost(plan, self.fs.spec)
+        key = (plan.server_node, plan.reader_node)
+        cached = self._cost_cache.get(key)
+        if cached is None:
+            cost = read_cost(plan, self.fs.spec)
+            cached = (cost.latency, cost.path, cost.rate_cap)
+            self._cost_cache[key] = cached
+        latency, path, rate_cap = cached
+        size = plan.chunk.size
         outstanding = _Outstanding(
             chunk_id=chunk_id, plan=plan, issue_time=issue_time, retries=retries
         )
@@ -303,13 +316,13 @@ class ParallelReadRun:
             if state.outstanding is not outstanding:
                 return
             outstanding.flow = self.sim.start_flow(
-                cost.size,
-                list(cost.path),
+                size,
+                list(path),
                 lambda _flow: self._chunk_done(state, outstanding),
-                rate_cap=cost.rate_cap,
+                rate_cap=rate_cap,
             )
 
-        self.sim.schedule(cost.latency, after_latency)
+        self.sim.schedule(latency, after_latency)
 
     def _chunk_done(self, state: _ProcState, outstanding: _Outstanding) -> None:
         assert state.current_task is not None

@@ -79,6 +79,7 @@ DEFAULT_PURE_MODULES: tuple[str, ...] = (
     "repro.core.multi_data",
     "repro.core.single_data",
     "repro.simulate.components",
+    "repro.simulate.vectorized",
 )
 
 #: Class names whose instances carry DFS state; mutating one from a pure
@@ -101,10 +102,12 @@ class LintConfig:
 
     #: package → rank; imports must point strictly down-rank.
     layers: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_LAYERS))
-    #: modules where wall-clock reads are legitimate (perf instrumentation).
+    #: modules where wall-clock reads are legitimate (perf instrumentation;
+    #: the pool times dispatch round-trips, never simulation quantities).
     wallclock_allow: tuple[str, ...] = (
         "repro.core.perf",
         "repro.simulate.perf",
+        "repro.parallel.pool",
     )
     #: receiver attribute names whose ``.remove`` is O(small) by contract.
     remove_allow: tuple[str, ...] = ("_alloc",)

@@ -1,0 +1,18 @@
+# opass-lint: module=repro.simulate.vectorized_example
+"""OPS005 fixture: scalar-regression patterns in a vectorized kernel.
+
+The shapes a hasty edit would reintroduce into the water-filling
+kernels: a worklist drained with ``pop(0)`` and a frozen-flow list
+pruned with ``remove`` inside the fill loop.
+"""
+
+
+def fill_levels(live: list, levels: list):
+    while live:
+        flow = live.pop(0)  # O(n) shift per fill iteration
+        levels.append(flow)
+    return levels
+
+
+def freeze(unfrozen: list, flow):
+    unfrozen.remove(flow)  # O(n) scan per freeze

@@ -1,0 +1,15 @@
+# opass-lint: module=repro.simulate.vectorized_example_ok
+"""OPS005 clean twin: the kernels' masked-array idiom has no worklist.
+
+Progressive filling over flat arrays freezes flows by flipping a mask
+entry — no list mutation, nothing the rule's banned patterns match.
+"""
+
+
+def fill_levels(rates, live_mask, delta):
+    rates[live_mask] += delta
+    return rates
+
+
+def freeze(live_mask, idx):
+    live_mask[idx] = False

@@ -128,3 +128,37 @@ class TestMaintenance:
         _register_simple(nn)
         with pytest.raises(ValueError):
             nn.add_replica(ChunkId("f", 0), 1)
+
+
+class TestLayoutToken:
+    """The incremental token always equals the from-scratch definition."""
+
+    def _check(self, nn: NameNode) -> None:
+        from repro.dfs.snapshot import layout_token
+
+        assert nn.layout_token == layout_token(nn.layout_snapshot())
+
+    def test_empty_and_after_register(self):
+        nn = NameNode()
+        self._check(nn)
+        _register_simple(nn)
+        self._check(nn)
+
+    def test_tracks_every_mutator(self):
+        nn = NameNode()
+        _register_simple(nn)
+        nn.add_replica(ChunkId("f", 0), 5)
+        self._check(nn)
+        nn.remove_replica(ChunkId("f", 0), 5)
+        self._check(nn)
+        nn.drop_node_replicas(1)
+        self._check(nn)
+
+    def test_changes_on_replica_move(self):
+        nn = NameNode()
+        _register_simple(nn)
+        before = nn.layout_token
+        nn.add_replica(ChunkId("f", 0), 7)
+        assert nn.layout_token != before
+        nn.remove_replica(ChunkId("f", 0), 7)
+        assert nn.layout_token == before

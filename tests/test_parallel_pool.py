@@ -1,0 +1,219 @@
+"""ComponentSolvePool: shared-memory parallel solves, byte-identical.
+
+Three layers of identity, strongest last:
+
+* kernel level — ``solve_batch`` over lowered components returns exactly
+  what the in-process ``solve_lowered`` dispatch returns (``==`` on the
+  raw floats and iteration counts);
+* allocator level — a ``ComponentAllocator`` with a forced pool
+  (``min_flows=0``) tracks a pool-free one exactly through add/remove
+  churn, and counts its dispatches;
+* engine level — a full ``ParallelReadRun`` on a pool-backed simulation
+  produces byte-identical read records and makespan to the serial run.
+
+Plus lifecycle: calibration yields a sane threshold, below-threshold
+batches fall back to in-process solves, and close() is idempotent.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    ProcessPlacement,
+    rank_interval_assignment,
+    tasks_from_dataset,
+)
+from repro.dfs import ClusterSpec, DistributedFileSystem
+from repro.parallel.pool import ComponentSolvePool
+from repro.simulate import ParallelReadRun, Simulation, StaticSource, cluster_resources
+from repro.simulate.components import ComponentAllocator
+from repro.simulate.flows import Flow
+from repro.simulate.resources import Resource
+from repro.simulate.vectorized import lower_component, res_entry, solve_lowered
+from repro.workloads import single_data_workload
+
+
+@pytest.fixture(scope="module")
+def pool():
+    p = ComponentSolvePool(workers=2, min_flows=0)
+    yield p
+    p.close()
+
+
+def _random_batch(rng: random.Random, ncomps: int):
+    resources = {
+        f"r{i}": Resource(
+            name=f"r{i}",
+            capacity=rng.choice([1.0, 10.0, 80e6, 125e6]),
+            concurrency_penalty=rng.choice([0.0, 0.05, 0.5]),
+        )
+        for i in range(12)
+    }
+    caps = {n: res_entry(r) for n, r in resources.items()}
+    names = list(resources)
+    batch = []
+    for _ in range(ncomps):
+        k = rng.randint(2, 50)
+        flows = [
+            Flow(
+                size=1.0,
+                path=tuple(rng.sample(names, rng.randint(1, 4))),
+                rate_cap=rng.choice([None, 1.0, 60e6]),
+            )
+            for _ in range(k)
+        ]
+        batch.append(lower_component(flows, caps))
+    return batch
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_solve_batch_matches_in_process(pool, seed):
+    batch = _random_batch(random.Random(seed), ncomps=8)
+    assert pool.solve_batch(batch) == [solve_lowered(low) for low in batch]
+
+
+def test_solve_batch_empty(pool):
+    assert pool.solve_batch([]) == []
+
+
+def test_block_growth_preserves_identity(pool):
+    rng = random.Random(99)
+    small = _random_batch(rng, ncomps=2)
+    big = _random_batch(rng, ncomps=20)
+    assert pool.solve_batch(small) == [solve_lowered(low) for low in small]
+    assert pool.solve_batch(big) == [solve_lowered(low) for low in big]
+
+
+def test_calibrated_threshold_is_sane():
+    p = ComponentSolvePool(workers=1)
+    try:
+        assert p.min_flows >= 1
+        assert p.min_flows <= 65536
+    finally:
+        p.close()
+
+
+def test_close_is_idempotent():
+    p = ComponentSolvePool(workers=1, min_flows=0)
+    p.close()
+    p.close()
+    with pytest.raises(RuntimeError):
+        p.solve_batch([])
+
+
+# -- allocator level ---------------------------------------------------------
+
+
+def _churn(alloc_a, alloc_b, seed: int) -> None:
+    rng = random.Random(seed)
+    resources = {
+        f"r{i}": Resource(name=f"r{i}", capacity=rng.choice([1.0, 5.0, 125e6]),
+                          concurrency_penalty=rng.choice([0.0, 0.05]))
+        for i in range(10)
+    }
+    names = list(resources)
+    for name, r in resources.items():
+        alloc_a.register(name, r)
+        alloc_b.register(name, r)
+    live: list[Flow] = []
+    for _ in range(150):
+        if live and rng.random() < 0.35:
+            f = live.pop(rng.randrange(len(live)))
+            alloc_a.remove(f)
+            alloc_b.remove(f)
+        else:
+            f = Flow(size=1.0, path=tuple(rng.sample(names, rng.randint(1, 3))),
+                     rate_cap=rng.choice([None, None, 1.0]))
+            live.append(f)
+            alloc_a.add(f)
+            alloc_b.add(f)
+        if rng.random() < 0.5:
+            got = alloc_a.solve()
+            want = alloc_b.solve()
+            assert got == want
+            assert alloc_a.last_iterations == alloc_b.last_iterations
+
+
+def test_allocator_pooled_vs_serial_churn(pool):
+    pooled = ComponentAllocator(pool=pool)
+    serial = ComponentAllocator()
+    _churn(pooled, serial, seed=31)
+
+
+def test_allocator_counts_pool_dispatches(pool):
+    alloc = ComponentAllocator(pool=pool)
+    alloc.register("shared", Resource(name="shared", capacity=100.0,
+                                      concurrency_penalty=0.1))
+    for _ in range(8):
+        alloc.add(Flow(size=1.0, path=("shared",)))
+    alloc.solve()
+    assert alloc.last_parallel_solves == 1
+    assert alloc.last_pool_wall > 0.0
+
+
+def test_allocator_below_threshold_falls_back(pool):
+    # A pool advertising an unreachable threshold must never be consulted.
+    class NeverPool:
+        min_flows = 10**9
+        last_dispatch_wall = 0.0
+
+        def solve_batch(self, lowered):  # pragma: no cover - must not run
+            raise AssertionError("dispatched below threshold")
+
+    alloc = ComponentAllocator(pool=NeverPool())
+    serial = ComponentAllocator()
+    _churn(alloc, serial, seed=77)
+    assert alloc.last_parallel_solves == 0
+
+
+# -- engine level ------------------------------------------------------------
+
+
+def test_engine_rejects_pool_with_wrong_allocator(pool):
+    with pytest.raises(ValueError):
+        Simulation(allocator="incremental", parallel=pool)
+
+
+def _run_workload(sim: Simulation | None, nodes: int = 12, seed: int = 3):
+    fs = DistributedFileSystem(ClusterSpec.homogeneous(nodes), seed=seed)
+    data = single_data_workload(nodes, 4)
+    fs.put_dataset(data)
+    tasks = tasks_from_dataset(data)
+    if sim is not None:
+        sim.add_resources(cluster_resources(fs.spec))
+    run = ParallelReadRun(
+        fs,
+        ProcessPlacement.one_per_node(nodes),
+        tasks,
+        StaticSource(rank_interval_assignment(len(tasks), nodes)),
+        seed=seed,
+        sim=sim,
+    )
+    result = run.run()
+    return result, run
+
+
+def test_engine_pool_on_off_byte_identical(pool):
+    serial_result, serial_run = _run_workload(None)
+    pooled_sim = Simulation(allocator="component", parallel=pool)
+    pooled_result, pooled_run = _run_workload(pooled_sim)
+
+    assert pooled_result.makespan == serial_result.makespan
+    assert pooled_run.sim.events_processed == serial_run.sim.events_processed
+    got = [
+        (r.seq, r.rank, r.task_id, r.chunk, r.server_node, r.reader_node,
+         r.local, r.issue_time, r.end_time)
+        for r in pooled_result.records
+    ]
+    want = [
+        (r.seq, r.rank, r.task_id, r.chunk, r.server_node, r.reader_node,
+         r.local, r.issue_time, r.end_time)
+        for r in serial_result.records
+    ]
+    assert got == want
+    # The pool really ran: dispatches were counted and timed.
+    assert pooled_run.sim.perf.parallel_solves > 0
+    assert pooled_run.sim.perf.pool_dispatch_wall > 0.0

@@ -45,6 +45,15 @@ class TestFixturePairs:
         report = lint_file(FIXTURES / f"{rule.lower()}_ok.py")
         assert report.ok, report.render()
 
+    def test_kernel_regression_fixture(self):
+        """OPS005 catches scalar pop(0)/remove regressions in the
+        vectorized kernels; the masked-array idiom stays clean."""
+        bad = lint_file(FIXTURES / "ops005_kernel_bad.py")
+        assert rules_in(bad) == {"OPS005"}, bad.render()
+        assert len(bad.violations) == 2, bad.render()
+        ok = lint_file(FIXTURES / "ops005_kernel_ok.py")
+        assert ok.ok, ok.render()
+
     def test_bad_fixtures_flag_every_occurrence(self):
         # ops005_bad has four distinct banned patterns, one finding each
         report = lint_file(FIXTURES / "ops005_bad.py")

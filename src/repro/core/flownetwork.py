@@ -355,7 +355,7 @@ class FlowNetwork:
             depth += 1
             starts = ptr[frontier]
             counts = ptr[frontier + 1] - starts
-            total = int(counts.sum())
+            total = int(counts.sum())  # opass: reassoc-ok -- int64 sum, exact
             if total == 0:
                 break
             # Gather every out-edge of the frontier in one shot: for each

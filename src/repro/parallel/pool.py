@@ -86,7 +86,7 @@ def _solve_descs(shm: shared_memory.SharedMemory, descs) -> list[int]:
         rates, n_iter = solve_arrays(lens, fr_flat, eff, caps)
         # Rates overwrite the caps slot: same dtype and length, and caps
         # are dead once the component is solved.
-        np.frombuffer(buf, np.float64, nflows, off_caps)[:] = rates
+        np.frombuffer(buf, np.float64, nflows, off_caps)[:] = rates  # opass: ignore[OPS202] -- rates reuse the dead caps slot: same dtype, length and offset
         iters.append(n_iter)
     return iters
 
@@ -261,16 +261,33 @@ class ComponentSolvePool:
                 bounds.append(i + 1)
         bounds.append(len(lowered))
         busy = []
-        for w in range(nw):
-            lo, hi = bounds[w], bounds[w + 1]
-            if lo == hi:
-                continue
-            self._conns[w].send(("solve", shm.name, descs[lo:hi]))
-            busy.append(w)
-        iters: list[int] = [0] * len(lowered)
-        for w in busy:
-            lo, hi = bounds[w], bounds[w + 1]
-            iters[lo:hi] = self._conns[w].recv()
+        try:
+            for w in range(nw):
+                lo, hi = bounds[w], bounds[w + 1]
+                if lo == hi:
+                    continue
+                self._conns[w].send(("solve", shm.name, descs[lo:hi]))
+                busy.append(w)
+            iters: list[int] = [0] * len(lowered)
+            for w in busy:
+                lo, hi = bounds[w], bounds[w + 1]
+                iters[lo:hi] = self._conns[w].recv()
+        except (EOFError, OSError) as exc:
+            # A worker died mid-dispatch (EOFError on recv, BrokenPipeError
+            # on send).  Surface a clean error instead of hanging on the
+            # remaining recvs, and tear the pool down so the shared block
+            # is unlinked even on this abnormal path.  The packing views
+            # must die first or the block's mapping stays pinned by this
+            # frame (which outlives the raise inside the traceback).
+            del buf, lens, fr_flat
+            dead = [
+                (p.pid, p.exitcode) for p in self._procs if not p.is_alive()
+            ]
+            self.close()
+            raise RuntimeError(
+                f"pool worker died mid-dispatch (pid, exitcode: {dead}); "
+                "pool closed and shared memory released"
+            ) from exc
         # -- unpack ----------------------------------------------------------
         results: list[tuple[list[float], int]] = []
         for low, desc, n_iter in zip(lowered, descs, iters):
@@ -302,7 +319,13 @@ def _shutdown(procs, conns, shm_box) -> None:
     if shm is not None:
         shm_box[0] = None
         try:
-            shm.close()
             shm.unlink()
         except FileNotFoundError:
+            pass
+        try:
+            shm.close()
+        except BufferError:
+            # A crashed dispatch frame may still hold numpy views of the
+            # block.  The name is already unlinked above; the mapping is
+            # freed once those views die.
             pass

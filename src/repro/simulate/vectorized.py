@@ -527,7 +527,9 @@ def _solve_numpy(low: Lowered) -> tuple[list[float], int]:
     caps = low.caps
     lens = np.fromiter((len(ids) for ids in low.fr), np.int64, nflows)
     fr_flat = np.fromiter(
-        (rid for ids in low.fr for rid in ids), np.int64, int(lens.sum())
+        (rid for ids in low.fr for rid in ids),
+        np.int64,
+        int(lens.sum()),  # opass: reassoc-ok -- int64 sum, addition is exact
     )
     flow_idx = np.repeat(np.arange(nflows, dtype=np.int64), lens)
     fr_ptr = np.zeros(nflows + 1, np.int64)
@@ -563,7 +565,7 @@ def _solve_numpy(low: Lowered) -> tuple[list[float], int]:
             newf[:] = False
             newf[flow_idx[hit]] = True
             newf &= ~frozen
-            nnew = int(newf.sum())
+            nnew = int(newf.sum())  # opass: reassoc-ok -- bool sum, exact count
             if nnew:
                 rates[newf] = level
                 frozen |= newf

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from .checks import RULES, check_module
+from .concurrency import CONCURRENCY_RULES
 from .config import LintConfig, find_pyproject, load_config
 from .interproc import INTERPROC_RULES
 from .model import Violation, module_directive, parse_suppressions
@@ -31,7 +32,7 @@ JSON_SCHEMA_VERSION = 1
 #: Every rule either front end can emit.  Suppression pragmas validate
 #: against this combined table so ignoring an interprocedural rule in a
 #: file checked by plain ``opass-lint`` is not itself an OPS000 error.
-ALL_RULES: dict[str, str] = {**RULES, **INTERPROC_RULES}
+ALL_RULES: dict[str, str] = {**RULES, **INTERPROC_RULES, **CONCURRENCY_RULES}
 KNOWN_RULES = frozenset(ALL_RULES)
 
 

@@ -36,7 +36,9 @@ from pathlib import Path
 from .astutils import annotation_roots, dotted, iter_arguments
 
 #: Bump when the analysis or the cached-summary format changes.
-ANALYZER_VERSION = 1
+#: v2: LocalSummary gained ``global_writes``; the OPS200 concurrency pass
+#: contributes to cached per-module check results.
+ANALYZER_VERSION = 2
 
 
 @dataclass

@@ -1,0 +1,713 @@
+"""Concurrency and float-identity rules OPS201–OPS204 (`opass-verify`).
+
+PR 6 moved the hot solve path onto shared-memory fork workers
+(:mod:`repro.parallel.pool`) and numpy kernels whose contract is
+bit-for-bit identity with the reference solvers.  This pass rides the
+same fixed-point summaries as OPS101–OPS103 and machine-checks the two
+failure modes those rules are blind to — fork boundaries and float
+semantics:
+
+* **OPS201 — fork safety.**  Any function registered as a worker
+  entrypoint (``worker-entrypoints`` in ``[tool.opass-lint]``) must not
+  *transitively* reach fork-unsafe state: open file handles, sockets,
+  locks/threads, live RNG machinery, or functions that rebind module
+  globals.  Violations name the capture chain like OPS103 does.
+* **OPS202 — shared-memory write discipline.**  Worker-reachable code
+  may write only into declared per-dispatch slice views (results of a
+  ``shared-view-factories`` callable, ``numpy.frombuffer`` by default).
+  Writes into parameters (parent-process objects), module-level state,
+  or a view whose ``(buffer, offset)`` expression collides with another
+  declared view are flagged.
+* **OPS203 — float-identity preservation.**  Inside registered kernel
+  modules (``kernel-modules``, same prefix machinery as
+  ``pure_modules``): a dtype lattice forbids implicit float32/float16/
+  object promotion, ``int / int`` true division is flagged as drift,
+  and reassociating reductions (``np.sum``, ``np.dot``, ``.mean()`` …)
+  are banned unless the line carries an explicit waiver::
+
+      n = int(lens.sum())  # opass: reassoc-ok -- int64 sum, addition is exact
+
+  A waiver without a reason is itself reported as OPS000.
+* **OPS204 — blocking calls in async code.**  Sync sleeps, file I/O,
+  ``subprocess``, socket connects and pool/process joins reachable from
+  an ``async def`` (directly or through sync project callees) stall the
+  event loop; this seeds the ROADMAP online-scheduling service work.
+
+Reachability (OPS201/OPS202/OPS204) follows only *confidently resolved*
+call edges — plain dotted calls and method calls with a typed receiver.
+The dynamic-dispatch fallback (every class method sharing a bare method
+name) is deliberately excluded: following it would make ``conn.recv()``
+reach every ``recv`` in the project and drown the rules in false
+positives.  Every violation is attributed to a concrete line in the
+module under check, so the per-line suppression pragmas and the
+per-module check cache work unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .callgraph import CallRef, FunctionDecl, ModuleDecl, ResolvedCall
+from .config import LintConfig
+from .interproc import _package_of
+from .model import Violation, parse_reassoc_pragmas
+from .summaries import TAINT_RNG, ProjectSummaries, external_taint
+
+#: rule id → one-line description (merged into ``--list-rules``).
+CONCURRENCY_RULES: dict[str, str] = {
+    "OPS201": "fork worker transitively reaches fork-unsafe state",
+    "OPS202": "worker write escapes the declared shared-memory slice views",
+    "OPS203": "float-identity drift in a bit-identical kernel module",
+    "OPS204": "blocking call reachable from async code",
+}
+
+#: External callables whose *result or side effect* is fork-unsafe state:
+#: handles, sockets, locks and threads do not survive (or must not cross)
+#: an ``os.fork`` boundary.
+_FORK_UNSAFE_CALLS: dict[str, str] = {
+    "open": "opens a file handle",
+    "io.open": "opens a file handle",
+    "os.open": "opens a file descriptor",
+    "os.fdopen": "opens a file handle",
+    "os.pipe": "opens a pipe",
+    "tempfile.NamedTemporaryFile": "opens a file handle",
+    "tempfile.TemporaryFile": "opens a file handle",
+    "socket.socket": "opens a socket",
+    "socket.create_connection": "opens a socket",
+    "threading.Lock": "allocates a lock",
+    "threading.RLock": "allocates a lock",
+    "threading.Condition": "allocates a condition variable",
+    "threading.Semaphore": "allocates a semaphore",
+    "threading.BoundedSemaphore": "allocates a semaphore",
+    "threading.Event": "allocates an event",
+    "threading.Barrier": "allocates a barrier",
+    "threading.Thread": "starts thread machinery",
+    "multiprocessing.Lock": "allocates a lock",
+    "multiprocessing.RLock": "allocates a lock",
+    "subprocess.Popen": "spawns a subprocess",
+    "subprocess.run": "spawns a subprocess",
+    "subprocess.call": "spawns a subprocess",
+    "subprocess.check_call": "spawns a subprocess",
+    "subprocess.check_output": "spawns a subprocess",
+}
+
+#: External callables that block the calling thread (OPS204).
+_BLOCKING_CALLS: dict[str, str] = {
+    "time.sleep": "synchronous sleep",
+    "open": "synchronous file I/O",
+    "io.open": "synchronous file I/O",
+    "os.system": "spawns and waits on a shell",
+    "os.wait": "waits on a child process",
+    "os.waitpid": "waits on a child process",
+    "subprocess.run": "waits on a subprocess",
+    "subprocess.call": "waits on a subprocess",
+    "subprocess.check_call": "waits on a subprocess",
+    "subprocess.check_output": "waits on a subprocess",
+    "subprocess.Popen": "spawns a subprocess",
+    "socket.create_connection": "synchronous socket connect",
+    "urllib.request.urlopen": "synchronous HTTP request",
+}
+
+#: Bound-method names that block: ``.join()`` with zero args is a pool /
+#: process / thread join (``str.join`` always takes one argument).
+_BLOCKING_METHODS = frozenset({"acquire", "recv", "recv_bytes"})
+
+#: numpy dtype tails that break the float64/int64 identity contract.
+_BAD_DTYPES = frozenset(
+    {
+        "float32",
+        "float16",
+        "half",
+        "single",
+        "longdouble",
+        "float128",
+        "object",
+        "object_",
+        "str_",
+    }
+)
+
+#: numpy constructors with a positional dtype parameter (index).
+_DTYPE_POSITIONS: dict[str, int] = {
+    "numpy.array": 1,
+    "numpy.asarray": 1,
+    "numpy.ascontiguousarray": 1,
+    "numpy.zeros": 1,
+    "numpy.ones": 1,
+    "numpy.empty": 1,
+    "numpy.full": 2,
+    "numpy.frombuffer": 1,
+    "numpy.fromiter": 1,
+}
+
+#: Reductions whose float result depends on accumulation order.
+_REDUCTION_CALLS = frozenset(
+    {
+        "numpy.sum",
+        "numpy.nansum",
+        "numpy.dot",
+        "numpy.vdot",
+        "numpy.inner",
+        "numpy.matmul",
+        "numpy.einsum",
+        "numpy.prod",
+        "numpy.mean",
+        "numpy.std",
+        "numpy.var",
+        "numpy.add.reduce",
+        "numpy.multiply.reduce",
+        "math.fsum",
+    }
+)
+_REDUCTION_METHODS = frozenset({"sum", "dot", "prod", "mean", "std", "var", "trace"})
+
+
+def _confident_targets(ref: CallRef, rc: ResolvedCall) -> list[FunctionDecl]:
+    """Project targets excluding the dynamic-dispatch (bare-name) fallback."""
+    if ref.kind == "method" and ref.recv_type is None:
+        return []
+    return rc.targets
+
+
+def worker_reachable(
+    summaries: ProjectSummaries, config: LintConfig
+) -> dict[str, tuple[str, ...]]:
+    """Function key → call chain (entrypoint .. key) for worker-reachable code."""
+    out: dict[str, tuple[str, ...]] = {}
+    for entry in config.worker_entrypoints:
+        if entry not in summaries.locals:
+            continue
+        stack: list[tuple[str, tuple[str, ...]]] = [(entry, (entry,))]
+        while stack:
+            key, chain = stack.pop()
+            if key in out:
+                continue
+            out[key] = chain
+            local = summaries.locals[key]
+            for ref, rc in zip(local.calls, summaries.resolved.get(key, [])):
+                for target in _confident_targets(ref, rc):
+                    if target.key in summaries.locals and target.key not in out:
+                        stack.append((target.key, chain + (target.key,)))
+    return out
+
+
+def _fork_unsafe_reasons(key: str, summaries: ProjectSummaries) -> list[str]:
+    """Direct (non-transitive) fork-unsafe facts about one function."""
+    local = summaries.locals.get(key)
+    if local is None:
+        return []
+    reasons: list[str] = []
+    if local.global_writes:
+        names = ", ".join(local.global_writes)
+        reasons.append(f"rebinds module global(s) {names}")
+    for ref, rc in zip(local.calls, summaries.resolved.get(key, [])):
+        if rc.external is None:
+            continue
+        label = _FORK_UNSAFE_CALLS.get(rc.external)
+        if label is not None:
+            reasons.append(f"{label} ({rc.external})")
+        elif TAINT_RNG in external_taint(rc.external, ref.nargs):
+            reasons.append(f"constructs live RNG machinery ({rc.external})")
+    return reasons
+
+
+def _check_fork_safety(
+    decl: ModuleDecl,
+    summaries: ProjectSummaries,
+    config: LintConfig,
+    violation,
+) -> None:
+    """OPS201: entrypoints in this module must not reach fork-unsafe state."""
+    entrypoints = set(config.worker_entrypoints)
+    for fn in decl.functions.values():
+        if fn.key not in entrypoints:
+            continue
+        # BFS with parent chains, rooted at this entrypoint only
+        chains: dict[str, tuple[str, ...]] = {fn.key: ()}
+        stack: list[str] = [fn.key]
+        order: list[str] = []
+        while stack:
+            key = stack.pop()
+            order.append(key)
+            local = summaries.locals.get(key)
+            if local is None:
+                continue
+            for ref, rc in zip(local.calls, summaries.resolved.get(key, [])):
+                for target in _confident_targets(ref, rc):
+                    if target.key in summaries.locals and target.key not in chains:
+                        chains[target.key] = chains[key] + (target.key,)
+                        stack.append(target.key)
+        for key in sorted(order):
+            for reason in _fork_unsafe_reasons(key, summaries):
+                chain = chains[key]
+                where = "" if not chain else f" in {key} (via {' -> '.join(chain)})"
+                violation(
+                    "OPS201",
+                    fn.node,
+                    f"fork worker '{fn.local_qualname}' reaches fork-unsafe "
+                    f"state: {reason}{where}",
+                )
+
+
+def _module_global_names(tree: ast.Module) -> set[str]:
+    """Names bound by module-level assignments (import-time state)."""
+    out: set[str] = set()
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        for t in targets:
+            if isinstance(t, (ast.Tuple, ast.List)):
+                targets.extend(t.elts)
+            elif isinstance(t, ast.Name):
+                out.add(t.id)
+    return out
+
+
+def _write_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    else:
+        return []
+    out: list[ast.expr] = []
+    while targets:
+        t = targets.pop()
+        if isinstance(t, (ast.Tuple, ast.List)):
+            targets.extend(t.elts)
+        elif isinstance(t, ast.Starred):
+            targets.append(t.value)
+        else:
+            out.append(t)
+    return out
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    while isinstance(expr, (ast.Attribute, ast.Subscript, ast.Starred)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+def _check_worker_writes(
+    decl: ModuleDecl,
+    fn: FunctionDecl,
+    chain: tuple[str, ...],
+    config: LintConfig,
+    module_globals: set[str],
+    violation,
+) -> None:
+    """OPS202 for one worker-reachable function body."""
+    factories = set(config.shared_view_factories)
+
+    def is_factory(call: ast.Call) -> bool:
+        if not isinstance(call.func, (ast.Name, ast.Attribute)):
+            return False
+        from .astutils import dotted
+
+        name = dotted(call.func)
+        return name is not None and decl.expand(name) in factories
+
+    # declared slice views and everything assigned locally
+    params = set(fn.params)
+    if fn.node.name == "__init__" and fn.params:
+        # a constructor initializes a freshly allocated object; its
+        # ``self`` cannot pre-date the dispatch, so writes to it are local
+        params.discard(fn.params[0])
+    assigned: set[str] = set()
+    global_decls: set[str] = set()
+    view_names: dict[str, int] = {}
+    creations: list[dict] = []  # {key, node, written}
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Global):
+            global_decls.update(node.names)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for t in ast.walk(node.target):
+                if isinstance(t, ast.Name):
+                    assigned.add(t.id)
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            for t in ast.walk(node.optional_vars):
+                if isinstance(t, ast.Name):
+                    assigned.add(t.id)
+        elif isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+            assigned.add(node.target.id)
+        elif isinstance(node, ast.Call) and is_factory(node):
+            # overlap key: (buffer expression, offset expression)
+            buf = node.args[0] if node.args else None
+            offset: ast.expr | None = None
+            if len(node.args) > 3:
+                offset = node.args[3]
+            for kw in node.keywords:
+                if kw.arg == "offset":
+                    offset = kw.value
+            key = (
+                ast.dump(buf, annotate_fields=False) if buf is not None else "?",
+                ast.dump(offset, annotate_fields=False) if offset is not None else "0",
+            )
+            creations.append({"key": key, "node": node, "written": False})
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = node.value
+            for t in _write_targets(node):
+                if isinstance(t, ast.Name):
+                    assigned.add(t.id)
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(value, ast.Call)
+                and is_factory(value)
+            ):
+                # creations for this call gets appended by the walk; map by id
+                view_names[node.targets[0].id] = id(value)
+
+    by_call_id = {id(c["node"]): c for c in creations}
+    where = (
+        "" if len(chain) <= 1 else f" (worker-reachable via {' -> '.join(chain)})"
+    )
+
+    for node in ast.walk(fn.node):
+        for t in _write_targets(node) if isinstance(node, ast.stmt) else []:
+            if not isinstance(t, (ast.Attribute, ast.Subscript)):
+                continue
+            if isinstance(t, ast.Subscript) and isinstance(t.value, ast.Call):
+                if is_factory(t.value):
+                    creation = by_call_id.get(id(t.value))
+                    if creation is not None:
+                        creation["written"] = True
+                    continue
+            root = _root_name(t)
+            if root is None:
+                continue
+            if root in view_names:
+                creation = by_call_id.get(view_names[root])
+                if creation is not None:
+                    creation["written"] = True
+                continue
+            if root in global_decls or root in module_globals:
+                violation(
+                    "OPS202",
+                    t,
+                    f"worker code writes module-level state '{root}' instead "
+                    f"of a declared shared-memory slice view{where}",
+                )
+            elif root in params and root not in assigned:
+                violation(
+                    "OPS202",
+                    t,
+                    f"worker code writes into parameter '{root}' — a "
+                    f"parent-process object, not a declared np.frombuffer "
+                    f"slice view{where}",
+                )
+
+    # overlapping declared views: two creations over the same
+    # (buffer, offset) expression where at least one is written
+    groups: dict[tuple[str, str], list[dict]] = {}
+    for c in creations:
+        groups.setdefault(c["key"], []).append(c)
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        for c in group:
+            if c["written"]:
+                violation(
+                    "OPS202",
+                    c["node"],
+                    "written slice view overlaps another declared view over "
+                    "the same (buffer, offset) expression; worker writes "
+                    f"must target disjoint slices{where}",
+                )
+
+
+def _int_names(fn: FunctionDecl):
+    """(int-typed names, is_int predicate) for one function (tiny lattice)."""
+    ints: set[str] = set()
+    for name, ann in zip(fn.params, fn.param_annotation_nodes):
+        if isinstance(ann, ast.Name) and ann.id == "int":
+            ints.add(name)
+
+    def is_int(e: ast.expr) -> bool:
+        if isinstance(e, ast.Constant):
+            return type(e.value) is int
+        if isinstance(e, ast.Name):
+            return e.id in ints
+        if isinstance(e, ast.Call) and isinstance(e.func, ast.Name):
+            return e.func.id in {"len", "int", "ord"}
+        if isinstance(e, ast.BinOp) and isinstance(
+            e.op, (ast.Add, ast.Sub, ast.Mult, ast.FloorDiv, ast.Mod)
+        ):
+            return is_int(e.left) and is_int(e.right)
+        if isinstance(e, ast.UnaryOp) and isinstance(e.op, (ast.USub, ast.UAdd)):
+            return is_int(e.operand)
+        return False
+
+    for _ in range(3):  # propagate through short assignment chains
+        changed = False
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id not in ints
+                and is_int(node.value)
+            ):
+                ints.add(node.targets[0].id)
+                changed = True
+        if not changed:
+            break
+    return ints, is_int
+
+
+def _check_float_identity(
+    decl: ModuleDecl,
+    config: LintConfig,
+    reassoc_lines: set[int],
+    violation,
+) -> None:
+    """OPS203 over one registered kernel module."""
+    from .astutils import dotted
+
+    def expanded(func: ast.expr) -> str | None:
+        if not isinstance(func, (ast.Name, ast.Attribute)):
+            return None
+        name = dotted(func)
+        return decl.expand(name) if name is not None else None
+
+    def dtype_label(e: ast.expr) -> str | None:
+        """The forbidden dtype an expression names, if any."""
+        if isinstance(e, ast.Constant) and isinstance(e.value, str):
+            return e.value if e.value in _BAD_DTYPES else None
+        if isinstance(e, ast.Name) and e.id == "object":
+            return "object"
+        target = expanded(e)
+        if target is not None:
+            tail = target.rsplit(".", 1)[-1]
+            if target.startswith("numpy.") and tail in _BAD_DTYPES:
+                return tail
+        return None
+
+    # dtype lattice + reductions, module-wide
+    for node in ast.walk(decl.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = expanded(node.func)
+        # direct scalar constructors: np.float32(x)
+        if target is not None and target.startswith("numpy."):
+            tail = target.rsplit(".", 1)[-1]
+            if tail in _BAD_DTYPES:
+                violation(
+                    "OPS203",
+                    node,
+                    f"numpy.{tail} breaks the float64/int64 identity "
+                    "contract (implicit precision/object promotion)",
+                )
+                continue
+        # dtype= arguments
+        dtype_arg: ast.expr | None = None
+        if target in _DTYPE_POSITIONS and len(node.args) > _DTYPE_POSITIONS[target]:
+            dtype_arg = node.args[_DTYPE_POSITIONS[target]]
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and node.args
+        ):
+            dtype_arg = node.args[0]
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                dtype_arg = kw.value
+        if dtype_arg is not None:
+            label = dtype_label(dtype_arg)
+            if label is not None:
+                violation(
+                    "OPS203",
+                    node,
+                    f"dtype {label!r} breaks the float64/int64 identity "
+                    "contract (implicit precision/object promotion)",
+                )
+        # reassociating reductions
+        is_reduction = target in _REDUCTION_CALLS
+        name = None
+        if is_reduction:
+            name = target
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _REDUCTION_METHODS
+            and (target is None or not target.startswith(("numpy.", "math.")))
+        ):
+            is_reduction = True
+            name = f".{node.func.attr}()"
+        if is_reduction and node.lineno not in reassoc_lines:
+            violation(
+                "OPS203",
+                node,
+                f"reassociating reduction {name} without a declared stable "
+                "order; annotate `# opass: reassoc-ok -- <why>` if the "
+                "accumulation order is provably fixed or exact",
+            )
+
+    # int / int true division per function
+    for fn in decl.functions.values():
+        ints, is_int = _int_names(fn)
+        for node in ast.walk(fn.node):
+            if (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Div)
+                and is_int(node.left)
+                and is_int(node.right)
+            ):
+                violation(
+                    "OPS203",
+                    node,
+                    "int/int true division produces a float the reference "
+                    "solver never sees; use // or make a side explicitly "
+                    "float",
+                )
+
+
+def _blocking_chain(
+    key: str,
+    summaries: ProjectSummaries,
+    memo: dict[str, tuple[str, tuple[str, ...]] | None],
+    stack: set[str],
+) -> tuple[str, tuple[str, ...]] | None:
+    """(reason, chain starting at ``key``) if ``key`` can block, else None."""
+    if key in memo:
+        return memo[key]
+    if key in stack:
+        return None
+    local = summaries.locals.get(key)
+    if local is None:
+        memo[key] = None
+        return None
+    stack.add(key)
+    result: tuple[str, tuple[str, ...]] | None = None
+    for ref, rc in zip(local.calls, summaries.resolved.get(key, [])):
+        if rc.external is not None and rc.external in _BLOCKING_CALLS:
+            result = (f"{_BLOCKING_CALLS[rc.external]} ({rc.external})", (key,))
+            break
+        if result is None:
+            for target in _confident_targets(ref, rc):
+                if isinstance(target.node, ast.AsyncFunctionDef):
+                    continue
+                sub = _blocking_chain(target.key, summaries, memo, stack)
+                if sub is not None:
+                    result = (sub[0], (key,) + sub[1])
+                    break
+        if result is not None:
+            break
+    stack.discard(key)
+    memo[key] = result
+    return result
+
+
+def _check_async_blocking(
+    decl: ModuleDecl,
+    summaries: ProjectSummaries,
+    violation,
+) -> None:
+    """OPS204: blocking work reachable from this module's ``async def``s."""
+    memo: dict[str, tuple[str, tuple[str, ...]] | None] = {}
+    for fn in decl.functions.values():
+        if not isinstance(fn.node, ast.AsyncFunctionDef):
+            continue
+        local = summaries.locals.get(fn.key)
+        if local is None:
+            continue
+        for ref, rc in zip(local.calls, summaries.resolved.get(fn.key, [])):
+            site = ast.Name(id="x")  # placeholder location carrier
+            site.lineno, site.col_offset = ref.line, max(ref.col - 1, 0)
+            if rc.external is not None and rc.external in _BLOCKING_CALLS:
+                violation(
+                    "OPS204",
+                    site,
+                    f"{_BLOCKING_CALLS[rc.external]} ({rc.external}) blocks "
+                    f"the event loop inside async '{fn.local_qualname}'",
+                )
+                continue
+            if ref.kind == "method" and not rc.targets:
+                if ref.target in _BLOCKING_METHODS or (
+                    ref.target == "join" and ref.nargs == 0
+                ):
+                    violation(
+                        "OPS204",
+                        site,
+                        f"'.{ref.target}()' may block the event loop inside "
+                        f"async '{fn.local_qualname}'",
+                    )
+                continue
+            for target in _confident_targets(ref, rc):
+                if isinstance(target.node, ast.AsyncFunctionDef):
+                    continue
+                sub = _blocking_chain(target.key, summaries, memo, set())
+                if sub is not None:
+                    reason, chain = sub
+                    violation(
+                        "OPS204",
+                        site,
+                        f"blocking call reachable from async "
+                        f"'{fn.local_qualname}': {reason} via "
+                        f"{' -> '.join(chain)}",
+                    )
+                    break
+
+
+def check_module_concurrency(
+    decl: ModuleDecl,
+    summaries: ProjectSummaries,
+    config: LintConfig | None = None,
+    *,
+    source: str | None = None,
+) -> list[Violation]:
+    """Run OPS201–OPS204 over one module using project-wide summaries.
+
+    ``source`` (when available) is scanned for ``reassoc-ok`` waivers;
+    without it OPS203's reduction ban has no waiver mechanism, so pass it
+    whenever the module text is at hand.
+    """
+    config = config if config is not None else LintConfig()
+    out: list[Violation] = []
+    package = _package_of(decl.module)
+
+    def violation(rule: str, node: ast.AST, message: str) -> None:
+        out.append(
+            Violation(
+                file=decl.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule=rule,
+                message=message,
+            )
+        )
+
+    reassoc_lines: set[int] = set()
+    if source is not None:
+        reassoc_lines, pragma_errors = parse_reassoc_pragmas(source, decl.path)
+        out.extend(pragma_errors)
+
+    if config.in_scope("OPS201", package):
+        _check_fork_safety(decl, summaries, config, violation)
+
+    if config.in_scope("OPS202", package):
+        reachable = worker_reachable(summaries, config)
+        module_globals = _module_global_names(decl.tree)
+        for fn in decl.functions.values():
+            chain = reachable.get(fn.key)
+            if chain is not None:
+                _check_worker_writes(
+                    decl, fn, chain, config, module_globals, violation
+                )
+
+    kernel = any(
+        decl.module == k or decl.module.startswith(k + ".")
+        for k in config.kernel_modules
+    )
+    if kernel and config.in_scope("OPS203", package):
+        _check_float_identity(decl, config, reassoc_lines, violation)
+
+    if config.in_scope("OPS204", package):
+        _check_async_blocking(decl, summaries, violation)
+
+    return out

@@ -65,6 +65,11 @@ DEFAULT_SCOPES: dict[str, tuple[str, ...] | None] = {
     "OPS101": None,
     "OPS102": ("simulate", "dfs"),
     "OPS103": None,
+    # concurrency / float-identity rules (repro.tools.concurrency)
+    "OPS201": None,
+    "OPS202": None,
+    "OPS203": None,
+    "OPS204": None,
 }
 
 #: Modules whose functions are matching kernels: pure readers of the
@@ -95,6 +100,34 @@ DEFAULT_PROTECTED_TYPES: tuple[str, ...] = (
 #: reaching a call result here is an OPS101 violation.
 DEFAULT_DECISION_PACKAGES: tuple[str, ...] = ("core", "dfs")
 
+#: Modules where wall-clock reads are legitimate (perf instrumentation;
+#: the pool times dispatch round-trips, never simulation quantities).
+#: Single source of truth for OPS002 — the pyproject ``[tool.opass-lint]``
+#: table intentionally does NOT mirror this list.
+DEFAULT_WALLCLOCK_ALLOW: tuple[str, ...] = (
+    "repro.core.perf",
+    "repro.simulate.perf",
+    "repro.parallel.pool",
+)
+
+#: Functions dispatched inside forked worker processes.  OPS201 walks the
+#: call graph from each entrypoint and flags any transitively reachable
+#: fork-unsafe state; OPS202 restricts writes in the reachable set to
+#: declared shared-view slices.
+DEFAULT_WORKER_ENTRYPOINTS: tuple[str, ...] = ("repro.parallel.pool._worker_main",)
+
+#: Module prefixes whose kernels must stay bit-for-bit identical to the
+#: reference solvers.  OPS203 enforces the float64/int64 dtype lattice and
+#: the reassociation ban there (same prefix machinery as ``pure_modules``).
+DEFAULT_KERNEL_MODULES: tuple[str, ...] = (
+    "repro.simulate.vectorized",
+    "repro.core.flownetwork",
+)
+
+#: Callables whose result is a declared per-dispatch shared-memory slice
+#: view; OPS202 allows worker writes only through these.
+DEFAULT_SHARED_VIEW_FACTORIES: tuple[str, ...] = ("numpy.frombuffer",)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -102,13 +135,9 @@ class LintConfig:
 
     #: package → rank; imports must point strictly down-rank.
     layers: dict[str, int] = field(default_factory=lambda: dict(DEFAULT_LAYERS))
-    #: modules where wall-clock reads are legitimate (perf instrumentation;
-    #: the pool times dispatch round-trips, never simulation quantities).
-    wallclock_allow: tuple[str, ...] = (
-        "repro.core.perf",
-        "repro.simulate.perf",
-        "repro.parallel.pool",
-    )
+    #: modules where wall-clock reads are legitimate (see
+    #: :data:`DEFAULT_WALLCLOCK_ALLOW`, the single source of truth).
+    wallclock_allow: tuple[str, ...] = DEFAULT_WALLCLOCK_ALLOW
     #: receiver attribute names whose ``.remove`` is O(small) by contract.
     remove_allow: tuple[str, ...] = ("_alloc",)
     #: function names that ARE the tolerance helpers (OPS004 is off inside).
@@ -127,6 +156,12 @@ class LintConfig:
     protected_types: tuple[str, ...] = DEFAULT_PROTECTED_TYPES
     #: packages whose call results must stay entropy-free (OPS101).
     decision_packages: tuple[str, ...] = DEFAULT_DECISION_PACKAGES
+    #: fork-worker dispatch entrypoints (OPS201/OPS202 roots).
+    worker_entrypoints: tuple[str, ...] = DEFAULT_WORKER_ENTRYPOINTS
+    #: module prefixes holding bit-identical kernels (OPS203).
+    kernel_modules: tuple[str, ...] = DEFAULT_KERNEL_MODULES
+    #: callables producing declared shared-memory slice views (OPS202).
+    shared_view_factories: tuple[str, ...] = DEFAULT_SHARED_VIEW_FACTORIES
 
     def in_scope(self, rule: str, package: str | None) -> bool:
         scope = self.scopes.get(rule, None)
@@ -159,6 +194,9 @@ _KEYS = {
     "pure-modules": "pure_modules",
     "protected-types": "protected_types",
     "decision-packages": "decision_packages",
+    "worker-entrypoints": "worker_entrypoints",
+    "kernel-modules": "kernel_modules",
+    "shared-view-factories": "shared_view_factories",
 }
 
 

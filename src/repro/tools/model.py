@@ -25,6 +25,11 @@ _RULE_ID = re.compile(r"^OPS\d{3}$")
 #:     # opass-lint: module=repro.simulate.example
 MODULE_DIRECTIVE = re.compile(r"#\s*opass-lint:\s*module=(?P<module>[\w.]+)")
 
+#: Matches the reassociation waiver used by OPS203 in kernel modules::
+#:
+#:     n = int(lens.sum())  # opass: reassoc-ok -- int64 sum, addition is exact
+_REASSOC = re.compile(r"#\s*opass:\s*reassoc-ok(?P<rest>.*)$")
+
 
 @dataclass(frozen=True)
 class Violation:
@@ -109,6 +114,40 @@ def parse_suppressions(
             line=lineno, rules=ids, reason=reason_m.group("reason").strip()
         )
     return by_line, errors
+
+
+def parse_reassoc_pragmas(
+    source: str, path: str
+) -> tuple[set[int], list[Violation]]:
+    """Extract ``# opass: reassoc-ok -- reason`` waiver lines.
+
+    Returns ``(lines, errors)``.  Like suppressions, the reason is
+    mandatory — a reassociation waiver records *why* the accumulation
+    order is fixed or exact, and a bare one is reported as OPS000.
+    """
+    lines: set[int] = set()
+    errors: list[Violation] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _REASSOC.search(text)
+        if m is None:
+            continue
+        reason_m = _REASON.match(m.group("rest"))
+        if reason_m is None:
+            errors.append(
+                Violation(
+                    file=path,
+                    line=lineno,
+                    col=m.start() + 1,
+                    rule="OPS000",
+                    message=(
+                        "invalid reassoc-ok pragma: missing reason "
+                        "(write `-- <why the order is fixed or exact>`)"
+                    ),
+                )
+            )
+            continue
+        lines.add(lineno)
+    return lines, errors
 
 
 def module_directive(source: str) -> str | None:

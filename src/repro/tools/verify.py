@@ -1,10 +1,12 @@
 """``opass-verify``: interprocedural analysis front end.
 
 ``python -m repro.tools.verify [paths...]`` runs the OPS101–OPS103
-rules (determinism taint, unit checking, scheduler purity) over a whole
-tree at once, because unlike :mod:`repro.tools.checks` these rules need
-*project-wide* call-graph summaries: a violation may only be visible
-two or three call levels away from the code that commits it.
+rules (determinism taint, unit checking, scheduler purity) and the
+OPS201–OPS204 concurrency/float-identity rules
+(:mod:`repro.tools.concurrency`) over a whole tree at once, because
+unlike :mod:`repro.tools.checks` these rules need *project-wide*
+call-graph summaries: a violation may only be visible two or three call
+levels away from the code that commits it.
 
 The run is incremental.  Per-module summaries and per-module check
 results are cached in ``.opass-cache/`` keyed by content hash, config
@@ -33,6 +35,7 @@ from .api import (
 )
 from .cache import AnalysisCache, CacheStats, closure_signature, module_key
 from .callgraph import ModuleDecl, Project, parse_module
+from .concurrency import check_module_concurrency
 from .config import ConfigError, LintConfig, find_pyproject, load_config
 from .interproc import check_module_interproc
 from .model import Violation
@@ -184,6 +187,9 @@ def verify_paths(
             raw_by_path[path] = [_decode_violation(d, path) for d in cached]
             continue
         raw = check_module_interproc(decls[path], project_summaries, config)
+        raw += check_module_concurrency(
+            decls[path], project_summaries, config, source=source
+        )
         cache.store_checks(key, sigs[path], [v.as_dict() for v in raw])
         raw_by_path[path] = raw
     return _assemble(entries, raw_by_path)
@@ -220,6 +226,7 @@ def verify_source(
     }
     summaries = resolve_summaries(project, local)
     raw = check_module_interproc(decl, summaries, config)
+    raw += check_module_concurrency(decl, summaries, config, source=source)
     return apply_suppressions(raw, source, path, tool=TOOL)
 
 
@@ -227,24 +234,41 @@ def verify_source(
 
 
 def _changed_files(repo_root: Path) -> set[Path] | None:
-    """Files touched per git (worktree vs HEAD, plus untracked), resolved."""
+    """Files touched per git (worktree vs HEAD, plus untracked), resolved.
+
+    Robust on detached-HEAD and shallow checkouts (both still have a
+    resolvable HEAD) and on unborn-HEAD repos (no commit yet — there
+    every tracked file counts as changed, since CI clones in odd states
+    must not silently verify nothing).
+    """
+
+    def run(args: list[str]) -> list[str]:
+        proc = subprocess.run(
+            args,
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        )
+        return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
     out: set[Path] = set()
     try:
-        for args in (
-            ["git", "diff", "--name-only", "HEAD"],
-            ["git", "ls-files", "--others", "--exclude-standard"],
-        ):
-            proc = subprocess.run(
-                args,
-                cwd=repo_root,
-                capture_output=True,
-                text=True,
-                check=True,
-                timeout=30,
-            )
-            for line in proc.stdout.splitlines():
-                if line.strip():
-                    out.add((repo_root / line.strip()).resolve())
+        head = subprocess.run(
+            ["git", "rev-parse", "--verify", "--quiet", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        if head.returncode == 0:
+            names = run(["git", "diff", "--name-only", "HEAD"])
+        else:  # unborn HEAD: no baseline commit, everything staged is new
+            names = run(["git", "ls-files"])
+        names += run(["git", "ls-files", "--others", "--exclude-standard"])
+        for name in names:
+            out.add((repo_root / name).resolve())
     except (OSError, subprocess.SubprocessError):
         return None
     return out
@@ -275,8 +299,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.verify",
         description=(
-            "opass-verify: interprocedural determinism-taint, unit and "
-            "scheduler-purity analysis (OPS101-OPS103)"
+            "opass-verify: interprocedural determinism-taint, unit, "
+            "scheduler-purity (OPS101-OPS103) and concurrency/"
+            "float-identity (OPS201-OPS204) analysis"
         ),
     )
     parser.add_argument(

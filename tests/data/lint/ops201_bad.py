@@ -1,0 +1,29 @@
+# opass-lint: module=repro.parallel.pool
+"""OPS201: the fork-worker entrypoint reaches fork-unsafe state.
+
+The defects sit two call levels below the dispatch loop: ``_handle``
+forwards to ``_audit``, which opens a file handle and rebinds a module
+global — both invisible to any intraprocedural rule.
+"""
+
+_JOBS = 0
+
+
+def _worker_main(conn):
+    while True:
+        msg = conn.recv()
+        if msg is None:
+            break
+        _handle(msg)
+
+
+def _handle(msg):
+    return _audit(msg)
+
+
+def _audit(msg):
+    global _JOBS
+    _JOBS = _JOBS + 1
+    log = open("/tmp/audit.log", "a")
+    log.write(str(msg))
+    return _JOBS

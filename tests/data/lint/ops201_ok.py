@@ -1,0 +1,28 @@
+# opass-lint: module=repro.parallel.pool
+"""OPS201 clean: the worker touches only shared views and locals.
+
+Attaching a shared-memory view post-fork is legitimate worker behavior;
+no handles, locks, RNG machinery or global rebinding anywhere in the
+reachable set.
+"""
+
+import numpy as np
+
+
+def _worker_main(conn):
+    while True:
+        msg = conn.recv()
+        if msg is None:
+            break
+        conn.send(_solve(msg))
+
+
+def _solve(msg):
+    return _total(np.frombuffer(msg, np.float64))
+
+
+def _total(values):
+    out = 0.0
+    for v in values.tolist():
+        out += v
+    return out

@@ -1,0 +1,23 @@
+# opass-lint: module=repro.parallel.pool
+"""OPS201: live RNG machinery conjured two calls below the entrypoint.
+
+A Generator constructed inside the worker diverges from the parent's
+stream and from sibling workers — fork-unsafe state even when seeded,
+because per-worker draws break run-to-run identity of pooled solves.
+"""
+
+import numpy as np
+
+
+def _worker_main(conn):
+    job = conn.recv()
+    conn.send(_jitter(job))
+
+
+def _jitter(job):
+    return _draw(len(job))
+
+
+def _draw(n):
+    rng = np.random.default_rng(1234)
+    return int(rng.integers(0, n))

@@ -1,0 +1,28 @@
+# opass-lint: module=repro.parallel.pool
+"""OPS202: worker writes escape the declared np.frombuffer slice views.
+
+``_store`` sits two call levels below the dispatch loop; it writes into
+its declared view (fine), then mutates a parent-process object and pokes
+a raw byte through the buffer outside any declared view (both flagged).
+"""
+
+import numpy as np
+
+
+def _worker_main(conn):
+    while True:
+        msg = conn.recv()
+        if msg is None:
+            break
+        _apply(msg)
+
+
+def _apply(msg):
+    _store(msg[0], msg[1], msg[2])
+
+
+def _store(shm, job, rates):
+    view = np.frombuffer(shm.buf, np.float64, job.n, job.off)
+    view[:] = rates
+    job.done = True
+    shm.buf[0] = 1

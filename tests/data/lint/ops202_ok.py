@@ -1,0 +1,25 @@
+# opass-lint: module=repro.parallel.pool
+"""OPS202 clean: every write lands in its own declared slice view.
+
+Disjoint offsets for input and output views, plus a per-dispatch local
+scratch array — all allowed write targets for worker code.
+"""
+
+import numpy as np
+
+
+def _worker_main(conn):
+    while True:
+        msg = conn.recv()
+        if msg is None:
+            break
+        _solve(msg[0], msg[1], msg[2], msg[3])
+
+
+def _solve(buf, n, off_in, off_out):
+    inp = np.frombuffer(buf, np.float64, n, off_in)
+    out = np.frombuffer(buf, np.float64, n, off_out)
+    scratch = np.zeros(n)
+    scratch[:] = inp
+    out[:] = scratch
+    return int(n)

@@ -1,0 +1,24 @@
+# opass-lint: module=repro.parallel.pool
+"""OPS202: two slice views declared over the same offset, one written.
+
+``out`` aliases ``inp`` byte-for-byte — writing through it while the
+other view is still read from is exactly the in-place aliasing bug the
+rule exists for.
+"""
+
+import numpy as np
+
+
+def _worker_main(conn):
+    while True:
+        msg = conn.recv()
+        if msg is None:
+            break
+        _solve(msg[0], msg[1], msg[2])
+
+
+def _solve(buf, n, off_in):
+    inp = np.frombuffer(buf, np.float64, n, off_in)
+    out = np.frombuffer(buf, np.float64, n, off_in)
+    out[:] = inp[::-1]
+    return float(out[0])

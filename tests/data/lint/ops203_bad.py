@@ -1,0 +1,21 @@
+# opass-lint: module=repro.simulate.vectorized
+"""OPS203: float-identity drift inside a registered kernel module.
+
+Three distinct drifts: a float32 promotion, an unannotated reassociating
+reduction, and an int/int true division — each silently diverges from a
+float64 reference solver at scale.
+"""
+
+import numpy as np
+
+
+def solve(levels, weights):
+    acc = np.asarray(levels, dtype=np.float32)
+    total = np.sum(acc * weights)
+    return total
+
+
+def split(chunks):
+    nbytes = len(chunks)
+    nflows = int(len(chunks) - 1)
+    return nbytes / nflows

@@ -1,0 +1,28 @@
+# opass-lint: module=repro.simulate.vectorized
+"""OPS203 clean: float64 throughout, exact sums annotated, // for ints.
+
+The waived ``.sum()`` is an int64 count — integer addition is exact in
+any order, and the ``reassoc-ok`` pragma records that reasoning on the
+line.
+"""
+
+import numpy as np
+
+
+def solve(levels, weights):
+    acc = np.asarray(levels, dtype=np.float64)
+    total = 0.0
+    for v in (acc * weights).tolist():
+        total += v
+    return total
+
+
+def count_flat(lens):
+    n = int(lens.sum())  # opass: reassoc-ok -- int64 sum, addition is exact
+    return n
+
+
+def split(chunks):
+    nbytes = len(chunks)
+    nflows = len(chunks) - 1
+    return nbytes // max(1, nflows)

@@ -1,0 +1,28 @@
+# opass-lint: module=repro.simulate.ingest
+"""OPS204: blocking calls reachable from async code.
+
+``drain`` looks clean locally — the sleep and the file I/O sit two sync
+call levels below it.  ``poll`` blocks the loop directly.
+"""
+
+import time
+
+
+async def drain(queue):
+    while queue:
+        job = queue.pop()
+        _commit(job)
+
+
+def _commit(job):
+    return _flush(job)
+
+
+def _flush(job):
+    time.sleep(0.01)
+    return str(job)
+
+
+async def poll(path):
+    fh = open(path)
+    return fh.read()

@@ -1,0 +1,25 @@
+# opass-lint: module=repro.simulate.ingest
+"""OPS204 clean: async code awaits async primitives; sync I/O stays sync.
+
+``journal`` does blocking file I/O but is never reachable from an
+``async def``, so it is none of the event loop's business.
+"""
+
+import asyncio
+
+
+async def drain(queue):
+    while queue:
+        await asyncio.sleep(0)
+        job = queue.pop()
+        _commit(job)
+
+
+def _commit(job):
+    return [job]
+
+
+def journal(path, jobs):
+    with open(path, "a") as fh:
+        for j in jobs:
+            fh.write(str(j))

@@ -104,6 +104,51 @@ def test_close_is_idempotent():
         p.solve_batch([])
 
 
+def _kill_worker(p: ComponentSolvePool, idx: int = 0) -> None:
+    proc = p._procs[idx]
+    proc.kill()
+    proc.join(timeout=5.0)
+    assert not proc.is_alive()
+
+
+def test_worker_crash_surfaces_clean_error():
+    # a dead worker must produce a RuntimeError naming the casualty,
+    # not a hang on recv() or a bare EOFError
+    p = ComponentSolvePool(workers=1, min_flows=0)
+    batch = _random_batch(random.Random(7), ncomps=3)
+    assert p.solve_batch(batch) == [solve_lowered(low) for low in batch]
+    _kill_worker(p)
+    with pytest.raises(RuntimeError, match="worker died mid-dispatch"):
+        p.solve_batch(batch)
+
+
+def test_shared_memory_unlinked_on_abnormal_exit():
+    from multiprocessing import shared_memory
+
+    p = ComponentSolvePool(workers=1, min_flows=0)
+    batch = _random_batch(random.Random(8), ncomps=2)
+    p.solve_batch(batch)
+    name = p._shm_box[0].name
+    _kill_worker(p)
+    with pytest.raises(RuntimeError):
+        p.solve_batch(batch)
+    # the crash path tore the pool down and unlinked the segment
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+
+
+def test_close_after_crash_is_idempotent():
+    p = ComponentSolvePool(workers=2, min_flows=0)
+    batch = _random_batch(random.Random(9), ncomps=4)
+    p.solve_batch(batch)
+    _kill_worker(p, idx=1)
+    with pytest.raises(RuntimeError):
+        p.solve_batch(batch)
+    p.close()  # already closed by the crash path; must stay a no-op
+    with pytest.raises(RuntimeError, match="closed"):
+        p.solve_batch(batch)
+
+
 # -- allocator level ---------------------------------------------------------
 
 

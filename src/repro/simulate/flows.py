@@ -105,9 +105,12 @@ def allocate_rates(
     # instead of being recounted every iteration.
     unfrozen_count = {r: len(us) for r, us in users.items()}
     unfrozen: set[Flow] = set(flows)
-    capped = sorted(
-        (f for f in flows if f.rate_cap is not None),
-        key=lambda f: f.rate_cap,  # type: ignore[arg-type, return-value]
+    # (cap, flow) pairs so the capped path never re-proves rate_cap is not
+    # None; sorted on the cap alone — Flow defines no ordering, and the
+    # stable sort keeps submission order for bit-identical cap ties.
+    capped: list[tuple[float, Flow]] = sorted(
+        ((f.rate_cap, f) for f in flows if f.rate_cap is not None),
+        key=lambda pair: pair[0],
     )
     capped_idx = 0
     level = 0.0
@@ -131,10 +134,10 @@ def allocate_rates(
             room = free[r] / k
             if delta is None or room < delta:
                 delta = room
-        while capped_idx < len(capped) and capped[capped_idx] not in unfrozen:
+        while capped_idx < len(capped) and capped[capped_idx][1] not in unfrozen:
             capped_idx += 1
         if capped_idx < len(capped):
-            room = capped[capped_idx].rate_cap - level  # type: ignore[operator]
+            room = capped[capped_idx][0] - level
             if delta is None or room < delta:
                 delta = room
         assert delta is not None  # every unfrozen flow uses some resource
@@ -154,21 +157,21 @@ def allocate_rates(
                     freeze(f, level)
                     froze_any = True
         while capped_idx < len(capped):
-            f = capped[capped_idx]
+            cap, f = capped[capped_idx]
             if f not in unfrozen:
                 capped_idx += 1
                 continue
-            if level >= f.rate_cap - 1e-12:  # type: ignore[operator]
+            if level >= cap - 1e-12:
                 # Freeze at the cap, releasing the flow's resource claims so
                 # the remaining flows can grow past it.
-                freeze(f, f.rate_cap)  # type: ignore[arg-type]
+                freeze(f, cap)
                 capped_idx += 1
                 froze_any = True
             else:
                 break
         # Guard against float underflow stalling the loop.
         if not froze_any:
-            for f in list(unfrozen):
+            for f in list(unfrozen):  # opass: alloc-ok -- terminal guard, runs once
                 freeze(f, level)
     if stats is not None:
         stats["iterations"] = iterations

@@ -23,6 +23,7 @@ from pathlib import Path
 from .checks import RULES, check_module
 from .concurrency import CONCURRENCY_RULES
 from .config import LintConfig, find_pyproject, load_config
+from .costmodel import COST_RULES
 from .interproc import INTERPROC_RULES
 from .model import Violation, module_directive, parse_suppressions
 
@@ -32,7 +33,12 @@ JSON_SCHEMA_VERSION = 1
 #: Every rule either front end can emit.  Suppression pragmas validate
 #: against this combined table so ignoring an interprocedural rule in a
 #: file checked by plain ``opass-lint`` is not itself an OPS000 error.
-ALL_RULES: dict[str, str] = {**RULES, **INTERPROC_RULES, **CONCURRENCY_RULES}
+ALL_RULES: dict[str, str] = {
+    **RULES,
+    **INTERPROC_RULES,
+    **CONCURRENCY_RULES,
+    **COST_RULES,
+}
 KNOWN_RULES = frozenset(ALL_RULES)
 
 
@@ -153,8 +159,16 @@ def lint_source(
     path: str = "<string>",
     module: str | None = None,
     config: LintConfig | None = None,
+    relaxed: bool = False,
 ) -> LintReport:
-    """Lint one source string; raises SyntaxError on unparsable input."""
+    """Lint one source string; raises SyntaxError on unparsable input.
+
+    ``relaxed`` switches to the extra-paths profile: only the rules in
+    ``extra-rules`` fire (regardless of package scope, since bench and
+    test files live outside the ``repro`` tree) and OPS001 tolerates
+    literal seeds — benches pin seeds on purpose, but must still stay
+    free of *unseeded* RNG.
+    """
     config = config if config is not None else LintConfig()
     directive = module_directive(source)
     is_package = path.endswith("__init__.py")
@@ -166,12 +180,28 @@ def lint_source(
             module, is_package = _module_from_path(Path(path))
     tree = ast.parse(source, filename=path)
     raw = check_module(
-        tree, path=path, module=module, config=config, is_package=is_package
+        tree,
+        path=path,
+        module=module,
+        config=config,
+        is_package=is_package,
+        relaxed=relaxed,
     )
     return apply_suppressions(raw, source, path)
 
 
+def _is_relaxed_path(path: Path, config: LintConfig) -> bool:
+    """True when ``path`` sits under a configured ``extra-paths`` root."""
+    return any(part in config.extra_paths for part in path.parts)
+
+
 def lint_file(path: str | Path, *, config: LintConfig | None = None) -> LintReport:
+    """Lint one file under the *full* profile.
+
+    Profile selection by path happens only in :func:`lint_paths` (the
+    CLI/CI entry): fixture tests drive ``lint_file`` on snippets under
+    ``tests/data/`` and must keep every rule active.
+    """
     p = Path(path)
     source = p.read_text(encoding="utf-8")
     return lint_source(source, path=str(p), config=config)
@@ -193,14 +223,35 @@ def lint_paths(
     *,
     config: LintConfig | None = None,
 ) -> LintReport:
-    """Lint files and directories (recursively); missing paths raise."""
+    """Lint files and directories (recursively); missing paths raise.
+
+    Files discovered by sweeping a directory under a configured
+    ``extra-paths`` root (benchmarks, tests) get the relaxed profile,
+    and ``exclude`` patterns prune only swept files.  A file named
+    *explicitly* is always linted, under the full profile — pointing
+    the linter at one file is a request for the whole rule set (and the
+    lint fixture snippets live under the excluded ``tests/data/``).
+    """
     if config is None:
         pyproject = find_pyproject(Path(paths[0]) if paths else Path.cwd())
         config = load_config(pyproject) if pyproject else LintConfig()
     report = LintReport()
-    for file in _iter_python_files(paths):
-        if any(pattern in str(file) for pattern in config.exclude):
-            continue
-        report.extend(lint_file(file, config=config))
+    for raw in paths:
+        p = Path(raw)
+        from_sweep = p.is_dir()
+        for file in _iter_python_files([p]):
+            if from_sweep and any(
+                pattern in str(file) for pattern in config.exclude
+            ):
+                continue
+            source = file.read_text(encoding="utf-8")
+            report.extend(
+                lint_source(
+                    source,
+                    path=str(file),
+                    config=config,
+                    relaxed=from_sweep and _is_relaxed_path(file, config),
+                )
+            )
     report.sort()
     return report

@@ -38,7 +38,10 @@ from .astutils import annotation_roots, dotted, iter_arguments
 #: Bump when the analysis or the cached-summary format changes.
 #: v2: LocalSummary gained ``global_writes``; the OPS200 concurrency pass
 #: contributes to cached per-module check results.
-ANALYZER_VERSION = 2
+#: v3: LocalSummary gained the cost lattice (``allocs``/``call_axes``);
+#: the OPS300 cost-contract pass contributes to cached check results,
+#: and check keys gained the check-config + per-module contract digests.
+ANALYZER_VERSION = 3
 
 
 @dataclass

@@ -148,11 +148,13 @@ class _Checker(ast.NodeVisitor):
         config: LintConfig,
         *,
         is_package: bool,
+        relaxed: bool = False,
     ) -> None:
         self.path = path
         self.module = module
         self.config = config
         self.is_package = is_package
+        self.relaxed = relaxed
         self.violations: list[Violation] = []
         parts = module.split(".")
         if parts and parts[0] == "repro" and len(parts) > 1:
@@ -171,7 +173,12 @@ class _Checker(ast.NodeVisitor):
     # -- plumbing ------------------------------------------------------------
 
     def _flag(self, node: ast.AST, rule: str, message: str) -> None:
-        if not self.config.in_scope(rule, self.package):
+        if self.relaxed:
+            # extra-paths profile: only the configured rules, no package
+            # scoping (bench/test files live outside the repro tree)
+            if rule not in self.config.extra_rules:
+                return
+        elif not self.config.in_scope(rule, self.package):
             return
         self.violations.append(
             Violation(
@@ -333,7 +340,9 @@ class _Checker(ast.NodeVisitor):
         for alias in node.names:
             bound = alias.asname or alias.name.partition(".")[0]
             self.aliases[bound] = alias.name if alias.asname else alias.name.partition(".")[0]
-            if alias.name == "random" or alias.name.startswith("random."):
+            if (
+                alias.name == "random" or alias.name.startswith("random.")
+            ) and not self.relaxed:  # relaxed flags global-state *calls* only
                 self._flag(
                     node,
                     "OPS001",
@@ -345,7 +354,7 @@ class _Checker(ast.NodeVisitor):
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         target = self._resolve_from(node)
-        if node.module == "random" and node.level == 0:
+        if node.module == "random" and node.level == 0 and not self.relaxed:
             self._flag(
                 node,
                 "OPS001",
@@ -420,6 +429,14 @@ class _Checker(ast.NodeVisitor):
 
     def _check_rng_call(self, node: ast.Call, expanded: str) -> None:
         if expanded.startswith("random."):
+            if (
+                self.relaxed
+                and expanded == "random.Random"
+                and (node.args or node.keywords)
+            ):
+                # a *seeded instance* threaded explicitly — benches and
+                # tests pin seeds on purpose; random.Random() stays flagged
+                return
             self._flag(
                 node,
                 "OPS001",
@@ -440,7 +457,11 @@ class _Checker(ast.NodeVisitor):
                     "np.random.default_rng() without a seed is "
                     "entropy-seeded and unreproducible",
                 )
-            elif node.args and isinstance(node.args[0], ast.Constant):
+            elif (
+                node.args
+                and isinstance(node.args[0], ast.Constant)
+                and not self.relaxed  # benches/tests pin seeds on purpose
+            ):
                 self._flag(
                     node,
                     "OPS001",
@@ -654,8 +675,17 @@ def check_module(
     module: str,
     config: LintConfig,
     is_package: bool = False,
+    relaxed: bool = False,
 ) -> list[Violation]:
-    """Run every rule over one parsed module."""
-    checker = _Checker(path, module, config, is_package=is_package)
+    """Run every rule over one parsed module.
+
+    ``relaxed`` is the extra-paths profile for benches and tests: only
+    the configured ``extra-rules`` fire, package scoping is bypassed
+    (those files live outside ``repro``) and OPS001 tolerates pinned
+    literal seeds.
+    """
+    checker = _Checker(
+        path, module, config, is_package=is_package, relaxed=relaxed
+    )
     checker.visit(tree)
     return checker.violations

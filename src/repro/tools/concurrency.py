@@ -50,7 +50,7 @@ import ast
 from .callgraph import CallRef, FunctionDecl, ModuleDecl, ResolvedCall
 from .config import LintConfig
 from .interproc import _package_of
-from .model import Violation, parse_reassoc_pragmas
+from .model import Violation, marker_lines
 from .summaries import TAINT_RNG, ProjectSummaries, external_taint
 
 #: rule id → one-line description (merged into ``--list-rules``).
@@ -682,10 +682,12 @@ def check_module_concurrency(
             )
         )
 
+    # grammar errors in pragmas are OPS000s owned by apply_suppressions
+    # (one report per file, shared with every other pass); a bare marker
+    # simply waives nothing here.
     reassoc_lines: set[int] = set()
     if source is not None:
-        reassoc_lines, pragma_errors = parse_reassoc_pragmas(source, decl.path)
-        out.extend(pragma_errors)
+        reassoc_lines = marker_lines(source, "reassoc-ok")
 
     if config.in_scope("OPS201", package):
         _check_fork_safety(decl, summaries, config, violation)

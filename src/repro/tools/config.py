@@ -128,6 +128,111 @@ DEFAULT_KERNEL_MODULES: tuple[str, ...] = (
 #: view; OPS202 allows worker writes only through these.
 DEFAULT_SHARED_VIEW_FACTORIES: tuple[str, ...] = ("numpy.frombuffer",)
 
+#: Declared cost budgets (OPS301/OPS302), as O-notation strings mapped to
+#: the analyzer's cost lattice: 0 ≡ O(1), 1 ≡ O(deg) (one flow's replica
+#: path, one component), 2 ≡ O(n) (an axis that grows with the problem),
+#: 3 ≡ O(n log n), 4 ≡ O(n²).  Nested iteration sums levels, so a linear
+#: build under a linear loop lands at 4.
+COST_BUDGET_LEVELS: dict[str, int] = {
+    "O(1)": 0,
+    "O(deg)": 1,
+    "O(|path|)": 1,
+    "O(n)": 2,
+    "O(E)": 2,
+    "O(n log n)": 3,
+    "O(n^2)": 4,
+}
+
+#: Iteration axes that are O(deg)-small by contract: a flow's replica
+#: path (≤ replication factor), one component's membership, one lowered
+#: component's arrays.  ``for f in group`` is charged to the component,
+#: not the world — exactly the amortization PR 4 bought.
+DEFAULT_SMALL_AXES: tuple[str, ...] = (
+    "path",
+    "group",
+    "members",
+    "flows",
+    "caps",
+    "handles",
+    "descs",
+    "batch",
+)
+
+#: Cost contracts on the hot-path functions PRs 4–6 made incremental
+#: (OPS301–OPS303 fire only inside contracted functions; everything else
+#: merely contributes summarized cost).  Keys are fully-qualified
+#: function keys, values are budgets from :data:`COST_BUDGET_LEVELS`.
+DEFAULT_COST_CONTRACTS: dict[str, str] = {
+    # per-event allocator maintenance is O(|path| + smaller merged comp)
+    "repro.simulate.components.ComponentAllocator.add": "O(deg)",
+    "repro.simulate.components.ComponentAllocator.remove": "O(deg)",
+    "repro.simulate.components.ComponentAllocator.concurrency": "O(1)",
+    # dirty-set re-solve: linear in the dirty components plus their sort
+    "repro.simulate.components.ComponentAllocator.solve": "O(n log n)",
+    "repro.simulate.components.ComponentAllocator._dirty_groups": "O(n)",
+    # one lowered component end to end
+    "repro.simulate.vectorized.lower_component": "O(n)",
+    "repro.simulate.vectorized.solve_lowered": "O(n log n)",
+    # CSR row lookups are slice reads, never rebuilds
+    "repro.core.csr.LocalityCSR.task_row": "O(deg)",
+    "repro.core.csr.LocalityCSR.proc_row": "O(deg)",
+    # flow-network edge bookkeeping on the augmenting hot path
+    "repro.core.flownetwork.FlowNetwork.add_edge": "O(1)",
+    "repro.core.flownetwork.FlowNetwork.flow_on": "O(1)",
+    # locality-graph per-task adjacency reads
+    "repro.core.bipartite.LocalityGraph.ranks_of_task": "O(deg)",
+    "repro.core.bipartite.LocalityGraph.edge_weight": "O(deg)",
+    # pool dispatch is linear in the batch it ships
+    "repro.parallel.pool.ComponentSolvePool.solve_batch": "O(n)",
+}
+
+#: OPS304 contract echo: bench counters whose growth across scales must
+#: stay within ``max-growth`` (ratio of largest to smallest per-unit
+#: value).  ``per: None`` bounds the counter itself.  Deliberately built
+#: on deterministic work counters, not wall times.
+DEFAULT_CONTRACT_ECHO: tuple[dict[str, object], ...] = (
+    {
+        "work": "solve_iterations",
+        "per": "events",
+        "max-growth": 2.0,
+        "note": "water-filling solves per event stay bounded "
+        "(ComponentAllocator.solve is per-dirty-component)",
+    },
+    {
+        "work": "stale_pops",
+        "per": "events",
+        "max-growth": 2.0,
+        "note": "lazy completion-heap invalidation is amortized O(1)/event",
+    },
+    {
+        "work": "component_size_mean",
+        "per": None,
+        "max-growth": 3.0,
+        "note": "dirty components stay O(deg), not O(n) "
+        "(the add/remove O(|path|) contract)",
+    },
+    {
+        "work": "augmentations",
+        "per": "tasks",
+        "max-growth": 2.0,
+        "note": "incremental re-matching is amortized O(1) augmentations/task",
+    },
+    {
+        "work": "bfs_phases",
+        "per": "solves",
+        "max-growth": 3.0,
+        "note": "Dinic phase count grows logarithmically, not linearly",
+    },
+)
+
+#: Directories linted with the relaxed profile (OPS000/OPS001/OPS003,
+#: literal seeds allowed): benches and tests pin seeds on purpose, but
+#: must still stay free of *unseeded* RNG and unordered-set iteration.
+DEFAULT_EXTRA_PATHS: tuple[str, ...] = ("benchmarks", "tests")
+
+#: Rules active under the relaxed profile.
+DEFAULT_EXTRA_RULES: tuple[str, ...] = ("OPS000", "OPS001", "OPS003")
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -162,6 +267,18 @@ class LintConfig:
     kernel_modules: tuple[str, ...] = DEFAULT_KERNEL_MODULES
     #: callables producing declared shared-memory slice views (OPS202).
     shared_view_factories: tuple[str, ...] = DEFAULT_SHARED_VIEW_FACTORIES
+    #: function key → declared budget (OPS301–OPS303 fire only here).
+    cost_contracts: dict[str, str] = field(
+        default_factory=lambda: dict(DEFAULT_COST_CONTRACTS)
+    )
+    #: iteration axes charged at O(deg) by the cost lattice.
+    small_axes: tuple[str, ...] = DEFAULT_SMALL_AXES
+    #: OPS304 bench-counter growth bounds.
+    contract_echo: tuple[dict[str, object], ...] = DEFAULT_CONTRACT_ECHO
+    #: directories linted with the relaxed profile.
+    extra_paths: tuple[str, ...] = DEFAULT_EXTRA_PATHS
+    #: rules active under the relaxed profile.
+    extra_rules: tuple[str, ...] = DEFAULT_EXTRA_RULES
 
     def in_scope(self, rule: str, package: str | None) -> bool:
         scope = self.scopes.get(rule, None)
@@ -169,14 +286,64 @@ class LintConfig:
             return True
         return package is not None and package in scope
 
-    def fingerprint(self) -> str:
-        """Stable digest of the configuration, part of every cache key."""
+    def _digest(self, payload: object) -> str:
         import hashlib
         import json
+
+        text = json.dumps(payload, sort_keys=True, default=list)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+    def fingerprint(self) -> str:
+        """Stable digest of the *whole* configuration."""
         from dataclasses import asdict
 
-        payload = json.dumps(asdict(self), sort_keys=True, default=list)
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        return self._digest(asdict(self))
+
+    def summary_fingerprint(self) -> str:
+        """Digest of the fields that affect per-module *summaries*.
+
+        Local summaries are pure functions of one module's source (axis
+        names are recorded raw and classified later), so today this
+        subset is empty and every config edit keeps summary bundles
+        warm.  The hook stays so a future summary-relevant knob slots in
+        without a cache-layout change.
+        """
+        return self._digest({})
+
+    def check_fingerprint(self) -> str:
+        """Digest of the fields that affect per-module *check results*.
+
+        Deliberately excludes lint-only knobs (layers, float-attrs,
+        wallclock-allow, …) and the cost-contract registry — contracts
+        enter each module's cache key individually via
+        :meth:`contracts_signature`, so editing one bound invalidates
+        exactly the module that declares the contracted function.
+        """
+        return self._digest(
+            {
+                "scopes": self.scopes,
+                "pure_modules": self.pure_modules,
+                "protected_types": self.protected_types,
+                "decision_packages": self.decision_packages,
+                "worker_entrypoints": self.worker_entrypoints,
+                "kernel_modules": self.kernel_modules,
+                "shared_view_factories": self.shared_view_factories,
+                "small_axes": self.small_axes,
+            }
+        )
+
+    def contracts_signature(self, module: str, function_locals: set[str]) -> str:
+        """Digest of the contracts declared on ``module``'s own functions.
+
+        Computable on the warm path from a cached bundle's function
+        table alone — no parsing required.
+        """
+        own = sorted(
+            (key, budget)
+            for key, budget in self.cost_contracts.items()
+            if key in {f"{module}.{local}" for local in function_locals}
+        )
+        return self._digest(own)
 
 
 class ConfigError(ValueError):
@@ -197,6 +364,11 @@ _KEYS = {
     "worker-entrypoints": "worker_entrypoints",
     "kernel-modules": "kernel_modules",
     "shared-view-factories": "shared_view_factories",
+    "cost-contracts": "cost_contracts",
+    "small-axes": "small_axes",
+    "contract-echo": "contract_echo",
+    "extra-paths": "extra_paths",
+    "extra-rules": "extra_rules",
 }
 
 
@@ -215,6 +387,40 @@ def config_from_table(table: dict[str, object]) -> LintConfig:
             ):
                 raise ConfigError("layers must map package names to integer ranks")
             kwargs["layers"] = dict(value)
+        elif attr == "cost_contracts":
+            if not isinstance(value, dict) or not all(
+                isinstance(k, str) and isinstance(v, str) for k, v in value.items()
+            ):
+                raise ConfigError(
+                    "cost-contracts must map function keys to budget strings"
+                )
+            for fn_key, budget in value.items():
+                if budget not in COST_BUDGET_LEVELS:
+                    raise ConfigError(
+                        f"cost-contracts[{fn_key!r}]: unknown budget {budget!r} "
+                        f"(known: {sorted(COST_BUDGET_LEVELS)})"
+                    )
+            contracts = dict(DEFAULT_COST_CONTRACTS)
+            contracts.update(value)
+            kwargs["cost_contracts"] = contracts
+        elif attr == "contract_echo":
+            if not isinstance(value, list) or not all(
+                isinstance(entry, dict) for entry in value
+            ):
+                raise ConfigError(
+                    "contract-echo must be an array of tables "
+                    "(work, per, max-growth, note)"
+                )
+            echo: list[dict[str, object]] = []
+            for entry in value:
+                unknown = set(entry) - {"work", "per", "max-growth", "note"}
+                if unknown or "work" not in entry or "max-growth" not in entry:
+                    raise ConfigError(
+                        "each contract-echo entry needs work and max-growth "
+                        f"(and optionally per, note); got {sorted(entry)}"
+                    )
+                echo.append(dict(entry))
+            kwargs["contract_echo"] = tuple(echo)
         elif attr == "scopes":
             if not isinstance(value, dict):
                 raise ConfigError("scopes must map rule ids to package lists")

@@ -35,7 +35,13 @@ import ast
 from collections import deque
 from dataclasses import dataclass, field
 
-from .astutils import annotation_roots, dotted, parse_string_annotation, root_name
+from .astutils import (
+    annotation_roots,
+    dotted,
+    parse_string_annotation,
+    root_name,
+    terminal_name,
+)
 from .callgraph import (
     CallRef,
     FunctionDecl,
@@ -119,6 +125,141 @@ _RNG_ANNOTATIONS = frozenset(
 _BUILTIN_NUMERIC_WRAPPERS = frozenset(
     {"min", "max", "abs", "sum", "float", "int", "round"}
 )
+
+#: Builtin calls that materialize a container sized by their argument.
+_ALLOC_BUILTINS = frozenset({"list", "dict", "set", "tuple", "frozenset", "sorted"})
+
+#: ``numpy.*`` constructors that allocate an array sized by their argument.
+_NP_CONSTRUCTORS = frozenset(
+    {
+        "array",
+        "asarray",
+        "ascontiguousarray",
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "arange",
+        "linspace",
+        "concatenate",
+        "stack",
+        "vstack",
+        "hstack",
+        "column_stack",
+        "tile",
+        "repeat",
+        "copy",
+        "fromiter",
+        "zeros_like",
+        "ones_like",
+        "empty_like",
+        "full_like",
+    }
+)
+
+#: Calls transparent to axis extraction: the iteration axis of
+#: ``sorted(group)`` or ``enumerate(members)`` is the argument's axis.
+_AXIS_TRANSPARENT_CALLS = frozenset(
+    {
+        "range",
+        "enumerate",
+        "reversed",
+        "sorted",
+        "list",
+        "tuple",
+        "set",
+        "frozenset",
+        "iter",
+        "zip",
+        "len",
+        "min",
+        "max",
+    }
+)
+
+#: Method calls transparent to axis extraction through their receiver.
+_AXIS_TRANSPARENT_METHODS = frozenset({"items", "keys", "values", "copy"})
+
+
+def axis_of(expr: ast.expr) -> str:
+    """The iteration axis token of an expression.
+
+    A *name* token (``members``, ``_dirty_groups``) is classified
+    small/linear later against the configured ``small-axes``; the
+    special tokens are ``<const>`` (syntactically fixed size),
+    ``<element>`` (one subscripted element of a container), ``<while>``
+    (data-dependent trip count) and ``<unknown>``.
+    """
+    if isinstance(expr, ast.Constant):
+        return "<const>"
+    if isinstance(expr, (ast.Name, ast.Attribute)):
+        return terminal_name(expr) or "<unknown>"
+    if isinstance(expr, ast.Subscript):
+        return "<element>"
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        return "<const>"  # literal display: arity is fixed in the source
+    if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+        return axis_of(expr.generators[0].iter)
+    if isinstance(expr, ast.DictComp):
+        return axis_of(expr.generators[0].iter)
+    if isinstance(expr, (ast.Starred, ast.Await, ast.NamedExpr)):
+        return axis_of(expr.value)
+    if isinstance(expr, ast.Call):
+        fname = (
+            terminal_name(expr.func)
+            if isinstance(expr.func, (ast.Name, ast.Attribute))
+            else None
+        )
+        if fname in _AXIS_TRANSPARENT_CALLS:
+            for arg in expr.args:
+                if not isinstance(arg, ast.Constant):
+                    return axis_of(arg)
+            return "<const>"
+        if fname in _AXIS_TRANSPARENT_METHODS and isinstance(
+            expr.func, ast.Attribute
+        ):
+            return axis_of(expr.func.value)
+        return fname or "<unknown>"
+    return "<unknown>"
+
+
+@dataclass
+class AllocSite:
+    """One scaling allocation inside a function body (cost lattice input).
+
+    ``own`` is the build's intrinsic iteration axes (what it copies),
+    ``axes`` the enclosing loop axes outermost-first.  Constant-size
+    builds (empty displays, literal displays, ``np.zeros(3)``) are never
+    recorded — the lattice tracks sizes that scale, not object churn.
+    """
+
+    line: int
+    col: int
+    kind: str
+    own: tuple[str, ...]
+    axes: tuple[str, ...]
+    waived: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "kind": self.kind,
+            "own": list(self.own),
+            "axes": list(self.axes),
+            "waived": self.waived,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AllocSite":
+        return cls(
+            line=int(data.get("line", 1)),
+            col=int(data.get("col", 1)),
+            kind=str(data.get("kind", "")),
+            own=tuple(data.get("own", [])),
+            axes=tuple(data.get("axes", [])),
+            waived=bool(data.get("waived", False)),
+        )
 
 #: Type roots that never name a project class.
 _GENERIC_TYPE_ROOTS = frozenset(
@@ -207,6 +348,10 @@ class LocalSummary:
     #: module globals this function rebinds (``global X`` + assignment);
     #: fork workers must not reach such functions (OPS201).
     global_writes: list[str] = field(default_factory=list)
+    #: scaling allocation sites (OPS301 + the cost fixed point).
+    allocs: list[AllocSite] = field(default_factory=list)
+    #: per-call-site enclosing loop axes, aligned with ``calls``.
+    call_axes: list[tuple[str, ...]] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return {
@@ -216,17 +361,25 @@ class LocalSummary:
             "mutated_params": sorted(self.mutated_params),
             "return_unit_local": self.return_unit_local,
             "global_writes": list(self.global_writes),
+            "allocs": [site.to_dict() for site in self.allocs],
+            "call_axes": [list(axes) for axes in self.call_axes],
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "LocalSummary":
+        calls = [CallRef.from_dict(d) for d in data.get("calls", [])]
+        call_axes = [tuple(axes) for axes in data.get("call_axes", [])]
+        while len(call_axes) < len(calls):
+            call_axes.append(())
         return cls(
-            calls=[CallRef.from_dict(d) for d in data.get("calls", [])],
+            calls=calls,
             return_calls=set(data.get("return_calls", [])),
             return_params=set(data.get("return_params", [])),
             mutated_params=set(data.get("mutated_params", [])),
             return_unit_local=data.get("return_unit_local"),
             global_writes=list(data.get("global_writes", [])),
+            allocs=[AllocSite.from_dict(d) for d in data.get("allocs", [])],
+            call_axes=call_axes,
         )
 
 
@@ -300,8 +453,140 @@ def _flatten_targets(targets: list[ast.expr]) -> list[ast.expr]:
     return out
 
 
-def summarize_function(decl: ModuleDecl, fn: FunctionDecl) -> LocalSummary:
-    """Reduce one function body to its :class:`LocalSummary`."""
+def _collect_cost_facts(
+    decl: ModuleDecl,
+    fn: FunctionDecl,
+    call_idx: dict[int, int],
+    n_calls: int,
+    alloc_ok: frozenset[int] | set[int],
+) -> tuple[list[AllocSite], list[tuple[str, ...]]]:
+    """Allocation sites and per-call loop axes for one function body.
+
+    A single recursive walk maintaining the loop-axis stack.  ``cold``
+    subtrees (``raise``/``assert`` payloads) contribute nothing — error
+    paths may build messages freely.  Nested ``def``/``lambda`` bodies
+    are skipped: their iteration context is their own.
+    """
+    allocs: list[AllocSite] = []
+    call_axes: list[tuple[str, ...]] = [() for _ in range(n_calls)]
+    stack: list[str] = []
+
+    def add_alloc(node: ast.AST, kind: str, own: tuple[str, ...]) -> None:
+        if all(axis == "<const>" for axis in own):
+            return  # constant-size build: churn, not scaling
+        allocs.append(
+            AllocSite(
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                kind=kind,
+                own=own,
+                axes=tuple(stack),
+                waived=getattr(node, "lineno", 1) in alloc_ok,
+            )
+        )
+
+    def classify_call(node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _ALLOC_BUILTINS and node.args:
+                add_alloc(node, f"{func.id}() build", (axis_of(node.args[0]),))
+                return
+        if isinstance(func, (ast.Name, ast.Attribute)):
+            name = dotted(func)
+            full = decl.expand(name) if name is not None else None
+            if full is not None and full.startswith("numpy."):
+                tail = full.rsplit(".", 1)[-1]
+                if tail in _NP_CONSTRUCTORS and node.args:
+                    add_alloc(node, f"np.{tail} build", (axis_of(node.args[0]),))
+
+    def walk(node: ast.AST, cold: bool) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ) and node is not fn.node:
+            return
+        if isinstance(node, (ast.Raise, ast.Assert)):
+            cold = True
+        if isinstance(node, ast.Call):
+            idx = call_idx.get(id(node))
+            if idx is not None and not cold:
+                call_axes[idx] = tuple(stack)
+            if not cold:
+                classify_call(node)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            if not cold:
+                label = {
+                    ast.ListComp: "list comprehension",
+                    ast.SetComp: "set comprehension",
+                    ast.DictComp: "dict comprehension",
+                }[type(node)]
+                add_alloc(
+                    node,
+                    label,
+                    tuple(axis_of(gen.iter) for gen in node.generators),
+                )
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            str_side = any(
+                isinstance(side, ast.JoinedStr)
+                or (isinstance(side, ast.Constant) and isinstance(side.value, str))
+                for side in (node.left, node.right)
+            )
+            if str_side and stack and not cold:
+                add_alloc(node, "string concatenation", ("<str>",))
+
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            walk(node.iter, cold)
+            walk(node.target, cold)
+            stack.append(axis_of(node.iter))
+            for child in (*node.body, *node.orelse):
+                walk(child, cold)
+            stack.pop()
+            return
+        if isinstance(node, ast.While):
+            stack.append("<while>")
+            walk(node.test, cold)
+            for child in (*node.body, *node.orelse):
+                walk(child, cold)
+            stack.pop()
+            return
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            pushed = 0
+            for gen in node.generators:
+                walk(gen.iter, cold)
+                stack.append(axis_of(gen.iter))
+                pushed += 1
+                walk(gen.target, cold)
+                for cond in gen.ifs:
+                    walk(cond, cold)
+            if isinstance(node, ast.DictComp):
+                walk(node.key, cold)
+                walk(node.value, cold)
+            else:
+                walk(node.elt, cold)
+            del stack[-pushed:]
+            return
+        for child in ast.iter_child_nodes(node):
+            walk(child, cold)
+
+    walk(fn.node, False)
+    return allocs, call_axes
+
+
+def summarize_function(
+    decl: ModuleDecl,
+    fn: FunctionDecl,
+    *,
+    alloc_ok: frozenset[int] | set[int] = frozenset(),
+) -> LocalSummary:
+    """Reduce one function body to its :class:`LocalSummary`.
+
+    ``alloc_ok`` is the set of source lines carrying a well-formed
+    ``# opass: alloc-ok -- reason`` waiver (parsed from the module text
+    by the caller); allocation sites on those lines are recorded as
+    waived and excluded from the cost fixed point, so an amortization
+    argument made once stays compositional under caching.
+    """
     params = {name: i for i, name in enumerate(fn.params)}
     local_types = infer_local_types(decl, fn)
     summary = LocalSummary()
@@ -319,6 +604,10 @@ def summarize_function(decl: ModuleDecl, fn: FunctionDecl) -> LocalSummary:
             if ref is not None:
                 call_idx[id(node)] = len(summary.calls)
                 summary.calls.append(ref)
+
+    summary.allocs, summary.call_axes = _collect_cost_facts(
+        decl, fn, call_idx, len(summary.calls), alloc_ok
+    )
 
     _FRESH_CONTAINERS = (
         ast.List,
@@ -526,10 +815,12 @@ def _unit_of_expr_local(
     return unit(expr)
 
 
-def summarize_module(decl: ModuleDecl) -> dict[str, LocalSummary]:
+def summarize_module(
+    decl: ModuleDecl, *, alloc_ok: frozenset[int] | set[int] = frozenset()
+) -> dict[str, LocalSummary]:
     """Local summaries for every function in a module, by local qualname."""
     return {
-        local: summarize_function(decl, fn)
+        local: summarize_function(decl, fn, alloc_ok=alloc_ok)
         for local, fn in decl.functions.items()
     }
 

@@ -1,20 +1,32 @@
 """``opass-verify``: interprocedural analysis front end.
 
 ``python -m repro.tools.verify [paths...]`` runs the OPS101–OPS103
-rules (determinism taint, unit checking, scheduler purity) and the
+rules (determinism taint, unit checking, scheduler purity), the
 OPS201–OPS204 concurrency/float-identity rules
-(:mod:`repro.tools.concurrency`) over a whole tree at once, because
+(:mod:`repro.tools.concurrency`) and the OPS301–OPS304 cost-contract
+rules (:mod:`repro.tools.costmodel`) over a whole tree at once, because
 unlike :mod:`repro.tools.checks` these rules need *project-wide*
 call-graph summaries: a violation may only be visible two or three call
 levels away from the code that commits it.
 
+``--contracts-check BENCH_sim.json BENCH_sched.json`` runs only the
+OPS304 contract echo: the bench JSONs' deterministic work counters are
+checked against the declared growth bounds, so a static cost claim that
+dynamic evidence contradicts fails CI.
+
 The run is incremental.  Per-module summaries and per-module check
-results are cached in ``.opass-cache/`` keyed by content hash, config
-fingerprint and the hash of the module's transitive import closure (see
-:mod:`repro.tools.cache`).  A warm run over an unchanged tree loads
-every summary and every check result from the cache and never parses a
-single module — the fast path goes straight from content hashes to the
-final report.
+results are cached in ``.opass-cache/`` under *partitioned* config
+fingerprints: summary bundles are keyed by content hash and
+:meth:`LintConfig.summary_fingerprint` (today config-independent — axis
+names are recorded raw and classified at check time), while check
+results additionally carry :meth:`LintConfig.check_fingerprint` and the
+per-module :meth:`LintConfig.contracts_signature`, plus the hash of the
+module's transitive import closure (see :mod:`repro.tools.cache`).
+Editing a cost-contract bound therefore re-checks exactly the module
+declaring that function; editing a lint-only knob re-checks nothing.  A
+warm run over an unchanged tree loads every summary and every check
+result from the cache and never parses a single module — the fast path
+goes straight from content hashes to the final report.
 
 Exit codes match ``opass-lint``: 0 clean, 1 violations, 2 usage error.
 """
@@ -37,8 +49,9 @@ from .cache import AnalysisCache, CacheStats, closure_signature, module_key
 from .callgraph import ModuleDecl, Project, parse_module
 from .concurrency import check_module_concurrency
 from .config import ConfigError, LintConfig, find_pyproject, load_config
+from .costmodel import check_contract_echo, check_module_cost, resolve_costs
 from .interproc import check_module_interproc
-from .model import Violation
+from .model import Violation, marker_lines
 from .summaries import LocalSummary, resolve_summaries, summarize_module
 
 EXIT_OK = 0
@@ -107,6 +120,26 @@ def _closure_sigs(
     return sigs
 
 
+def _check_sig(
+    closure_sig: str,
+    config: LintConfig,
+    module: str,
+    function_locals: set[str],
+) -> str:
+    """Composite check-cache signature for one module.
+
+    Closure signature (cross-module effects) + the digest of the
+    check-relevant config fields + the digest of this module's own cost
+    contracts.  Lint-only config edits change none of the three, so a
+    warm run after one keeps ``check_misses=0``; editing a contract
+    bound misses exactly the declaring module.
+    """
+    return (
+        f"{closure_sig}-{config.check_fingerprint()}-"
+        f"{config.contracts_signature(module, function_locals)}"
+    )
+
+
 def verify_paths(
     paths: list[str | Path],
     *,
@@ -120,13 +153,24 @@ def verify_paths(
     if cache is None:
         cache = AnalysisCache(None)
 
-    fingerprint = config.fingerprint()
+    # summaries are (today) config-independent: axis names, taints and
+    # call facts are recorded raw and classified at check time
+    summary_fp = config.summary_fingerprint()
     entries: list[tuple[str, str, str]] = []  # (path, source, key)
-    for file in _iter_python_files(list(paths)):
-        if any(pattern in str(file) for pattern in config.exclude):
-            continue
-        source = file.read_text(encoding="utf-8")
-        entries.append((str(file), source, module_key(source, fingerprint)))
+    for raw in paths:
+        p = Path(raw)
+        from_sweep = p.is_dir()
+        for file in _iter_python_files([p]):
+            # exclude patterns prune swept trees only; a file named
+            # explicitly (fixture snippets under tests/data/) is analyzed
+            if from_sweep and any(
+                pattern in str(file) for pattern in config.exclude
+            ):
+                continue
+            source = file.read_text(encoding="utf-8")
+            entries.append(
+                (str(file), source, module_key(source, summary_fp))
+            )
 
     bundles = {path: cache.load_bundle(key) for path, _, key in entries}
 
@@ -140,7 +184,16 @@ def verify_paths(
         }
         sigs = _closure_sigs(entries, mod_of, deps_of)
         checks_loaded = {
-            path: cache.load_checks(key, sigs[path]) for path, _, key in entries
+            path: cache.load_checks(
+                key,
+                _check_sig(
+                    sigs[path],
+                    config,
+                    mod_of[path],
+                    set(bundles[path]["functions"]),
+                ),
+            )
+            for path, _, key in entries
         }
         if all(checks_loaded[path] is not None for path, _, _ in entries):
             raw_by_path = {
@@ -167,12 +220,15 @@ def verify_paths(
                 for name, data in bundle["functions"].items()
             }
         else:
-            summaries = summarize_module(decl)
+            summaries = summarize_module(
+                decl, alloc_ok=marker_lines(source, "alloc-ok")
+            )
             cache.store_bundle(key, decl.module, decl.deps, summaries)
         for name, summary in summaries.items():
             local[f"{decl.module}.{name}"] = summary
 
     project_summaries = resolve_summaries(project, local)
+    costs = resolve_costs(project_summaries, config)
 
     mod_of = {path: decls[path].module for path, _, _ in entries}
     deps_of = {decls[path].module: decls[path].deps for path, _, _ in entries}
@@ -180,17 +236,21 @@ def verify_paths(
 
     raw_by_path = {}
     for path, source, key in entries:
-        cached = checks_loaded.get(path)
-        if cached is None:
-            cached = cache.load_checks(key, sigs[path])
+        decl = decls[path]
+        sig = _check_sig(sigs[path], config, decl.module, set(decl.functions))
+        if path in checks_loaded:  # already probed on the warm fast path
+            cached = checks_loaded[path]
+        else:
+            cached = cache.load_checks(key, sig)
         if cached is not None:
             raw_by_path[path] = [_decode_violation(d, path) for d in cached]
             continue
-        raw = check_module_interproc(decls[path], project_summaries, config)
+        raw = check_module_interproc(decl, project_summaries, config)
         raw += check_module_concurrency(
-            decls[path], project_summaries, config, source=source
+            decl, project_summaries, config, source=source
         )
-        cache.store_checks(key, sigs[path], [v.as_dict() for v in raw])
+        raw += check_module_cost(decl, project_summaries, costs, config)
+        cache.store_checks(key, sig, [v.as_dict() for v in raw])
         raw_by_path[path] = raw
     return _assemble(entries, raw_by_path)
 
@@ -222,11 +282,15 @@ def verify_source(
     project.add_module(decl)
     local = {
         f"{decl.module}.{name}": summary
-        for name, summary in summarize_module(decl).items()
+        for name, summary in summarize_module(
+            decl, alloc_ok=marker_lines(source, "alloc-ok")
+        ).items()
     }
     summaries = resolve_summaries(project, local)
+    costs = resolve_costs(summaries, config)
     raw = check_module_interproc(decl, summaries, config)
     raw += check_module_concurrency(decl, summaries, config, source=source)
+    raw += check_module_cost(decl, summaries, costs, config)
     return apply_suppressions(raw, source, path, tool=TOOL)
 
 
@@ -300,15 +364,23 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.tools.verify",
         description=(
             "opass-verify: interprocedural determinism-taint, unit, "
-            "scheduler-purity (OPS101-OPS103) and concurrency/"
-            "float-identity (OPS201-OPS204) analysis"
+            "scheduler-purity (OPS101-OPS103), concurrency/"
+            "float-identity (OPS201-OPS204) and cost-contract "
+            "(OPS301-OPS304) analysis"
         ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=["src"],
-        help="files or directories to verify as one project (default: src)",
+        help="files or directories to verify as one project (default: src); "
+        "with --contracts-check, bench counter JSON files instead",
+    )
+    parser.add_argument(
+        "--contracts-check",
+        action="store_true",
+        help="run only the OPS304 contract echo: check the bench JSONs' "
+        "work counters against the declared growth bounds",
     )
     parser.add_argument(
         "--format",
@@ -396,11 +468,18 @@ def main(argv: list[str] | None = None) -> int:
     stats = CacheStats()
     cache = AnalysisCache(None if args.no_cache else args.cache_dir, stats)
     started = time.perf_counter()
-    try:
-        report = verify_paths(list(args.paths), config=config, cache=cache)
-    except SyntaxError as exc:
-        print(f"{TOOL}: cannot parse {exc.filename}: {exc}", file=sys.stderr)
-        return EXIT_ERROR
+    if args.contracts_check:
+        report = LintReport(tool=TOOL, files_checked=len(args.paths))
+        report.violations.extend(check_contract_echo(list(args.paths), config))
+        report.sort()
+    else:
+        try:
+            report = verify_paths(list(args.paths), config=config, cache=cache)
+        except SyntaxError as exc:
+            print(
+                f"{TOOL}: cannot parse {exc.filename}: {exc}", file=sys.stderr
+            )
+            return EXIT_ERROR
 
     if args.changed:
         root = _git_root(Path(args.paths[0]))

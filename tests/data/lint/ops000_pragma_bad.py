@@ -1,0 +1,21 @@
+"""OPS000: malformed waiver pragmas.
+
+Every waiver kind shares one grammar and every waiver must carry a
+reason: a bare marker, a marker with an empty reason and an unknown
+kind are each a finding in their own right.
+"""
+
+
+def scale(values):
+    total = 0.0
+    for v in values:
+        total = total + v  # opass: reassoc-ok
+    return total
+
+
+def snapshot(seen):
+    return list(seen)  # opass: alloc-ok --
+
+
+def combine(a, b):
+    return a + b  # opass: vectorize-ok -- no such waiver kind

@@ -1,0 +1,18 @@
+"""Clean twin of ``ops000_pragma_bad``: well-formed waivers.
+
+Both registered kinds, each with a non-empty reason after ``--``; prose
+that merely *mentions* a pragma (like this docstring, or the comment
+below that lacks the ``opass:`` prefix) is not a waiver at all.
+"""
+
+
+def scale(values):
+    total = 0.0
+    for v in values:
+        total = total + v  # opass: reassoc-ok -- tolerance budgeted in test_properties
+    return total
+
+
+def snapshot(seen):
+    # plain comment: alloc-ok is documented in ARCHITECTURE.md
+    return list(seen)  # opass: alloc-ok -- snapshot bounded by the caller's batch size

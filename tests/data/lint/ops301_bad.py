@@ -1,0 +1,17 @@
+# opass-lint: module=repro.simulate.components
+"""OPS301: an O(n) snapshot inside the O(|path|) per-event path.
+
+``ComponentAllocator.add`` carries an O(deg) cost contract — the PR 4
+incremental win.  The ``list(self._id_of)`` below copies *every* tracked
+flow on every add, silently reverting the amortization, and carries no
+``alloc-ok`` waiver.
+"""
+
+
+class ComponentAllocator:
+    def add(self, flow, fid=None):
+        tracked = list(self._id_of)
+        for r in flow.path:
+            self._res_users[r] = self._res_users.get(r, 0) + 1
+        self._id_of[flow] = len(tracked)
+        return tracked

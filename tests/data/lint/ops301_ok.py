@@ -1,0 +1,17 @@
+# opass-lint: module=repro.simulate.components
+"""Clean twin of ``ops301_bad``: builds bounded by contract.
+
+``list(flow.path)`` copies one flow's replica path (a small axis), and
+the epoch snapshot carries an ``alloc-ok`` waiver with its amortization
+argument — both stay inside the O(deg) budget.
+"""
+
+
+class ComponentAllocator:
+    def add(self, flow, fid=None):
+        touched = list(flow.path)
+        snapshot = list(self._id_of)  # opass: alloc-ok -- epoch debug snapshot, guarded off the hot path
+        for r in touched:
+            self._res_users[r] = self._res_users.get(r, 0) + 1
+        self._id_of[flow] = len(snapshot)
+        return touched

@@ -1,0 +1,23 @@
+# opass-lint: module=repro.simulate.components
+"""OPS302: an O(n) rebuild reached from the amortized solve path.
+
+The expensive work sits two call levels below the contracted function:
+``solve`` (O(n log n) budget) loops over the dirty set and calls
+``_refresh``, which forwards to ``_rebuild_index`` — a full scan of
+every tracked flow, per dirty component.  Only the interprocedural cost
+fixed point can see the chain.
+"""
+
+
+class ComponentAllocator:
+    def solve(self, out=None):
+        for cid in self._dirty:
+            self._refresh(cid)
+        return out
+
+    def _refresh(self, cid):
+        self._index = self._rebuild_index()
+        return self._index
+
+    def _rebuild_index(self):
+        return {f: None for f in self._tracked}

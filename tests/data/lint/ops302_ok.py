@@ -1,0 +1,22 @@
+# opass-lint: module=repro.simulate.components
+"""Clean twin of ``ops302_bad``: per-component work only.
+
+Same two-level call shape, but the rebuild two levels down iterates one
+component's membership (``group``, a small axis) instead of every
+tracked flow — within ``solve``'s O(n log n) budget.
+"""
+
+
+class ComponentAllocator:
+    def solve(self, out=None):
+        for cid in self._dirty:
+            self._refresh(cid)
+        return out
+
+    def _refresh(self, cid):
+        group = self._comp_flows[cid]
+        self._index = self._weights(group)
+        return self._index
+
+    def _weights(self, group):
+        return {f: None for f in group}

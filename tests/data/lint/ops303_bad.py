@@ -1,0 +1,19 @@
+# opass-lint: module=repro.simulate.components
+"""OPS303: three known quadratic shapes inside a contracted function.
+
+``solve`` carries an O(n log n) contract; a list-membership probe per
+iteration, ``+=`` container growth per iteration and nested iteration
+over the same axis are each quadratic regardless of what they allocate.
+"""
+
+
+class ComponentAllocator:
+    def solve(self, pending: list, out=None):
+        order = []
+        for cid in self._dirty:
+            if cid in pending:
+                order += [cid]
+        for f in self._members:
+            for g in self._members:
+                self._touch(f, g)
+        return order

@@ -1,0 +1,18 @@
+# opass-lint: module=repro.simulate.components
+"""Clean twin of ``ops303_bad``: the same loops, linearized.
+
+Membership probes hit a set parameter, growth goes through ``append``,
+and the nested loops walk two different axes.
+"""
+
+
+class ComponentAllocator:
+    def solve(self, pending: set, out=None):
+        order = []
+        for cid in self._dirty:
+            if cid in pending:
+                order.append(cid)
+        for f in self._members:
+            for r in f.path:
+                self._touch(f, r)
+        return order

@@ -18,7 +18,7 @@ def _plan(reader, server, size=1000):
 class TestResources:
     def test_no_rack_resources_for_nonblocking_fabric(self):
         spec = ClusterSpec.homogeneous(4, nodes_per_rack=2)
-        names = {r.name for r in cluster_resources(spec)}
+        names = sorted(r.name for r in cluster_resources(spec))
         assert not any(n.startswith("rk") for n in names)
 
     def test_rack_resources_created_when_oversubscribed(self):

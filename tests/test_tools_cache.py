@@ -107,11 +107,33 @@ class TestInvalidation:
         # while the unrelated module d replays from the cache
         assert stats.check_misses == 3 and stats.check_hits == 1
 
-    def test_config_change_invalidates_everything(self, tree, tmp_path):
+    def test_check_config_edit_keeps_summaries_warm(self, tree, tmp_path):
+        # summaries are config-independent (raw axis/taint facts), so a
+        # check-relevant edit re-runs the checks but re-parses nothing
         run(tree, tmp_path)
         other = LintConfig(decision_packages=("core", "dfs", "simulate"))
         _, stats = run(tree, tmp_path, config=other)
-        assert stats.summary_hits == 0 and stats.summary_misses == 4
+        assert stats.summary_hits == 4 and stats.summary_misses == 0
+        assert stats.check_hits == 0 and stats.check_misses == 4
+
+    def test_lint_only_config_edit_rechecks_nothing(self, tree, tmp_path):
+        # knobs only opass-lint reads are outside the check fingerprint:
+        # the warm run after the edit must stay fully cached
+        run(tree, tmp_path)
+        other = LintConfig(float_attrs=("weird",), remove_allow=("xs",))
+        _, stats = run(tree, tmp_path, config=other)
+        assert stats.summary_misses == 0 and stats.summary_hits == 4
+        assert stats.check_misses == 0 and stats.check_hits == 4
+
+    def test_contract_edit_rechecks_only_the_declaring_module(self, tree, tmp_path):
+        run(tree, tmp_path)
+        contracts = dict(LintConfig().cost_contracts)
+        contracts["repro.core.c.leaf"] = "O(1)"
+        _, stats = run(tree, tmp_path, config=LintConfig(cost_contracts=contracts))
+        assert stats.summary_misses == 0
+        # only c.py declares the newly contracted function; a, b and d
+        # replay their check results from the cache untouched
+        assert stats.check_misses == 1 and stats.check_hits == 3
 
     def test_module_keys_differ_by_source_and_config(self):
         fp_a = LintConfig().fingerprint()

@@ -1,0 +1,331 @@
+"""Tests for the OPS300 cost-contract pass (`opass-verify`).
+
+Fixture snippets live in ``tests/data/lint/`` as violating/clean pairs,
+same convention as OPS101–OPS103 and OPS201–OPS204.  The OPS302 bad
+fixture puts the expensive work two call levels below the contracted
+function, so only the interprocedural cost fixed point can price it.
+OPS304 has no source fixtures — it reads bench-counter JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tools.api import ALL_RULES, lint_file, lint_paths
+from repro.tools.callgraph import Project, parse_module
+from repro.tools.config import LintConfig
+from repro.tools.costmodel import (
+    COST_RULES,
+    axis_level,
+    check_contract_echo,
+    resolve_costs,
+)
+from repro.tools.model import marker_lines, parse_pragmas
+from repro.tools.summaries import resolve_summaries, summarize_module
+from repro.tools.verify import (
+    EXIT_OK,
+    EXIT_VIOLATIONS,
+    main,
+    verify_source,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "data" / "lint"
+
+COST_RULE_IDS = ("OPS301", "OPS302", "OPS303", "OPS304")
+
+
+def verify_fixture(name: str):
+    path = FIXTURES / f"{name}.py"
+    return verify_source(path.read_text(encoding="utf-8"), path=str(path))
+
+
+def rules_in(report):
+    return {v.rule for v in report.violations}
+
+
+# -- fixture pairs -----------------------------------------------------------
+
+
+class TestFixturePairs:
+    @pytest.mark.parametrize(
+        "name, rule",
+        [
+            ("ops301_bad", "OPS301"),
+            ("ops302_bad", "OPS302"),
+            ("ops303_bad", "OPS303"),
+        ],
+    )
+    def test_bad_fixture_trips_exactly_its_rule(self, name, rule):
+        report = verify_fixture(name)
+        assert rules_in(report) == {rule}, report.render()
+
+    @pytest.mark.parametrize("rule", ("OPS301", "OPS302", "OPS303"))
+    def test_clean_fixture_is_clean(self, rule):
+        report = verify_fixture(f"{rule.lower()}_ok")
+        assert report.ok, report.render()
+
+    def test_rule_table_registered(self):
+        assert set(COST_RULE_IDS) == set(COST_RULES)
+        assert set(COST_RULES) <= set(ALL_RULES)
+
+    def test_ops303_flags_each_quadratic_shape(self):
+        report = verify_fixture("ops303_bad")
+        messages = " / ".join(v.message for v in report.violations)
+        assert len(report.violations) == 3, report.render()
+        assert "membership test on list parameter" in messages
+        assert "'+=' growth" in messages
+        assert "nested iteration over the same axis" in messages
+
+
+# -- interprocedural depth ---------------------------------------------------
+
+
+class TestInterproceduralDepth:
+    """The expensive work sits ≥2 call levels below the contracted fn."""
+
+    def test_ops302_names_the_call_chain(self):
+        report = verify_fixture("ops302_bad")
+        [v] = report.violations
+        # flagged at the call site inside the contracted function…
+        assert v.line == 15
+        # …but the witness names the chain down to the real allocation.
+        assert "via ComponentAllocator._refresh" in v.message
+        assert "ComponentAllocator._rebuild_index" in v.message
+        assert "line 23" in v.message
+
+    def test_ops301_fires_without_any_call_chain(self):
+        report = verify_fixture("ops301_bad")
+        [v] = report.violations
+        assert v.line == 13
+        assert "O(n) list() build" in v.message
+        assert "O(deg) budget" in v.message
+
+
+# -- the cost lattice itself -------------------------------------------------
+
+
+UNIT_SRC = '''\
+# opass-lint: module=repro.unit.cost
+def leaf(items):
+    return [x for x in items]
+
+
+def mid(items):
+    return leaf(items)
+
+
+def top(batches):
+    out = []
+    for b in batches:
+        out.extend(mid(b))
+    return out
+'''
+
+
+class TestCostLattice:
+    def test_axis_classification(self):
+        config = LintConfig()
+        assert axis_level("<const>", config) == 0
+        assert axis_level("<element>", config) == 1
+        assert axis_level("<while>", config) == 2
+        # registered small axes charge O(deg); everything else O(n).
+        assert axis_level("flows", config) == 1
+        assert axis_level("path", config) == 1
+        assert axis_level("_tracked", config) == 2
+
+    def test_costs_propagate_through_two_call_levels(self):
+        decl = parse_module(UNIT_SRC, path="unit.py")
+        project = Project()
+        project.add_module(decl)
+        local = {
+            f"{decl.module}.{name}": summary
+            for name, summary in summarize_module(decl).items()
+        }
+        costs = resolve_costs(resolve_summaries(project, local), LintConfig())
+        leaf = costs["repro.unit.cost.leaf"]
+        mid = costs["repro.unit.cost.mid"]
+        top = costs["repro.unit.cost.top"]
+        assert leaf.level == 2  # O(n) list build
+        assert mid.level == 2  # inherits leaf's cost at loop depth 0
+        assert top.level >= 4  # O(n) callee under an O(n) loop
+        assert any("leaf" in key for key in mid.chain)
+
+    def test_alloc_ok_waives_exactly_its_line(self):
+        src = FIXTURES.joinpath("ops301_ok.py").read_text(encoding="utf-8")
+        waived = marker_lines(src, "alloc-ok")
+        assert waived == {13}
+        # strip the waiver and the same source trips OPS301.
+        stripped = src.replace(
+            "  # opass: alloc-ok -- epoch debug snapshot, "
+            "guarded off the hot path",
+            "",
+        )
+        report = verify_source(stripped, path="ops301_stripped.py")
+        assert rules_in(report) == {"OPS301"}, report.render()
+
+
+# -- unified pragma grammar (OPS000) -----------------------------------------
+
+
+class TestPragmaGrammar:
+    def test_bad_fixture_trips_exactly_ops000(self):
+        report = lint_file(FIXTURES / "ops000_pragma_bad.py")
+        assert rules_in(report) == {"OPS000"}, report.render()
+        assert len(report.violations) == 3
+        messages = " / ".join(v.message for v in report.violations)
+        assert "invalid reassoc-ok pragma: missing reason" in messages
+        assert "invalid alloc-ok pragma: missing reason" in messages
+        assert "unknown pragma kind 'vectorize-ok'" in messages
+
+    def test_clean_fixture_is_clean_under_lint_and_verify(self):
+        path = FIXTURES / "ops000_pragma_ok.py"
+        assert lint_file(path).ok
+        report = verify_source(
+            path.read_text(encoding="utf-8"), path=str(path)
+        )
+        assert report.ok, report.render()
+
+    def test_verify_agrees_on_grammar_errors(self):
+        path = FIXTURES / "ops000_pragma_bad.py"
+        report = verify_source(
+            path.read_text(encoding="utf-8"), path=str(path)
+        )
+        assert rules_in(report) == {"OPS000"}, report.render()
+
+    def test_prose_mentioning_pragmas_is_not_a_pragma(self):
+        src = (
+            '"""Write `# opass: alloc-ok` to waive.\n\n'
+            "Also `# opass: frob` would be unknown.\n"
+            '"""\n'
+            "GRAMMAR = \"# opass: reassoc-ok\"\n"
+        )
+        index = parse_pragmas(src, "doc.py", None)
+        assert not index.errors
+        assert not index.markers
+
+    def test_malformed_markers_never_waive(self):
+        src = "x = list(y)  # opass: alloc-ok\n"
+        assert marker_lines(src, "alloc-ok") == set()
+        index = parse_pragmas(src, "snippet.py", None)
+        assert [v.rule for v in index.errors] == ["OPS000"]
+
+
+# -- OPS304: contract echo against bench counters ----------------------------
+
+
+def write_bench(tmp_path: Path, name: str, rows: list[dict]) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps({"scales": rows}), encoding="utf-8")
+    return path
+
+
+class TestContractEcho:
+    def test_committed_bench_counters_satisfy_the_contracts(self):
+        paths = [REPO_ROOT / "BENCH_sim.json", REPO_ROOT / "BENCH_sched.json"]
+        present = [p for p in paths if p.exists()]
+        assert present, "committed BENCH_*.json files are missing"
+        assert check_contract_echo(present) == []
+
+    def test_bounded_growth_passes(self, tmp_path):
+        path = write_bench(
+            tmp_path,
+            "bench_ok.json",
+            [
+                {"events": 100, "solve_iterations": 110},
+                {"events": 1000, "solve_iterations": 1300},
+            ],
+        )
+        assert check_contract_echo([path]) == []
+
+    def test_super_linear_growth_fails(self, tmp_path):
+        path = write_bench(
+            tmp_path,
+            "bench_bad.json",
+            [
+                {"events": 100, "solve_iterations": 100},
+                {"events": 1000, "solve_iterations": 5000},
+            ],
+        )
+        [v] = check_contract_echo([path])
+        assert v.rule == "OPS304"
+        assert "'solve_iterations' per 'events'" in v.message
+        assert "5.00x" in v.message
+
+    def test_file_recognizing_no_counters_is_an_error(self, tmp_path):
+        path = write_bench(
+            tmp_path, "bench_alien.json", [{"foo": 1}, {"foo": 2}]
+        )
+        [v] = check_contract_echo([path])
+        assert v.rule == "OPS304"
+        assert "no contract-echo counters recognized" in v.message
+
+    def test_unreadable_json_is_an_error(self, tmp_path):
+        path = tmp_path / "bench_broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        [v] = check_contract_echo([path])
+        assert v.rule == "OPS304"
+        assert "cannot read bench counters" in v.message
+
+    def test_cli_contracts_check_exit_codes(self, tmp_path, capsys):
+        good = write_bench(
+            tmp_path,
+            "bench_good.json",
+            [
+                {"events": 100, "solve_iterations": 110},
+                {"events": 1000, "solve_iterations": 1300},
+            ],
+        )
+        bad = write_bench(
+            tmp_path,
+            "bench_regress.json",
+            [
+                {"events": 100, "solve_iterations": 100},
+                {"events": 1000, "solve_iterations": 9000},
+            ],
+        )
+        assert main(["--contracts-check", str(good)]) == EXIT_OK
+        capsys.readouterr()
+        assert main(["--contracts-check", str(bad)]) == EXIT_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "OPS304" in out
+
+
+# -- relaxed lint profile over extra-paths -----------------------------------
+
+
+class TestRelaxedProfile:
+    def make_tree(self, tmp_path: Path, body: str) -> Path:
+        bench = tmp_path / "benchmarks"
+        bench.mkdir()
+        (bench / "bench_x.py").write_text(body, encoding="utf-8")
+        return bench
+
+    def test_sweep_tolerates_seeded_rng(self, tmp_path):
+        bench = self.make_tree(
+            tmp_path,
+            "import random\n\nRNG = random.Random(1234)\n",
+        )
+        config = LintConfig(extra_paths=("benchmarks",))
+        assert lint_paths([bench], config=config).ok
+
+    def test_sweep_still_flags_unseeded_rng(self, tmp_path):
+        bench = self.make_tree(
+            tmp_path,
+            "import random\n\nRNG = random.Random()\n",
+        )
+        config = LintConfig(extra_paths=("benchmarks",))
+        report = lint_paths([bench], config=config)
+        assert rules_in(report) == {"OPS001"}, report.render()
+
+    def test_explicit_file_gets_the_full_profile(self, tmp_path):
+        bench = self.make_tree(
+            tmp_path,
+            "import random\n\nRNG = random.Random(1234)\n",
+        )
+        config = LintConfig(extra_paths=("benchmarks",))
+        report = lint_paths([bench / "bench_x.py"], config=config)
+        assert "OPS001" in rules_in(report), report.render()

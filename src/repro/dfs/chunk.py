@@ -105,11 +105,19 @@ class Dataset:
 
     name: str
     files: list[FileMeta] = field(default_factory=list)
+    # O(1) duplicate-name index; rebuilt lazily so callers who construct
+    # Dataset(files=[...]) directly stay correct.
+    _names: set[str] = field(default_factory=set, repr=False, compare=False)
 
     def add_file(self, meta: FileMeta) -> None:
-        if any(f.name == meta.name for f in self.files):
+        names = self._names
+        if len(names) != len(self.files):
+            names.clear()
+            names.update(f.name for f in self.files)
+        if meta.name in names:
             raise ValueError(f"duplicate file name {meta.name!r} in dataset {self.name!r}")
         self.files.append(meta)
+        names.add(meta.name)
 
     @property
     def size(self) -> Bytes:

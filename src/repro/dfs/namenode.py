@@ -22,6 +22,9 @@ class NameNode:
 
     _files: dict[str, FileMeta] = field(default_factory=dict)
     _locations: dict[ChunkId, tuple[int, ...]] = field(default_factory=dict)
+    # Direct ChunkId -> Chunk index so the read path's per-chunk metadata
+    # query is one dict probe instead of a file-stat plus a tuple walk.
+    _chunk_index: dict[ChunkId, Chunk] = field(default_factory=dict)
     _datasets: dict[str, Dataset] = field(default_factory=dict)
     # Running Σ hash((cid, nodes)) over _locations, mod 2^64.  Every
     # mutator below keeps it in sync, so layout_token is O(1) instead of
@@ -47,6 +50,7 @@ class NameNode:
         self._files[meta.name] = meta
         for chunk in meta.chunks:
             nodes = tuple(locations[chunk.id])
+            self._chunk_index[chunk.id] = chunk
             self._locations[chunk.id] = nodes
             self._token_sum = (self._token_sum + hash((chunk.id, nodes))) & _TOKEN_MASK
 
@@ -84,11 +88,18 @@ class NameNode:
         return [(chunk, self._locations[chunk.id]) for chunk in meta.chunks]
 
     def locations_of(self, chunk_id: ChunkId) -> tuple[int, ...]:
-        if chunk_id not in self._locations:
+        nodes = self._locations.get(chunk_id)
+        if nodes is None:
             raise KeyError(f"unknown chunk {chunk_id}")
-        return self._locations[chunk_id]
+        return nodes
 
     def chunk(self, chunk_id: ChunkId) -> Chunk:
+        found = self._chunk_index.get(chunk_id)
+        if found is not None:
+            return found
+        # Miss: re-derive through the namespace so the error taxonomy is
+        # unchanged — unknown file raises FileNotFoundError (via stat),
+        # known file with an out-of-range index raises KeyError.
         meta = self.stat(chunk_id.file)
         try:
             return meta.chunks[chunk_id.index]

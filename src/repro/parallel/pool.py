@@ -13,7 +13,11 @@ Flow or Resource object is ever pickled.
 The workers run :func:`repro.simulate.vectorized.solve_arrays` — the
 exact kernels the in-process path dispatches to — so pooled and serial
 solves are byte-identical and the engine's event replay is unchanged
-with the pool on or off.
+with the pool on or off.  On the engine side the returned rates are
+scattered straight into the slot-indexed rate column of
+:class:`repro.simulate.flowtable.FlowTable` (the allocator's ``out``
+array *is* the table's rate array), so a pooled solve feeds the
+vectorised settle/predict passes without any per-flow re-packing.
 
 A dispatch round-trip has a fixed cost (pipe wakeup + scheduling), so
 the pool advertises a measured :attr:`min_flows` work threshold,

@@ -15,6 +15,11 @@ arithmetic.
 
 The hot path is O(affected component) end to end:
 
+* flow state lives in a structure-of-arrays
+  :class:`~repro.simulate.flowtable.FlowTable` (remaining/rate/start-epoch
+  slot arrays with free-list recycling and 64-bit generation stamps), so
+  the settle pass, the sweep and the completion predictions are whole-array
+  kernels instead of per-Flow attribute walks;
 * rates come from a persistent :class:`~repro.simulate.components.
   ComponentAllocator` (the default) that tracks the connected components
   of the flow–resource graph and re-runs water-filling only for the
@@ -35,13 +40,31 @@ The hot path is O(affected component) end to end:
   candidates within a ≤1e-9-relative tie window of the top are
   re-predicted fresh and snapped to the minimal ``flow_id`` — so
   simultaneous completions fire in ``flow_id`` order (matching the
-  sweep) regardless of float noise in the predictions.  The cache modes
-  keep the **per-epoch completion cache** (one vectorised ``now +
-  remaining/rate`` pass per rate epoch) for bit-exact differential runs;
+  sweep) regardless of float noise in the predictions.  Tie candidates
+  pulled out of the heap park in a **tie group** side table (fid →
+  fresh prediction) instead of being re-pushed, so a wave of w
+  simultaneous completions costs O(w) dict scans per event rather than
+  O(w log n) heap churn — the whole-wave pop/re-push cycle per event is
+  what collapsed throughput at 2048+ nodes.  The cache modes keep the
+  **per-epoch completion cache** (one vectorised ``now + remaining/
+  rate`` pass per rate epoch) for bit-exact differential runs;
+* **timer waves coalesce**: all timers sharing the *exact* timestamp of
+  the one being processed drain in a single settle/solve cycle when a
+  conservative bound proves the replay is unchanged — every active
+  flow's remaining, divided by the fastest resource's capacity, keeps
+  any completion strictly beyond the wave's instant (so the per-timer
+  event-selection checks and sweeps the sequential path would run are
+  all provably no-ops).  Per-component water-filling depends only on
+  the final membership of the epoch, so one solve at the end of the
+  wave writes the same rates the per-timer solves would have;
 * flow progress uses **credit accounting**: each flow's ``remaining`` is
   settled only at rate-epoch boundaries (one fused ``remaining -=
-  rate·dt`` per epoch instead of one per event), with an O(1) dict-backed
-  flow registry instead of a list.
+  rate·dt`` per epoch instead of one per event), and the sweep never
+  scans the slot range at all — a **pessimistic retire-time heap**
+  (entries ``(settled_at + (remaining − 1 byte)/rate, fid, seq)``,
+  refreshed by every re-rate) names the only slots whose drain could
+  have reached the completion threshold, so each sweep is one heap peek
+  plus the exact drain arithmetic on the due candidates.
 
 The dense slot arrays are authoritative for ``remaining``; the ``Flow``
 objects are synchronised at observation points (completion, cancellation,
@@ -65,6 +88,7 @@ import numpy as np
 from .allocator import IncrementalAllocator
 from .components import ComponentAllocator
 from .flows import Flow, allocate_rates
+from .flowtable import FlowTable
 from .perf import SimPerf, wall_clock
 from .resources import Resource
 
@@ -79,8 +103,6 @@ REMAINING_EPS = 1e-6
 #: benches) — orders of magnitude inside this window, so the true earliest
 #: completion is always among the re-predicted candidates.
 _PEEK_TIE_WINDOW = 1e-9
-
-_GROW = 64
 
 #: Allocator mode used by ``Simulation()`` when none is named.  Tests pin
 #: historical engines by rebinding this (see ``tests/test_sim_golden.py``);
@@ -141,18 +163,11 @@ class Simulation:
         self._dirty = True
         self.completed_flows = 0
         self.events_processed = 0
-        # Flow-id slot arrays mirroring the registry.  Ids are recycled
-        # through a free list (shared with the allocator, so solve() can
-        # scatter rates straight into ``_rate``); freed slots hold the
-        # sentinels ``rem = inf, rate = 1`` so the vectorised settle,
-        # sweep and completion-prediction passes can run over the whole
-        # range without masking — a hole's predicted completion is +inf
-        # and its remaining never drains.
-        self._flow_at: list[Flow | None] = []
-        self._fid_of: dict[Flow, int] = {}
-        self._free_ids: list[int] = []
-        self._rem = np.full(_GROW, np.inf)
-        self._rate = np.ones(_GROW)
+        #: dense slot arrays for the active flow set (shared with the
+        #: allocator, so solve() scatters rates straight into the rate
+        #: array).  See :mod:`repro.simulate.flowtable` for the layout,
+        #: the free-list recycling and the generation-stamp contract.
+        self._table = FlowTable()
         #: simulated time all slots' ``remaining`` values refer to
         self._settled_at = 0.0
         #: rate epoch; bumped on every re-solve, invalidates the prediction
@@ -169,15 +184,36 @@ class Simulation:
         self._entry_seq: list[int] = []
         self._push_seq = 0
         self._pending_push: dict[int, None] = {}
-        #: scratch buffer for the settle/sweep passes (same capacity as
-        #: the slot arrays) so the per-event array math allocates nothing
-        self._scratch = np.empty(_GROW)
-        # cached length-n views of _rem/_rate/_scratch; rebuilt when the
-        # slot count changes (the only time the arrays can reallocate)
-        self._nview = -1
-        self._rem_v = self._rem[:0]
-        self._rate_v = self._rate[:0]
-        self._scr_v = self._scratch[:0]
+        #: tie-group side table: fid -> last fresh prediction, for flows
+        #: whose heap entry was pulled into the current completion wave.
+        #: A slot lives in exactly one of heap (live seq) / tie group /
+        #: nowhere; re-rated members go back through the heap, finished
+        #: members are dropped by ``_release_fid``.
+        self._tie: dict[int, float] = {}
+        #: fastest single-flow capacity over all resources — the hard
+        #: upper bound on any flow's rate, for the coalescing bound below.
+        self._cap_max = 0.0
+        #: pessimistic retire-time heap (component mode): entries
+        #: ``(bound, fid, seq)`` where ``bound = settled_at +
+        #: (remaining − 1 byte)/rate`` is strictly earlier than the slot
+        #: could reach the sweep threshold *at its current rate* — and a
+        #: rate only changes at a re-solve, which pushes a fresh entry
+        #: for every re-rated slot (see :meth:`_drain_pending`) and
+        #: supersedes the old one via ``_pess_seq``.  The 1-byte margin
+        #: dwarfs the settles' float rounding, so the sweep only ever
+        #: runs the exact drain arithmetic on the handful of slots whose
+        #: bound has come due, never an O(n) scan.
+        self._pess: list[tuple[float, int, int]] = []
+        #: the slot's only live pessimistic entry (-1 = none); parallel
+        #: to ``_entry_seq`` but invalidated only by re-rates and
+        #: releases, never by the peek's tie-group transitions.
+        self._pess_seq: list[int] = []
+        #: coalescing floor: at ``_scan_at`` every active flow's settled
+        #: remaining was ≥ ``_scan_floor`` (lowered by every flow start,
+        #: refreshed — at most once per failing coalesce check — by one
+        #: fused scan in :meth:`_can_coalesce`).
+        self._scan_floor = math.inf
+        self._scan_at = 0.0
 
     # -- configuration -------------------------------------------------------
 
@@ -185,6 +221,9 @@ class Simulation:
         if resource.name in self._resources:
             raise ValueError(f"duplicate resource {resource.name!r}")
         self._resources[resource.name] = resource
+        cap = resource.effective_capacity(1)
+        if cap > self._cap_max:
+            self._cap_max = cap
         if self._alloc is not None:
             self._alloc.register(resource.name, resource)
 
@@ -217,23 +256,12 @@ class Simulation:
             if r not in self._resources:
                 raise KeyError(f"unknown resource {r!r}")
         self._flows[flow] = on_complete
-        if self._free_ids:
-            fid = self._free_ids.pop()
-        else:
-            fid = len(self._flow_at)
-            self._flow_at.append(None)
+        fid = self._table.acquire(flow, self.now)
+        if fid == len(self._entry_seq):
             self._entry_seq.append(-1)
-            if fid >= len(self._rem):
-                grow = len(self._rem)
-                self._rem = np.concatenate([self._rem, np.full(grow, np.inf)])
-                self._rate = np.concatenate([self._rate, np.ones(grow)])
-                self._scratch = np.empty(len(self._rem))
-        self._fid_of[flow] = fid
-        self._flow_at[fid] = flow
-        self._rem[fid] = flow.remaining
-        # Rate 0 until the next re-solve: the settle pass covering the
-        # instant of creation must not move this flow.
-        self._rate[fid] = 0.0
+            self._pess_seq.append(-1)
+        if flow.remaining < self._scan_floor:
+            self._scan_floor = flow.remaining
         if self._alloc is not None:
             self._alloc.add(flow, fid)
         self._dirty = True
@@ -251,7 +279,7 @@ class Simulation:
         # observes the transfer's true residue.
         self._settle_all()
         del self._flows[flow]
-        flow.remaining = float(self._rem[self._fid_of[flow]])
+        flow.remaining = float(self._table.rem[flow.fid])
         self._release_fid(flow)
         if self._alloc is not None:
             self._alloc.remove(flow)
@@ -267,35 +295,46 @@ class Simulation:
 
         A flow that is no longer active (finished or cancelled) reports
         0.0 without touching the solver — its old slot may already have
-        been recycled by a younger flow, so the rate arrays must not be
-        consulted for it (and a query must not trigger a spurious
-        re-solve).
+        been recycled by a younger flow (the table's generation stamp
+        will have moved on), so the rate arrays must not be consulted
+        for it (and a query must not trigger a spurious re-solve).
         """
         if flow not in self._flows:
             return 0.0
         self._refresh_rates()
-        return float(self._rate[self._fid_of[flow]])
+        return float(self._table.rate[flow.fid])
 
     # -- incremental state ---------------------------------------------------
 
-    def _views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Length-n views of the slot arrays (cached between grows)."""
-        n = len(self._flow_at)
-        if n != self._nview:
-            self._nview = n
-            self._rem_v = self._rem[:n]
-            self._rate_v = self._rate[:n]
-            self._scr_v = self._scratch[:n]
-        return self._rem_v, self._rate_v, self._scr_v
+    # Slot-table compatibility views (tests and diagnostics poke these;
+    # the hot path reads the table directly).
+    @property
+    def _flow_at(self) -> list[Flow | None]:
+        return self._table.flow_at
+
+    @property
+    def _fid_of(self) -> dict[Flow, int]:
+        return self._table.fid_of
+
+    @property
+    def _free_ids(self) -> list[int]:
+        return self._table.free_ids
+
+    @property
+    def _rem(self) -> np.ndarray:
+        return self._table.rem
+
+    @property
+    def _rate(self) -> np.ndarray:
+        return self._table.rate
 
     def _release_fid(self, flow: Flow) -> None:
         """Return the flow's slot to the free list, restoring sentinels."""
-        fid = self._fid_of.pop(flow)
-        self._flow_at[fid] = None
-        self._rem[fid] = np.inf
-        self._rate[fid] = 1.0
+        fid = self._table.release(flow)
         self._entry_seq[fid] = -1
-        self._free_ids.append(fid)
+        self._pess_seq[fid] = -1
+        if self._tie:
+            self._tie.pop(fid, None)
 
     def _settle_all(self) -> None:
         """Credit the elapsed epoch interval to every flow's ``remaining``.
@@ -305,23 +344,17 @@ class Simulation:
         """
         dt = self.now - self._settled_at
         self._settled_at = self.now
-        if dt <= 0.0 or not self._flow_at:
+        if dt <= 0.0 or not self._table.flow_at:
             return
         t0 = wall_clock()
-        rem, rate, scratch = self._views()
-        # rem = max(0, rem - rate*dt), fused through the scratch buffer —
-        # elementwise identical to the allocating form.
-        np.multiply(rate, dt, out=scratch)
-        np.subtract(rem, scratch, out=rem)
-        np.maximum(rem, 0.0, out=rem)
+        n = self._table.settle(dt)
         self.perf.settles += 1
-        self.perf.flows_settled += len(self._fid_of)
+        self.perf.flows_settled += n
         self.perf.settle_wall += wall_clock() - t0
 
     def _sync_remaining(self) -> None:
         """Copy the authoritative slot array back onto the Flow objects."""
-        for f, fid in self._fid_of.items():
-            f.remaining = float(self._rem[fid])
+        self._table.sync_remaining()
 
     def _refresh_rates(self) -> None:
         if not self._dirty:
@@ -332,7 +365,7 @@ class Simulation:
         t0 = wall_clock()
         calloc = self._calloc
         if calloc is not None:
-            calloc.solve(out=self._rate)
+            calloc.solve(out=self._table.rate)
             perf = self.perf
             perf.solve_iterations += calloc.last_iterations
             perf.component_solves += calloc.last_component_solves
@@ -350,12 +383,12 @@ class Simulation:
             for fid in calloc.last_changed:
                 pending[fid] = None
         elif self._alloc is not None:
-            self._alloc.solve(out=self._rate)
+            self._alloc.solve(out=self._table.rate)
             self.perf.solve_iterations += self._alloc.last_iterations
         else:
             rates = allocate_rates(list(self._flows), self._resources)
-            rate = self._rate
-            fid_of = self._fid_of
+            rate = self._table.rate
+            fid_of = self._table.fid_of
             for f, r in rates.items():
                 rate[fid_of[f]] = r
         self._dirty = False
@@ -378,63 +411,132 @@ class Simulation:
             return self._peek_completion_heap()
         return self._peek_completion_cache()
 
+    def _drain_pending(self) -> None:
+        """Push a fresh heap entry for every flow the last solves re-rated.
+
+        Each gets one entry ``(settled_at + rem/rate, flow_id, fid,
+        seq)`` — the predicted *absolute* finish time, which stays valid
+        for as long as the rate does, however far the clock advances
+        meanwhile.  A re-rated member of the tie group goes back through
+        the heap (its parked prediction is superseded).  The predictions
+        are computed in one vectorised gather; numpy's elementwise
+        divide/add round exactly like the scalar forms, so the entries
+        are bit-identical to a per-flow loop.
+        """
+        pending = self._pending_push
+        t0 = wall_clock()
+        table = self._table
+        flow_at = table.flow_at
+        entry_seq = self._entry_seq
+        pess_seq = self._pess_seq
+        pess = self._pess
+        tie = self._tie
+        heap = self._heap
+        push = heapq.heappush
+        seq = self._push_seq
+        base = self._settled_at
+        alive: list[int] = []
+        for fid in pending:
+            if flow_at[fid] is None:
+                # Re-solved, then removed before the push drained; its
+                # entry_seq is already -1 (any recycled successor gets
+                # its own re-solve and push).
+                continue
+            if tie:
+                tie.pop(fid, None)
+            alive.append(fid)
+        pending.clear()
+        if len(alive) >= 8:
+            fids = np.array(alive, dtype=np.intp)
+            rem = table.rem.take(fids)
+            rate = table.rate.take(fids)
+            times = base + rem / rate
+            bounds = base + (rem - 1.0) / rate
+            for fid, t, b in zip(alive, times.tolist(), bounds.tolist()):
+                entry_seq[fid] = seq
+                pess_seq[fid] = seq
+                push(heap, (t, flow_at[fid].flow_id, fid, seq))
+                push(pess, (b, fid, seq))
+                seq += 1
+        else:
+            rem_item = table.rem.item
+            rate_item = table.rate.item
+            for fid in alive:
+                rem = rem_item(fid)
+                rate = rate_item(fid)
+                entry_seq[fid] = seq
+                pess_seq[fid] = seq
+                push(heap, (base + rem / rate, flow_at[fid].flow_id, fid, seq))
+                push(pess, (base + (rem - 1.0) / rate, fid, seq))
+                seq += 1
+        self._push_seq = seq
+        self.perf.heap_pushes += len(alive)
+        # Compact when superseded entries dominate: every pop and push
+        # pays log(len) on garbage otherwise.  A heap rebuilt from only
+        # the live entries pops them in the same order (pop order is the
+        # sorted order of the keys, and the fast path's root/children
+        # reads are arrangement-independent), so the replay is unchanged.
+        cap = (len(table.fid_of) << 1) + 64
+        if len(heap) > cap:
+            live = [e for e in heap if entry_seq[e[2]] == e[3]]
+            self.perf.stale_pops += len(heap) - len(live)
+            heap[:] = live
+            heapq.heapify(heap)
+        if len(pess) > cap:
+            live_p = [e for e in pess if pess_seq[e[1]] == e[2]]
+            pess[:] = live_p
+            heapq.heapify(pess)
+        self.perf.scan_wall += wall_clock() - t0
+
     def _peek_completion_heap(self) -> tuple[float, int, Flow] | None:
         """Lazy-invalidation heap peek (component mode).
 
-        Flows whose rate the last solves changed sit in
-        ``_pending_push``; each gets one fresh entry ``(settled_at +
-        rem/rate, flow_id, fid, seq)`` — the predicted *absolute* finish
-        time, which stays valid for as long as the rate does, however far
-        the clock advances meanwhile.  Entries whose seq is no longer the
-        slot's live one (rate re-solved again, flow finished/cancelled,
-        slot recycled) are discarded on pop.
+        The anchor is the earliest parked prediction across the heap and
+        the tie group (their union is exactly the old single-heap state:
+        tie-group park times are the fresh values a re-push would have
+        parked).  Every candidate parked within the tie window of the
+        anchor is re-predicted fresh and the winner snapped to the
+        minimal ``flow_id`` — identical selection to draining the window
+        out of the heap, without the per-event pop/re-push of the whole
+        wave.  Entries whose seq is no longer the slot's live one (rate
+        re-solved again, flow finished/cancelled, slot recycled) are
+        discarded on pop.
         """
-        pending = self._pending_push
-        if pending:
-            t0 = wall_clock()
-            base = self._settled_at
-            rem_item = self._rem.item
-            rate_item = self._rate.item
-            flow_at = self._flow_at
-            entry_seq = self._entry_seq
-            heap = self._heap
-            push = heapq.heappush
-            seq = self._push_seq
-            pushed = 0
-            for fid in pending:
-                flow = flow_at[fid]
-                if flow is None:
-                    # Re-solved, then removed before the push drained; its
-                    # entry_seq is already -1 (any recycled successor gets
-                    # its own re-solve and push).
-                    continue
-                entry_seq[fid] = seq
-                push(heap, (base + rem_item(fid) / rate_item(fid), flow.flow_id, fid, seq))
-                seq += 1
-                pushed += 1
-            self._push_seq = seq
-            pending.clear()
-            self.perf.heap_pushes += pushed
-            self.perf.scan_wall += wall_clock() - t0
+        if self._pending_push:
+            self._drain_pending()
         heap = self._heap
         entry_seq = self._entry_seq
-        rem_item = self._rem.item
-        rate_item = self._rate.item
-        base = self._settled_at
+        tie = self._tie
         stale = 0
-        best: tuple[float, int, int] | None = None
-        while heap and best is None:
+        # Discard stale tops so the anchor is a live prediction.
+        while heap:
             t_top, flowid_top, fid_top, seq_top = heap[0]
-            if entry_seq[fid_top] != seq_top:
-                heapq.heappop(heap)
-                stale += 1
-                continue
-            horizon = t_top + _PEEK_TIE_WINDOW * max(1.0, abs(t_top))
+            if entry_seq[fid_top] == seq_top:
+                break
+            heapq.heappop(heap)
+            stale += 1
+        if stale:
+            self.perf.stale_pops += stale
+        t_anchor = heap[0][0] if heap else math.inf
+        if tie:
+            t_tie = min(tie.values())
+            if t_tie < t_anchor:
+                t_anchor = t_tie
+        if t_anchor == math.inf:
+            return None
+        horizon = t_anchor + _PEEK_TIE_WINDOW * max(1.0, abs(t_anchor))
+        table = self._table
+        rem_item = table.rem.item
+        rate_item = table.rate.item
+        base = self._settled_at
+        flow_at = table.flow_at
+        if not tie and heap:
             # Single-candidate fast path: the heap's second-smallest parked
             # time sits at the root's children, so when both are beyond the
-            # horizon the tie-window loop below would pop exactly the top.
-            # Do that pop/re-predict/re-push directly — same entries, same
-            # floats, same counters as the general loop on this input.
+            # horizon the tie-window drain below would pull exactly the top.
+            # Pop/re-predict/re-push it directly — same entries, same
+            # floats as the general path on this input.
+            t_top, flowid_top, fid_top, seq_top = heap[0]
             n = len(heap)
             second = heap[1][0] if n > 1 else math.inf
             if n > 2 and heap[2][0] < second:
@@ -449,50 +551,70 @@ class Simulation:
                 # is arrangement-independent, so the replay is unchanged.
                 heapq.heapreplace(heap, (t_new, flowid_top, fid_top, seq))
                 self.perf.heap_pushes += 1
-                best = (t_new, flowid_top, fid_top)
-                break
-            # Pop every candidate in the tie window, re-predict each from
-            # the current settled state (a parked prediction drifts from
-            # its fresh value only by the settles' float rounding, far
-            # inside the window), then snap: the winner is the minimal
-            # ``flow_id`` among candidates within the window of the fresh
-            # minimum.  Symmetric workloads finish whole waves of chunks
-            # at the *exact same* simulated instant, and which prediction
-            # rounds lowest is float noise — snapping makes the firing
-            # order (and with it every downstream RNG draw) depend only
-            # on flow identity, matching the sweep's retire order.
-            cands: list[tuple[float, int, int]] = []
-            while heap and heap[0][0] <= horizon:
-                _, flow_id, fid, seq = heapq.heappop(heap)
-                if entry_seq[fid] != seq:
-                    stale += 1
-                    continue
-                cands.append((base + rem_item(fid) / rate_item(fid), flow_id, fid))
-            pushed = 0
-            t_min = math.inf
-            for fresh in cands:
-                t_new, flow_id, fid = fresh
-                seq = self._push_seq
-                self._push_seq += 1
-                entry_seq[fid] = seq
-                heapq.heappush(heap, (t_new, flow_id, fid, seq))
-                pushed += 1
-                if t_new < t_min:
-                    t_min = t_new
-            self.perf.heap_pushes += pushed
-            if cands:
-                snap = t_min + _PEEK_TIE_WINDOW * max(1.0, abs(t_min))
-                for fresh in cands:
-                    if fresh[0] <= snap and (best is None or fresh[1] < best[1]):
-                        best = fresh
+                flow = flow_at[fid_top]
+                assert flow is not None
+                return (t_new, flowid_top, flow)
+        # General path: gather every candidate parked within the horizon —
+        # tie-group members for free, heap entries by popping them into the
+        # tie group (their live-entry marker moves with them).
+        cands: list[int] = []
+        if tie:
+            for fid, park in tie.items():
+                if park <= horizon:
+                    cands.append(fid)
+        stale = 0
+        while heap and heap[0][0] <= horizon:
+            _, flow_id, fid, seq = heapq.heappop(heap)
+            if entry_seq[fid] != seq:
+                stale += 1
+                continue
+            entry_seq[fid] = -1
+            tie[fid] = 0.0  # parked fresh value assigned just below
+            cands.append(fid)
         if stale:
             self.perf.stale_pops += stale
-        if best is None:
+        # Re-predict every candidate from the current settled state (a
+        # parked prediction drifts from its fresh value only by the
+        # settles' float rounding, far inside the window), then snap:
+        # the winner is the minimal ``flow_id`` among candidates within
+        # the window of the fresh minimum.  Symmetric workloads finish
+        # whole waves of chunks at the *exact same* simulated instant,
+        # and which prediction rounds lowest is float noise — snapping
+        # makes the firing order (and with it every downstream RNG draw)
+        # depend only on flow identity, matching the sweep's retire
+        # order.
+        t_min = math.inf
+        if len(cands) >= 8:
+            fids = np.array(cands, dtype=np.intp)
+            fresh = base + table.rem.take(fids) / table.rate.take(fids)
+            for fid, t_new in zip(cands, fresh.tolist()):
+                tie[fid] = t_new
+                if t_new < t_min:
+                    t_min = t_new
+        else:
+            for fid in cands:
+                t_new = base + rem_item(fid) / rate_item(fid)
+                tie[fid] = t_new
+                if t_new < t_min:
+                    t_min = t_new
+        best_t = math.inf
+        best_id = -1
+        best_fid = -1
+        if cands:
+            snap = t_min + _PEEK_TIE_WINDOW * max(1.0, abs(t_min))
+            for fid in cands:
+                t_new = tie[fid]
+                if t_new <= snap:
+                    flow_id = flow_at[fid].flow_id
+                    if best_id < 0 or flow_id < best_id:
+                        best_t = t_new
+                        best_id = flow_id
+                        best_fid = fid
+        if best_id < 0:
             return None
-        t, flow_id, fid = best
-        flow = self._flow_at[fid]
+        flow = flow_at[best_fid]
         assert flow is not None
-        return (t, flow_id, flow)
+        return (best_t, best_id, flow)
 
     def _peek_completion_cache(self) -> tuple[float, int, Flow] | None:
         """Per-epoch full-prediction cache (incremental/reference modes).
@@ -505,19 +627,20 @@ class Simulation:
         """
         if self._pred_epoch != self._epoch:
             t0 = wall_clock()
-            if self._fid_of:
-                rem, rate, _ = self._views()
+            table = self._table
+            if table.fid_of:
+                rem, rate, _ = table.views()
                 t = self.now + rem / rate
                 i = int(t.argmin())
                 tv = t[i]
                 ties = (t == tv).nonzero()[0]
                 if len(ties) > 1:
                     flow = min(
-                        (self._flow_at[j] for j in ties.tolist()),
+                        (table.flow_at[j] for j in ties.tolist()),
                         key=lambda f: f.flow_id,
                     )
                 else:
-                    flow = self._flow_at[i]
+                    flow = table.flow_at[i]
                 self._next_completion = (float(tv), flow.flow_id, flow)
             else:
                 self._next_completion = None
@@ -543,8 +666,51 @@ class Simulation:
 
     # -- main loop ----------------------------------------------------------------
 
-    def _process(self, event: tuple[float, float, tuple[float, int, Flow] | None]) -> None:
+    def _can_coalesce(self, t: float) -> bool:
+        """May the next timer at exactly ``t`` join the current cycle?
+
+        True only when a conservative bound proves the sequential replay
+        is unchanged: every active flow's remaining is still at least
+        ``thresh`` bytes, where ``thresh/cap_max`` clears the tie window
+        around ``t`` with margin.  Then no completion can be predicted
+        at or before ``t`` (so event selection would pick the timer
+        anyway) and no sweep in between can retire anything (so
+        deferring the sweeps to the end of the wave is a no-op) —
+        remaining-bytes bounds are immune to the rate *rises* the
+        sequential replay's mid-wave re-solves could produce, which
+        per-rate retire bounds are not.  The floor is lowered by every
+        flow start; when the cheap check fails it is refreshed once by a
+        fused scan before giving up, so the O(n) scan runs at most once
+        per denied wave, never per event.
+        """
+        cap = self._cap_max
+        floor = self._scan_floor
+        drain = (t - self._scan_at) * cap
+        thresh = 4.0 * _PEEK_TIE_WINDOW * max(1.0, t) * cap
+        if thresh < 1.0:
+            thresh = 1.0
+        if floor - drain > thresh + 1e-9 * (floor + drain):
+            return True
+        table = self._table
+        if not table.fid_of:
+            return True
+        dt = self.now - self._settled_at
+        rem, rate, scratch = table.views()
+        if dt > 0.0:
+            np.multiply(rate, dt, out=scratch)
+            np.subtract(rem, scratch, out=scratch)
+            floor = float(scratch.min())
+        else:
+            floor = float(rem.min())
+        self._scan_floor = floor
+        self._scan_at = self.now
+        drain = (t - self.now) * cap
+        return floor - drain > thresh + 1e-9 * (floor + drain)
+
+    def _process(self, event: tuple[float, float, tuple[float, int, Flow] | None]) -> int:
+        """Process one event cycle; returns the number of events drained."""
         flow_t, timer_t, completion = event
+        processed = 1
         if flow_t <= timer_t:
             assert completion is not None
             t, _, flow = completion
@@ -552,47 +718,130 @@ class Simulation:
             # The predicted flow finishes; numerically-simultaneous
             # completions are picked up by the sweep below.
             flow.remaining = 0.0
-            self._rem[self._fid_of[flow]] = 0.0
+            self._table.rem[flow.fid] = 0.0
             self._finish(flow)
             self.perf.flow_events += 1
         else:
             self.now = timer_t
-            _, _, callback = heapq.heappop(self._timers)
+            timers = self._timers
+            _, _, callback = heapq.heappop(timers)
             callback()
             self.perf.timer_events += 1
+            # Coalesce the timer wave: drain every timer sharing this
+            # exact timestamp in one settle/solve cycle while the replay
+            # bound holds (see _can_coalesce).  The pop budget is the
+            # heap size at wave start, so a callback endlessly
+            # rescheduling at the same instant still returns to the main
+            # loop (and its max_events guard).
+            if timers and timers[0][0] == timer_t and self._calloc is not None:
+                budget = len(timers)
+                while (
+                    processed <= budget
+                    and timers
+                    and timers[0][0] == timer_t
+                    and self._can_coalesce(timer_t)
+                ):
+                    _, _, cb = heapq.heappop(timers)
+                    cb()
+                    self.perf.timer_events += 1
+                    processed += 1
+                if processed > 1:
+                    self.perf.coalesced_events += processed - 1
         self._sweep()
-        self.events_processed += 1
+        self.events_processed += processed
+        return processed
 
     def _sweep(self) -> None:
-        """Retire every flow the elapsed interval drained to (near) zero."""
-        if not self._fid_of:
+        """Retire every flow the elapsed interval drained to (near) zero.
+
+        Component mode pulls candidates from the pessimistic retire-time
+        heap: a slot is examined only once its bound has come due, so
+        the common case is one heap peek and no arithmetic at all.  Due
+        candidates get the exact drain check (``remaining − rate·dt``,
+        the same IEEE operations the full-array scan performs
+        elementwise); survivors are re-queued with a bound refreshed
+        from their just-computed remaining (their rate is unchanged — a
+        re-rate would have superseded the entry).  The cache modes keep
+        the fused whole-range scan.
+        """
+        table = self._table
+        if not table.fid_of:
             return
-        dt = self.now - self._settled_at
-        rem, rate, scratch = self._views()
+        now = self.now
+        if self._calloc is None:
+            self._sweep_scan(now)
+            return
+        pess = self._pess
+        flow_at = table.flow_at
+        pess_seq = self._pess_seq
+        pop = heapq.heappop
+        cands: list[int] = []
+        while pess:
+            bound, fid, seq = pess[0]
+            if pess_seq[fid] != seq:
+                pop(pess)
+                continue
+            if bound > now:
+                break
+            pop(pess)
+            cands.append(fid)
+        if not cands:
+            return
+        dt = now - self._settled_at
+        rem_item = table.rem.item
+        rate_item = table.rate.item
+        push = heapq.heappush
+        hits: list[tuple[Flow, float]] = []
+        for fid in cands:
+            if dt > 0.0:
+                current = rem_item(fid) - rate_item(fid) * dt
+            else:
+                current = rem_item(fid)
+            if current <= REMAINING_EPS:
+                hits.append((flow_at[fid], current))
+            else:
+                push(pess, (now + (current - 1.0) / rate_item(fid), fid, pess_seq[fid]))
+        if not hits:
+            return
+        hits.sort(key=lambda item: item[0].flow_id)
+        for flow, value in hits:
+            if flow not in self._flows:  # a sweep callback cancelled it
+                continue
+            flow.remaining = max(0.0, float(value))
+            table.rem[flow.fid] = flow.remaining
+            self._finish(flow)
+
+    def _sweep_scan(self, now: float) -> None:
+        """Whole-range drain scan (cache modes): the original exact sweep."""
+        table = self._table
+        dt = now - self._settled_at
+        rem, rate, scratch = table.views()
         if dt > 0.0:
             np.multiply(rate, dt, out=scratch)
             np.subtract(rem, scratch, out=scratch)
             current = scratch
         else:
             current = rem
-        # Early out on the common case (nothing drained): one fused min
-        # reduction instead of a boolean temporary + any().
         if current.min() > REMAINING_EPS:
             return
         drained = current <= REMAINING_EPS
+        flow_at = table.flow_at
         hits = sorted(
-            ((self._flow_at[i], current[i]) for i in drained.nonzero()[0].tolist()),
+            ((flow_at[i], current[i]) for i in drained.nonzero()[0].tolist()),
             key=lambda item: item[0].flow_id,
         )
         for flow, value in hits:
             if flow not in self._flows:  # a sweep callback cancelled it
                 continue
             flow.remaining = max(0.0, float(value))
-            self._rem[self._fid_of[flow]] = flow.remaining
+            table.rem[flow.fid] = flow.remaining
             self._finish(flow)
 
     def step(self) -> bool:
-        """Process the next event.  Returns False when nothing is pending."""
+        """Process the next event cycle.  Returns False when nothing is
+        pending.  A cycle is usually one event; a wave of timers sharing
+        one timestamp may drain in a single cycle (``events_processed``
+        still counts each timer)."""
         event = self._pending_event()
         if event is None:
             return False
@@ -611,6 +860,7 @@ class Simulation:
 
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
         """Run until no events remain (or ``until``); returns the final clock."""
+        t0 = wall_clock()
         events = 0
         while True:
             event = self._pending_event()
@@ -623,9 +873,9 @@ class Simulation:
                     break
             if event is None:
                 break
-            self._process(event)
-            events += 1
+            events += self._process(event)
             if events > max_events:
                 raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")
         self._sync_remaining()
+        self.perf.run_wall += wall_clock() - t0
         return self.now

@@ -35,13 +35,16 @@ def effective_capacity(
     return resource.effective_capacity(concurrency)
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Flow:
     """A transfer in progress.
 
     ``remaining`` counts bytes still to move; the engine decrements it as
     simulated time advances.  ``payload`` is an opaque handle the caller uses
-    to route the completion callback.
+    to route the completion callback.  ``fid`` is the engine's slot id while
+    the flow is registered in a :class:`~repro.simulate.flowtable.FlowTable`
+    (-1 otherwise) — stashed on the flow so the per-event hot path reads an
+    attribute instead of hashing the flow into a lookup dict.
     """
 
     size: Annotated[float, BYTES]
@@ -50,6 +53,7 @@ class Flow:
     rate_cap: Annotated[float, BYTES_PER_SEC] | None = None
     flow_id: int = field(default_factory=lambda: next(_flow_ids))
     remaining: Annotated[float, BYTES] = field(init=False)
+    fid: int = field(init=False)
 
     def __post_init__(self) -> None:
         if self.size <= 0:
@@ -61,6 +65,7 @@ class Flow:
         if self.rate_cap is not None and self.rate_cap <= 0:
             raise ValueError("rate_cap must be positive")
         self.remaining = float(self.size)
+        self.fid = -1
 
     def __hash__(self) -> int:
         return self.flow_id

@@ -1,0 +1,187 @@
+"""Structure-of-arrays flow slot table for the simulation engine.
+
+The engine tracks every active :class:`~repro.simulate.flows.Flow` in a
+dense slot table so the per-event hot path runs as whole-array kernels
+instead of per-object attribute walks: ``remaining`` and ``rate`` are
+flat float64 arrays indexed by slot id, the settle pass is one fused
+``remaining -= rate * dt`` over the full range, and the component
+allocator scatters solved rates straight into the ``rate`` array.
+
+:class:`FlowTable` owns that layout:
+
+* **slot recycling** — freed slot ids return through a free list, so the
+  arrays stay dense however many flows have come and gone.  Freed slots
+  hold the sentinels ``remaining = inf, rate = 1``: a hole's predicted
+  completion is ``+inf`` and its remaining never drains, so the
+  vectorised settle/sweep/prediction passes run over the whole range
+  without masking;
+* **generation stamps** — a 64-bit per-slot generation counter, bumped
+  every time a slot is released.  A ``(fid, generation)`` pair names one
+  specific tenancy of the slot; any reader holding a stale pair detects
+  the recycle instead of silently reading the younger flow's state
+  (pinned by ``tests/test_sim_flowtable.py``);
+* **start epochs** — the simulated time each slot's flow was admitted,
+  kept as an array so diagnostics and age-based policies never walk the
+  Flow objects;
+* **cached length-n views** — ``views()`` returns length-n slices of the
+  remaining/rate/scratch arrays, rebuilt only when the slot count grows
+  (the only time the backing arrays can reallocate).
+
+The authoritative ``remaining`` lives in the array; the ``Flow`` objects
+are synchronised at observation points only (:meth:`sync_remaining`).
+The table is a pure container — it never reads the wall clock, never
+touches DFS state, and does no float arithmetic beyond the fused settle
+update, so it is registered in the OPS103 purity registry and carries
+O(deg) cost contracts on the per-event operations (O(n) only in the
+whole-range kernels ``settle`` and ``sync_remaining``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .flows import Flow
+
+__all__ = ["FlowTable"]
+
+#: Initial slot capacity; the arrays double when it is outgrown.
+_GROW = 64
+
+
+class FlowTable:
+    """Dense recycled-slot arrays for the active flow set."""
+
+    __slots__ = (
+        "flow_at",
+        "fid_of",
+        "free_ids",
+        "rem",
+        "rate",
+        "scratch",
+        "start_epoch",
+        "generation",
+        "_nview",
+        "_rem_v",
+        "_rate_v",
+        "_scr_v",
+    )
+
+    def __init__(self) -> None:
+        #: slot id -> Flow (None while the slot is free)
+        self.flow_at: list[Flow | None] = []
+        #: Flow -> slot id (insertion-ordered, the active registry order)
+        self.fid_of: dict[Flow, int] = {}
+        #: recycled slot ids, LIFO
+        self.free_ids: list[int] = []
+        self.rem = np.full(_GROW, np.inf)
+        self.rate = np.ones(_GROW)
+        #: scratch buffer for the settle/sweep passes (same capacity as
+        #: the slot arrays) so the per-event array math allocates nothing
+        self.scratch = np.empty(_GROW)
+        #: simulated time each slot's flow was admitted
+        self.start_epoch = np.zeros(_GROW)
+        #: per-slot tenancy stamp; bumped on every release, so a stale
+        #: (fid, generation) pair never silently reads a recycled slot
+        self.generation = np.zeros(_GROW, dtype=np.int64)
+        # cached length-n views of rem/rate/scratch; rebuilt when the
+        # slot count changes (the only time the arrays can reallocate)
+        self._nview = -1
+        self._rem_v = self.rem[:0]
+        self._rate_v = self.rate[:0]
+        self._scr_v = self.scratch[:0]
+
+    # -- sizing ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Active flow count."""
+        return len(self.fid_of)
+
+    @property
+    def slots(self) -> int:
+        """Allocated slot count (active + free)."""
+        return len(self.flow_at)
+
+    def views(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Length-n views of the remaining/rate/scratch arrays (cached)."""
+        n = len(self.flow_at)
+        if n != self._nview:
+            self._nview = n
+            self._rem_v = self.rem[:n]
+            self._rate_v = self.rate[:n]
+            self._scr_v = self.scratch[:n]
+        return self._rem_v, self._rate_v, self._scr_v
+
+    # -- slot lifecycle -------------------------------------------------------
+
+    def acquire(self, flow: Flow, now: float) -> int:
+        """Admit ``flow``, returning its slot id.
+
+        The slot starts at the flow's full ``remaining`` with rate 0 —
+        the settle pass covering the instant of creation must not move
+        a flow the allocator has not rated yet.
+        """
+        if self.free_ids:
+            fid = self.free_ids.pop()
+        else:
+            fid = len(self.flow_at)
+            self.flow_at.append(None)
+            if fid >= len(self.rem):
+                grow = len(self.rem)
+                self.rem = np.concatenate([self.rem, np.full(grow, np.inf)])  # opass: alloc-ok -- capacity doubling, amortized O(1)/acquire
+                self.rate = np.concatenate([self.rate, np.ones(grow)])  # opass: alloc-ok -- capacity doubling, amortized O(1)/acquire
+                self.start_epoch = np.concatenate(
+                    [self.start_epoch, np.zeros(grow)]  # opass: alloc-ok -- capacity doubling, amortized O(1)/acquire
+                )
+                self.generation = np.concatenate(
+                    [self.generation, np.zeros(grow, dtype=np.int64)]  # opass: alloc-ok -- capacity doubling, amortized O(1)/acquire
+                )
+                self.scratch = np.empty(len(self.rem))  # opass: alloc-ok -- capacity doubling, amortized O(1)/acquire
+                self._nview = -1
+        self.fid_of[flow] = fid
+        self.flow_at[fid] = flow
+        flow.fid = fid
+        self.rem[fid] = flow.remaining
+        self.rate[fid] = 0.0
+        self.start_epoch[fid] = now
+        return fid
+
+    def release(self, flow: Flow) -> int:
+        """Return the flow's slot to the free list, restoring sentinels.
+
+        Bumps the slot's generation stamp: any ``(fid, generation)``
+        pair taken before this release is now verifiably stale.
+        """
+        fid = self.fid_of.pop(flow)
+        self.flow_at[fid] = None
+        flow.fid = -1
+        self.rem[fid] = np.inf
+        self.rate[fid] = 1.0
+        self.generation[fid] += 1
+        self.free_ids.append(fid)
+        return fid
+
+    def gen_of(self, fid: int) -> int:
+        """The slot's current generation stamp (see :meth:`release`)."""
+        return int(self.generation[fid])
+
+    # -- whole-range kernels --------------------------------------------------
+
+    def settle(self, dt: float) -> int:
+        """Credit ``dt`` seconds to every slot: ``rem = max(0, rem - rate*dt)``.
+
+        Fused through the scratch buffer — elementwise identical to the
+        allocating form.  Free slots are unharmed: their sentinel
+        ``inf - 1*dt`` stays ``inf``.  Returns the active flow count
+        (for the caller's perf accounting).
+        """
+        rem, rate, scratch = self.views()
+        np.multiply(rate, dt, out=scratch)
+        np.subtract(rem, scratch, out=rem)
+        np.maximum(rem, 0.0, out=rem)
+        return len(self.fid_of)
+
+    def sync_remaining(self) -> None:
+        """Copy the authoritative ``rem`` array back onto the Flow objects."""
+        rem = self.rem
+        for f, fid in self.fid_of.items():
+            f.remaining = float(rem[fid])

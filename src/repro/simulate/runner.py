@@ -152,7 +152,7 @@ class RunResult:
         return self.local_bytes / total if total else 1.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Outstanding:
     """One read in flight (latency phase or transfer phase)."""
 
@@ -163,7 +163,7 @@ class _Outstanding:
     retries: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _ProcState:
     rank: int
     node: int
@@ -253,12 +253,14 @@ class ParallelReadRun:
         self.waits = 0
         self._last_activity = 0.0
         self._served_baseline = dict(fs.bytes_served_per_node())
-        # (server, reader) -> (latency, path, rate_cap).  The cluster spec
-        # is frozen, so a read's cost depends only on the endpoint pair
-        # (size comes from the chunk itself).
+        # server*num_nodes + reader -> (latency, path, rate_cap).  The
+        # cluster spec is frozen, so a read's cost depends only on the
+        # endpoint pair (size comes from the chunk itself); the flat int
+        # key probes cheaper than a tuple at the large sweep scales.
         self._cost_cache: dict[
-            tuple[int, int], tuple[float, tuple[str, ...], float | None]
+            int, tuple[float, tuple[str, ...], float | None]
         ] = {}
+        self._cost_stride = fs.spec.num_nodes
         # Barrier bookkeeping.
         self._round_waiting = 0
         self._round_participants = 0
@@ -296,7 +298,7 @@ class ParallelReadRun:
     ) -> None:
         """Resolve and begin one chunk read (fresh attempt or retry)."""
         plan = self.fs.resolve_read(chunk_id, state.node)
-        key = (plan.server_node, plan.reader_node)
+        key = plan.server_node * self._cost_stride + plan.reader_node
         cached = self._cost_cache.get(key)
         if cached is None:
             cost = read_cost(plan, self.fs.spec)

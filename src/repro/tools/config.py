@@ -84,6 +84,7 @@ DEFAULT_PURE_MODULES: tuple[str, ...] = (
     "repro.core.multi_data",
     "repro.core.single_data",
     "repro.simulate.components",
+    "repro.simulate.flowtable",
     "repro.simulate.vectorized",
 )
 
@@ -184,6 +185,14 @@ DEFAULT_COST_CONTRACTS: dict[str, str] = {
     "repro.core.bipartite.LocalityGraph.edge_weight": "O(deg)",
     # pool dispatch is linear in the batch it ships
     "repro.parallel.pool.ComponentSolvePool.solve_batch": "O(n)",
+    # FlowTable per-event slot operations stay O(deg); only the
+    # solve-boundary kernels may touch the whole slot range
+    "repro.simulate.flowtable.FlowTable.acquire": "O(deg)",
+    "repro.simulate.flowtable.FlowTable.release": "O(deg)",
+    "repro.simulate.flowtable.FlowTable.gen_of": "O(1)",
+    "repro.simulate.flowtable.FlowTable.views": "O(1)",
+    "repro.simulate.flowtable.FlowTable.settle": "O(n)",
+    "repro.simulate.flowtable.FlowTable.sync_remaining": "O(n)",
 }
 
 #: OPS304 contract echo: bench counters whose growth across scales must
@@ -210,6 +219,20 @@ DEFAULT_CONTRACT_ECHO: tuple[dict[str, object], ...] = (
         "max-growth": 3.0,
         "note": "dirty components stay O(deg), not O(n) "
         "(the add/remove O(|path|) contract)",
+    },
+    {
+        "work": "heap_pushes",
+        "per": "events",
+        "max-growth": 2.0,
+        "note": "completion predictions stay O(changed flows)/event "
+        "(the lazy heap is fed per re-rated flow, never rebuilt)",
+    },
+    {
+        "work": "coalesced_events",
+        "per": "events",
+        "max-growth": 2.0,
+        "note": "same-timestamp timer waves keep coalescing as scale "
+        "grows (the 2048/4096-node collapse fix does not decay)",
     },
     {
         "work": "augmentations",

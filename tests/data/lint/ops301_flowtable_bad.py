@@ -1,0 +1,22 @@
+# opass-lint: module=repro.simulate.flowtable
+"""OPS301: an O(n) rescan inside FlowTable's O(deg) per-event path.
+
+``FlowTable.acquire`` carries an O(deg) cost contract — slot admission
+must stay free-list cheap however many flows are registered.  The
+``list(self.fid_of)`` audit below walks *every* active flow on every
+acquire, silently reverting the structure-of-arrays win, and carries no
+``alloc-ok`` waiver.
+"""
+
+
+class FlowTable:
+    def acquire(self, flow, now):
+        active = list(self.fid_of)
+        if self.free_ids:
+            fid = self.free_ids.pop()
+        else:
+            fid = len(active)
+            self.flow_at.append(None)
+        self.fid_of[flow] = fid
+        self.flow_at[fid] = flow
+        return fid

@@ -1,0 +1,22 @@
+# opass-lint: module=repro.simulate.flowtable
+"""Clean twin of ``ops301_flowtable_bad``: admission stays O(deg).
+
+The free list answers in O(1); the capacity-doubling grow path carries
+an ``alloc-ok`` waiver with its amortization argument, matching the real
+module.
+"""
+
+
+class FlowTable:
+    def acquire(self, flow, now):
+        if self.free_ids:
+            fid = self.free_ids.pop()
+        else:
+            fid = len(self.flow_at)
+            self.flow_at.append(None)
+            if fid >= self.capacity:
+                self.grown = list(self.flow_at)  # opass: alloc-ok -- capacity doubling, amortized O(1)/acquire
+                self.capacity *= 2
+        self.fid_of[flow] = fid
+        self.flow_at[fid] = flow
+        return fid

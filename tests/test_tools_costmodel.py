@@ -55,6 +55,7 @@ class TestFixturePairs:
         "name, rule",
         [
             ("ops301_bad", "OPS301"),
+            ("ops301_flowtable_bad", "OPS301"),
             ("ops302_bad", "OPS302"),
             ("ops303_bad", "OPS303"),
         ],
@@ -63,9 +64,11 @@ class TestFixturePairs:
         report = verify_fixture(name)
         assert rules_in(report) == {rule}, report.render()
 
-    @pytest.mark.parametrize("rule", ("OPS301", "OPS302", "OPS303"))
-    def test_clean_fixture_is_clean(self, rule):
-        report = verify_fixture(f"{rule.lower()}_ok")
+    @pytest.mark.parametrize(
+        "name", ("ops301_ok", "ops301_flowtable_ok", "ops302_ok", "ops303_ok")
+    )
+    def test_clean_fixture_is_clean(self, name):
+        report = verify_fixture(name)
         assert report.ok, report.render()
 
     def test_rule_table_registered(self):

@@ -38,6 +38,12 @@ through a force-dispatched ``ComponentSolvePool`` (pooled rows are never
 merged into the committed serial baseline), and ``--trace-out`` dumps
 the full event trace per scale so CI's ``bench-parallel`` legs can
 assert the pooled and serial runs are byte-identical.
+
+``--fastforward off`` disables the engine's fused cascade fast-forward
+loop and runs the general per-event dispatcher instead; CI's
+``bench-fastforward-identity`` job runs both forms with ``--trace-out``
+and diffs the traces byte-for-byte (the fast-forward identity
+contract).  'off' rows are never merged into the committed baseline.
 """
 
 import argparse
@@ -106,15 +112,20 @@ EXTENDED_SCALES = (2048, 4096)
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 
-def _run_once(m: int, seed: int, pool=None, want_trace: bool = False):
+def _run_once(
+    m: int, seed: int, pool=None, want_trace: bool = False,
+    fastforward: bool = True,
+):
     fs = DistributedFileSystem(ClusterSpec.homogeneous(m), seed=seed)
     data = single_data_workload(m, 10)
     fs.put_dataset(data)
     placement = ProcessPlacement.one_per_node(m)
     tasks = tasks_from_dataset(data)
     sim = None
-    if pool is not None:
-        sim = Simulation(allocator="component", parallel=pool)
+    if pool is not None or not fastforward:
+        sim = Simulation(
+            allocator="component", parallel=pool, fastforward=fastforward
+        )
         sim.add_resources(cluster_resources(fs.spec))
     run = ParallelReadRun(
         fs, placement, tasks,
@@ -160,6 +171,9 @@ def _run_once(m: int, seed: int, pool=None, want_trace: bool = False):
         "coalesced_events": snap["coalesced_events"],
         "vectorized_solves": snap["vectorized_solves"],
         "parallel_solves": snap["parallel_solves"],
+        "memo_hits": snap["memo_hits"],
+        "fastforward_cascades": snap["fastforward_cascades"],
+        "cascade_events": snap["cascade_events"],
         "solve_wall_s": snap["solve_wall"],
         "settle_wall_s": snap["settle_wall"],
         "scan_wall_s": snap["scan_wall"],
@@ -171,12 +185,13 @@ def _run_once(m: int, seed: int, pool=None, want_trace: bool = False):
 
 def run_scaling(
     seed: int = 0, repeats: int = REPEATS, scales=SCALES, pool=None,
-    want_trace: bool = False,
+    want_trace: bool = False, fastforward: bool = True,
 ):
     rows = []
     for m in scales:
         best = min(
-            (_run_once(m, seed, pool=pool, want_trace=want_trace)
+            (_run_once(m, seed, pool=pool, want_trace=want_trace,
+                       fastforward=fastforward)
              for _ in range(repeats)),
             key=lambda r: r["wall_s"],
         )
@@ -187,11 +202,16 @@ def run_scaling(
 def print_rows(rows):
     print("\n=== simulator throughput (baseline runs, max contention) ===")
     print(format_table(
-        ["nodes", "reads", "events", "wall (ms)", "events/s", "solves",
-         "iters", "comps", "sz_max", "pushes", "stale"],
+        ["nodes", "reads", "events", "wall (ms)", "events/s", "us/ev",
+         "solve%", "solves", "memo", "casc", "iters", "comps", "sz_max",
+         "pushes", "stale"],
         [
             (r["nodes"], r["reads"], r["events"], r["wall_s"] * 1000,
-             r["events_per_second"], r["solves"], r["solve_iterations"],
+             r["events_per_second"],
+             "{:.1f}".format(r["wall_s"] / r["events"] * 1e6),
+             "{:.3f}".format(r["solve_wall_s"] / r["wall_s"]),
+             r["solves"], r.get("memo_hits", 0),
+             r.get("fastforward_cascades", 0), r["solve_iterations"],
              r["components"], r["component_size_max"], r["heap_pushes"],
              r["stale_pops"])
             for r in rows
@@ -349,6 +369,14 @@ def main(argv=None):
         help="write the full event trace (records + makespan per scale) "
              "to this JSON file for cross-leg identity checks",
     )
+    parser.add_argument(
+        "--fastforward", choices=("on", "off"), default="on",
+        help="'off' disables the engine's fused cascade fast-forward "
+             "loop (the general per-event dispatcher runs instead); "
+             "traces must match the fast-forward run byte-for-byte, and "
+             "'off' rows are never merged into the committed baseline "
+             "(default: %(default)s)",
+    )
     args = parser.parse_args(argv)
     scales = tuple(int(s) for s in args.scales.split(","))
     if args.extended:
@@ -362,6 +390,7 @@ def main(argv=None):
         rows = run_scaling(
             seed=0, repeats=args.repeats, scales=scales, pool=pool,
             want_trace=args.trace_out is not None,
+            fastforward=args.fastforward == "on",
         )
     finally:
         if pool is not None:
@@ -378,8 +407,12 @@ def main(argv=None):
         if pool is not None:
             # Forced dispatch: every scale must actually exercise the pool.
             assert r["parallel_solves"] > 0, r
-    if args.parallel == "on" and not args.check:
-        # Pooled rows never merge into the committed serial baseline.
+        if args.fastforward == "off":
+            # The general dispatcher ran: no cascade runs may be counted.
+            assert r["fastforward_cascades"] == 0, r
+    if (args.parallel == "on" or args.fastforward == "off") and not args.check:
+        # Pooled / fast-forward-off rows never merge into the committed
+        # fast-forward serial baseline.
         if args.out is not None:
             args.out.write_text(json.dumps({"scales": rows}, indent=1) + "\n")
             print(f"wrote {args.out}")

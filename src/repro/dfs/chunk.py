@@ -23,10 +23,23 @@ MB = 10**6
 
 @dataclass(frozen=True, slots=True)
 class ChunkId:
-    """Globally unique identifier of one chunk: ``(file name, index)``."""
+    """Globally unique identifier of one chunk: ``(file name, index)``.
+
+    The hash is precomputed at construction: chunk ids key every NameNode
+    and DataNode table, so the read hot path hashes each id several times
+    per simulated read — paying the string hash once per identity keeps
+    those probes at integer-compare cost.
+    """
 
     file: str
     index: int
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.file, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.file}#{self.index}"

@@ -55,9 +55,9 @@ class DataNode:
 
     def record_serve(self, chunk_id: ChunkId, *, local: bool) -> None:
         """Account one read request served from this node's disk."""
-        if chunk_id not in self._chunks:
+        size = self._chunks.get(chunk_id)
+        if size is None:
             raise KeyError(f"node {self.node_id} asked to serve {chunk_id} it does not hold")
-        size = self._chunks[chunk_id]
         self.bytes_served += size
         self.requests_served += 1
         if local:

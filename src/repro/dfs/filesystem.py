@@ -27,7 +27,10 @@ from .placement import DEFAULT_REPLICATION, PlacementPolicy, RandomPlacement
 from .policies import RandomRemote, ReplicaChoicePolicy
 
 
-@dataclass(frozen=True, slots=True)
+# Not frozen: one plan is built per chunk read on the simulator's hot
+# path, and a frozen dataclass pays ~4x on construction (every field
+# goes through object.__setattr__).  Treat instances as immutable.
+@dataclass(slots=True)
 class ReadPlan:
     """A resolved read: which node serves a chunk to which reader."""
 
@@ -125,9 +128,7 @@ class DistributedFileSystem:
         spec = cluster.spec
         if not 0 <= reader_node < spec.num_nodes:
             spec.node(reader_node)  # raise the canonical error
-        namenode = self.namenode
-        chunk = namenode.chunk(chunk_id)
-        replicas = namenode.locations_of(chunk_id)
+        chunk, replicas = self.namenode.read_entry(chunk_id)
         if cluster.num_active == spec.num_nodes:
             # Healthy cluster: every replica is live; skip the filter.
             live = replicas

@@ -93,6 +93,21 @@ class NameNode:
             raise KeyError(f"unknown chunk {chunk_id}")
         return nodes
 
+    def read_entry(self, chunk_id: ChunkId) -> tuple[Chunk, tuple[int, ...]]:
+        """``(chunk, replica locations)`` in one call.
+
+        The read hot path (:meth:`~repro.dfs.filesystem.
+        DistributedFileSystem.resolve_read`) needs both; fetching them
+        together hashes the chunk id once per table instead of paying
+        two dispatches.
+        """
+        chunk = self._chunk_index.get(chunk_id)
+        nodes = self._locations.get(chunk_id)
+        if chunk is None or nodes is None:
+            # Fall back to the slow paths for their error taxonomy.
+            return self.chunk(chunk_id), self.locations_of(chunk_id)
+        return chunk, nodes
+
     def chunk(self, chunk_id: ChunkId) -> Chunk:
         found = self._chunk_index.get(chunk_id)
         if found is not None:

@@ -48,8 +48,11 @@ interprocedurally by opass-verify rule OPS103; the module is registered in
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
+from .cascade import SolveMemo, component_key, pair_key
 from .flows import Flow, allocate_rates
 from .resources import Resource
 from .vectorized import (
@@ -102,6 +105,13 @@ class ComponentAllocator:
             raise ValueError(f"unknown kernel {kernel!r}")
         self._kernel = kernel
         self._pool = pool
+        #: canonical-shape memo over solved multi-flow components (see
+        #: :mod:`repro.simulate.cascade`); sound because ``register``
+        #: never updates an existing capacity entry.
+        self._memo = SolveMemo()
+        #: path tuple -> min capacity along the path (singleton closed
+        #: form before the rate cap) — same append-only soundness.
+        self._single_caps: dict[tuple[str, ...], float] = {}
         #: resource name -> Resource (or plain float capacity); the dict
         #: handed verbatim to the reference allocator.
         self._resources: dict[str, Resource | float] = {}
@@ -143,6 +153,7 @@ class ComponentAllocator:
         self.last_vectorized_solves = 0
         self.last_parallel_solves = 0
         self.last_pool_wall = 0.0
+        self.last_memo_hits = 0
 
     # -- resource registration ------------------------------------------------
 
@@ -169,9 +180,18 @@ class ComponentAllocator:
         """
         if flow in self._id_of:
             raise ValueError("flow already tracked")
+        # One pass validates the path AND collects the components it
+        # touches (insertion-ordered, deduped); nothing below mutates
+        # until the whole path is known-good.
+        hit: dict[int, None] = {}
+        resources = self._resources
+        res_comp = self._res_comp
         for r in flow.path:
-            if r not in self._resources:
+            if r not in resources:
                 raise KeyError(f"flow crosses unknown resource {r!r}")
+            cid_r = res_comp.get(r)
+            if cid_r is not None:
+                hit[cid_r] = None
         if fid is not None:
             self._external_ids = True
         elif self._free_ids:
@@ -180,13 +200,6 @@ class ComponentAllocator:
             fid = self._next_fid
             self._next_fid += 1
         self._id_of[flow] = fid
-        # Components reachable from the path (insertion-ordered, deduped).
-        hit: dict[int, None] = {}
-        res_comp = self._res_comp
-        for r in flow.path:
-            cid_r = res_comp.get(r)
-            if cid_r is not None:
-                hit[cid_r] = None
         if not hit:
             cid = self._next_comp
             self._next_comp += 1
@@ -397,6 +410,7 @@ class ComponentAllocator:
         self.last_vectorized_solves = 0
         self.last_parallel_solves = 0
         self.last_pool_wall = 0.0
+        self.last_memo_hits = 0
         changed: list[int] = []
         if self._dirty:
             # The static lattice sums per-component work as if every dirty
@@ -454,10 +468,40 @@ class ComponentAllocator:
                     out[fid] = rate
                     changed.append(fid)
 
+    def _solve_single_cached(self, f: Flow) -> float:
+        """Singleton closed form through the path-keyed capacity memo.
+
+        ``min(capacity along path)`` is order-independent float ``min``,
+        so caching it per path tuple and applying the rate cap after is
+        bit-identical to :func:`solve_single` — and the capacity table
+        is append-only, so the cached minimum can never go stale.
+        """
+        path = f.path
+        rate = self._single_caps.get(path)
+        if rate is None:
+            res_caps = self._res_caps
+            rate = math.inf
+            for r in path:
+                cap = res_caps[r][0]
+                if cap < rate:
+                    rate = cap
+            self._single_caps[path] = rate
+        rc = f.rate_cap
+        if rc is not None and rc < rate:
+            return rc
+        return rate
+
     def _solve_kernels(
         self, changed: list[int], out: "np.ndarray | None"
     ) -> None:
-        """Flat-kernel solve loop, optionally batching to the pool."""
+        """Flat-kernel solve loop, optionally batching to the pool.
+
+        Every multi-flow component goes through the canonical-shape
+        memo first (:mod:`repro.simulate.cascade`): a hit replays the
+        cached rates (and the iteration count, so ``solve_iterations``
+        keeps measuring the represented water-filling work); a miss
+        runs the usual kernel dispatch and stores the result.
+        """
         if self._pool is not None:
             self._solve_pooled(changed, out)
             return
@@ -466,11 +510,13 @@ class ComponentAllocator:
         rate_of = self._rate_of
         res_caps = self._res_caps
         comp_flows = self._comp_flows
+        memo = self._memo
         solves = 0
         size_max = self.last_component_size_max
         resolved = 0
         iterations = 0
         vectorized = 0
+        memo_hits = 0
         for gid in self._dirty_groups():
             group = comp_flows[gid]
             k = len(group)
@@ -480,7 +526,7 @@ class ComponentAllocator:
                 size_max = k
             if k == 1:
                 f = next(iter(group))
-                rate = solve_single(f, res_caps)
+                rate = self._solve_single_cached(f)
                 iterations += 1
                 rate_of[f] = rate
                 fid = id_of[f]
@@ -488,13 +534,31 @@ class ComponentAllocator:
                     out[fid] = rate
                 changed.append(fid)
                 continue
-            members = sorted(group, key=order.__getitem__)
             if k == 2:
+                fa, fb = group
+                if order[fa] > order[fb]:
+                    fa, fb = fb, fa
+                members = (fa, fb)
+                key = pair_key(fa, fb, res_caps)
+            else:
+                members = sorted(group, key=order.__getitem__)
+                key = component_key(members, res_caps)
+            hit = memo.lookup(key)
+            if hit is not None:
+                rates, iters = hit
+                memo_hits += 1
+            elif k == 2:
                 rates, iters = solve_pair(members[0], members[1], res_caps)
+                memo.store(key, rates, iters)
             elif k < VECTOR_MIN_FLOWS:
                 rates, iters = solve_small(members, res_caps)
+                memo.store(key, rates, iters)
             else:
                 rates, iters = _solve_numpy(lower_component(members, res_caps))
+                memo.store(key, rates, iters)
+            if k >= VECTOR_MIN_FLOWS:
+                # Counted by represented kernel, hit or miss, so the
+                # counter stays comparable across memo hit rates.
                 vectorized += 1
             iterations += iters
             if out is None:
@@ -512,6 +576,7 @@ class ComponentAllocator:
         self.last_component_size_max = size_max
         self.last_flows_resolved += resolved
         self.last_vectorized_solves += vectorized
+        self.last_memo_hits += memo_hits
 
     def _solve_pooled(
         self, changed: list[int], out: "np.ndarray | None"
@@ -522,28 +587,51 @@ class ComponentAllocator:
         fewer than the pool's measured ``min_flows`` — the dispatch
         round-trip would cost more than it saves.  Either way the rates
         are byte-identical: the workers run the same kernels on the same
-        lowered arrays.
+        lowered arrays.  The canonical-shape memo is consulted *before*
+        batching — hits are never dispatched, misses are solved by the
+        workers and stored on return — so the memo stays parent-only
+        state, the workers stay stateless, and pooled runs consult the
+        exact same cache a serial run would (memo coherence by
+        construction).
         """
         order = self._order
         id_of = self._id_of
         rate_of = self._rate_of
         res_caps = self._res_caps
         comp_flows = self._comp_flows
+        memo = self._memo
         pool = self._pool
         comps: list[list[Flow]] = []
-        total_multi = 0
+        keys: list[object | None] = []
+        cached: list[tuple[list[float], int] | None] = []
+        memo_hits = 0
+        total_miss = 0
         for gid in self._dirty_groups():
             group = comp_flows[gid]
             if len(group) == 1:
-                members = list(group)
+                comps.append(list(group))
+                keys.append(None)
+                cached.append(None)
+                continue
+            members = sorted(group, key=order.__getitem__)
+            if len(members) == 2:
+                key = pair_key(members[0], members[1], res_caps)
             else:
-                members = sorted(group, key=order.__getitem__)
-                total_multi += len(members)
+                key = component_key(members, res_caps)
+            hit = memo.lookup(key)
+            if hit is not None:
+                memo_hits += 1
+            else:
+                total_miss += len(members)
             comps.append(members)
+            keys.append(key)
+            cached.append(hit)
         results = None
-        if total_multi >= pool.min_flows:
+        if total_miss >= pool.min_flows:
             lowered = [
-                lower_component(m, res_caps) for m in comps if len(m) > 1
+                lower_component(m, res_caps)
+                for m, hit in zip(comps, cached)
+                if len(m) > 1 and hit is None
             ]
             if lowered:
                 results = iter(pool.solve_batch(lowered))
@@ -554,7 +642,7 @@ class ComponentAllocator:
         resolved = 0
         iterations = 0
         vectorized = 0
-        for members in comps:
+        for members, key, hit in zip(comps, keys, cached):
             k = len(members)
             solves += 1
             resolved += k
@@ -562,7 +650,7 @@ class ComponentAllocator:
                 size_max = k
             if k == 1:
                 f = members[0]
-                rate = solve_single(f, res_caps)
+                rate = self._solve_single_cached(f)
                 iterations += 1
                 rate_of[f] = rate
                 fid = id_of[f]
@@ -572,12 +660,18 @@ class ComponentAllocator:
                 continue
             if k >= VECTOR_MIN_FLOWS:
                 vectorized += 1
-            if results is not None:
-                rates, iters = next(results)
-            elif k < VECTOR_MIN_FLOWS:
-                rates, iters = solve_small(members, res_caps)
+            if hit is not None:
+                rates, iters = hit
             else:
-                rates, iters = _solve_numpy(lower_component(members, res_caps))
+                if results is not None:
+                    rates, iters = next(results)
+                elif k < VECTOR_MIN_FLOWS:
+                    rates, iters = solve_small(members, res_caps)
+                else:
+                    rates, iters = _solve_numpy(
+                        lower_component(members, res_caps)
+                    )
+                memo.store(key, rates, iters)
             iterations += iters
             if out is None:
                 for f, rate in zip(members, rates):
@@ -594,3 +688,4 @@ class ComponentAllocator:
         self.last_component_size_max = size_max
         self.last_flows_resolved += resolved
         self.last_vectorized_solves += vectorized
+        self.last_memo_hits += memo_hits

@@ -81,7 +81,7 @@ from __future__ import annotations
 import heapq
 import math
 from itertools import count
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -109,12 +109,23 @@ _PEEK_TIE_WINDOW = 1e-9
 #: library code never mutates it.
 DEFAULT_ALLOCATOR = "component"
 
+#: Whether ``Simulation()`` uses the fused cascade fast-forward loop for
+#: unbounded ``run()`` calls when the caller does not say.  The
+#: differential golden leg rebinds this to drive whole experiments
+#: through the general dispatcher (see ``tests/test_sim_fastforward.py``);
+#: library code never mutates it.
+DEFAULT_FASTFORWARD = True
+
 
 class Simulation:
     """Event loop owning the clock, timers, resources and active flows."""
 
     def __init__(
-        self, *, allocator: str | None = None, parallel: object | None = None
+        self,
+        *,
+        allocator: str | None = None,
+        parallel: object | None = None,
+        fastforward: bool | None = None,
     ) -> None:
         """
         Parameters
@@ -137,15 +148,32 @@ class Simulation:
             with the pool on or off (same kernels either side of the
             process boundary); below the pool's measured work threshold
             components are solved in-process as usual.
+        fastforward:
+            When true (the module default, see
+            :data:`DEFAULT_FASTFORWARD`), ``run()`` with no ``until`` bound
+            executes component-mode event cycles through the fused
+            fast-forward loop (:meth:`_run_fast`): completion cascades
+            are driven without re-entering the general dispatcher, with
+            the per-event settle/solve/drain/select/sweep phases
+            inlined into one frame.  The replay is event-for-event and
+            bit-for-bit identical to ``fastforward=False`` (pinned by
+            the golden fixtures and the differential trace tests in
+            ``tests/test_sim_fastforward.py``); the flag exists for
+            that differential and for perf A/B runs.
         """
         if allocator is None:
             allocator = DEFAULT_ALLOCATOR
+        if fastforward is None:
+            fastforward = DEFAULT_FASTFORWARD
         if allocator not in ("component", "incremental", "reference"):
             raise ValueError(f"unknown allocator {allocator!r}")
         if parallel is not None and allocator != "component":
             raise ValueError("parallel= requires allocator='component'")
         #: which rate-solve strategy this simulation runs (read-only).
         self.allocator = allocator
+        #: whether unbounded ``run()`` uses the fused fast-forward loop
+        #: (read-only; component mode only — other modes ignore it).
+        self.fastforward = fastforward
         self.now = 0.0
         self.perf = SimPerf()
         self._timers: list[tuple[float, int, Callable[[], None]]] = []
@@ -245,20 +273,28 @@ class Simulation:
     def start_flow(
         self,
         size: float,
-        path: list[str],
+        path: "Sequence[str]",
         on_complete: Callable[[Flow], None],
         payload: object = None,
         rate_cap: float | None = None,
     ) -> Flow:
-        """Begin a transfer now; ``on_complete(flow)`` fires when it finishes."""
-        flow = Flow(size=size, path=tuple(path), payload=payload, rate_cap=rate_cap)
-        for r in flow.path:
-            if r not in self._resources:
+        """Begin a transfer now; ``on_complete(flow)`` fires when it finishes.
+
+        ``path`` may be any sequence of resource names; callers that loop
+        (the runner's read issue path) pass an already-built tuple so no
+        per-flow copy is made.
+        """
+        tpath = path if isinstance(path, tuple) else tuple(path)
+        flow = Flow(size, tpath, payload, rate_cap)
+        resources = self._resources
+        for r in tpath:
+            if r not in resources:
                 raise KeyError(f"unknown resource {r!r}")
         self._flows[flow] = on_complete
         fid = self._table.acquire(flow, self.now)
-        if fid == len(self._entry_seq):
-            self._entry_seq.append(-1)
+        entry_seq = self._entry_seq
+        if fid == len(entry_seq):
+            entry_seq.append(-1)
             self._pess_seq.append(-1)
         if flow.remaining < self._scan_floor:
             self._scan_floor = flow.remaining
@@ -371,6 +407,7 @@ class Simulation:
             perf.component_solves += calloc.last_component_solves
             perf.component_flows_resolved += calloc.last_flows_resolved
             perf.vectorized_solves += calloc.last_vectorized_solves
+            perf.memo_hits += calloc.last_memo_hits
             if calloc.last_parallel_solves:
                 perf.parallel_solves += calloc.last_parallel_solves
                 perf.pool_dispatch_wall += calloc.last_pool_wall
@@ -860,6 +897,8 @@ class Simulation:
 
     def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
         """Run until no events remain (or ``until``); returns the final clock."""
+        if until is None and self.fastforward and self._calloc is not None:
+            return self._run_fast(max_events)
         t0 = wall_clock()
         events = 0
         while True:
@@ -878,4 +917,311 @@ class Simulation:
                 raise RuntimeError(f"exceeded {max_events} events; runaway simulation?")
         self._sync_remaining()
         self.perf.run_wall += wall_clock() - t0
+        return self.now
+
+    def _run_fast(self, max_events: int) -> float:
+        """Fused fast-forward event loop (component mode, no ``until``).
+
+        One frame drives the entire run: the per-event phases the
+        general loop dispatches through methods — settle, component
+        solve, prediction drain, event selection, completion/timer
+        processing, retire sweep — are inlined here with every hot
+        structure cached in locals, and completion *cascades* (runs of
+        consecutive completion events between timers) are fast-forwarded
+        without ever returning to the general dispatcher.  Identity is
+        by construction: each iteration performs exactly the operations
+        ``_pending_event`` + ``_process`` would, in the same order on
+        the same floats —
+
+        * the per-epoch whole-table settle sequence is replayed
+          unmerged.  (It must be: each settle rounds ``rem − rate·dt``
+          once per epoch, so two epochs fused into one ``dt`` would
+          produce different floats for *every* active flow, not just
+          the cascading component's — there is no identity-preserving
+          "analytic skip" over settle epochs, which is why the
+          fast-forward fuses the loop instead of integrating across
+          windows.)
+        * re-rated flows go through the same ``_drain_pending`` (its
+          pessimistic-bound refresh is load-bearing: a rate *increase*
+          can pull a flow's true retire time earlier than its stale
+          bound, so skipping the refresh could make a sweep miss a
+          retire the per-event engine performs);
+        * event selection inlines only the no-tie single-candidate fast
+          path (the dominant case) and defers tie groups and candidate
+          waves to :meth:`_peek_completion_heap` — the same code the
+          general loop runs;
+        * the rare-case sweep body is :meth:`_sweep` itself; the inline
+          part is just the "nothing due" pessimistic-heap peek.
+
+        Only structures whose identity is stable across callbacks are
+        cached (the table's lists/dicts, the heaps, the timer list);
+        the slot *arrays* are re-fetched wherever they are read because
+        ``FlowTable.acquire`` replaces them on growth.  The loop also
+        maintains the cascade telemetry (``fastforward_cascades``,
+        ``cascade_events``) and flushes all counters — even when a
+        callback raises — so perf stays comparable with the general
+        loop's live accounting.
+        """
+        t0 = wall_clock()
+        perf = self.perf
+        calloc = self._calloc
+        assert calloc is not None
+        table = self._table
+        timers = self._timers
+        heap = self._heap
+        pess = self._pess
+        entry_seq = self._entry_seq
+        pess_seq = self._pess_seq
+        tie = self._tie
+        pending = self._pending_push
+        flow_at = table.flow_at
+        fid_of = table.fid_of
+        flows = self._flows
+        # The allocator's dirty-component set (identity-stable: cleared
+        # in place by solve()).  Empty means the last flow event removed
+        # a singleton component — the refresh still settles and opens a
+        # new epoch, but the solve call would be a no-op and is skipped.
+        calloc_dirty = calloc._dirty
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
+        heapify = heapq.heapify
+        clock = wall_clock
+        inf = math.inf
+        tw = _PEEK_TIE_WINDOW
+        events = 0
+        run_len = 0
+        solve_wall = 0.0
+        settle_wall = 0.0
+        scan_wall = 0.0
+        solves = 0
+        settles = 0
+        flows_settled = 0
+        iters_acc = 0
+        comp_solves = 0
+        flows_resolved = 0
+        vec_solves = 0
+        memo_acc = 0
+        heap_pushes = 0
+        stale_pops = 0
+        flow_events = 0
+        timer_events = 0
+        coalesced = 0
+        finished = 0
+        casc_runs = 0
+        casc_events = 0
+        size_max = perf.component_size_max
+        comp_peak = perf.components
+        try:
+            while True:
+                # -- refresh rates (inlined _refresh_rates) ------------------
+                if self._dirty:
+                    now = self.now
+                    dt = now - self._settled_at
+                    self._settled_at = now
+                    if dt > 0.0 and flow_at:
+                        ts = clock()
+                        flows_settled += table.settle(dt)
+                        settles += 1
+                        settle_wall += clock() - ts
+                    ts = clock()
+                    if calloc_dirty:
+                        calloc.solve(out=table.rate)
+                        iters_acc += calloc.last_iterations
+                        comp_solves += calloc.last_component_solves
+                        flows_resolved += calloc.last_flows_resolved
+                        vec_solves += calloc.last_vectorized_solves
+                        memo_acc += calloc.last_memo_hits
+                        if calloc.last_parallel_solves:
+                            perf.parallel_solves += calloc.last_parallel_solves
+                            perf.pool_dispatch_wall += calloc.last_pool_wall
+                        if calloc.last_component_size_max > size_max:
+                            size_max = calloc.last_component_size_max
+                        n_comp = calloc.component_count
+                        if n_comp > comp_peak:
+                            comp_peak = n_comp
+                        for fid in calloc.last_changed:
+                            pending[fid] = None
+                    self._dirty = False
+                    self._epoch += 1
+                    solves += 1
+                    solve_wall += clock() - ts
+                if pending:
+                    # Inlined scalar _drain_pending (the dominant shape:
+                    # a handful of re-rated flows per epoch); big drains
+                    # take the vectorised path in the method.  Both
+                    # forms produce bit-identical entries.
+                    if len(pending) >= 8:
+                        self._drain_pending()
+                    else:
+                        ts = clock()
+                        base = self._settled_at
+                        seq = self._push_seq
+                        rem_arr = table.rem
+                        rate_arr = table.rate
+                        npush = 0
+                        for fid in pending:
+                            f = flow_at[fid]
+                            if f is None:
+                                continue
+                            if tie:
+                                tie.pop(fid, None)
+                            rem = rem_arr.item(fid)
+                            rate = rate_arr.item(fid)
+                            entry_seq[fid] = seq
+                            pess_seq[fid] = seq
+                            heappush(heap, (base + rem / rate, f.flow_id, fid, seq))
+                            heappush(pess, (base + (rem - 1.0) / rate, fid, seq))
+                            seq += 1
+                            npush += 1
+                        pending.clear()
+                        self._push_seq = seq
+                        heap_pushes += npush
+                        cap = (len(fid_of) << 1) + 64
+                        if len(heap) > cap:
+                            live = [e for e in heap if entry_seq[e[2]] == e[3]]
+                            stale_pops += len(heap) - len(live)
+                            heap[:] = live
+                            heapify(heap)
+                        if len(pess) > cap:
+                            pess[:] = [e for e in pess if pess_seq[e[1]] == e[2]]
+                            heapify(pess)
+                        scan_wall += clock() - ts
+                # -- event selection -----------------------------------------
+                timer_t = timers[0][0] if timers else inf
+                n_stale = 0
+                while heap:
+                    top = heap[0]
+                    if entry_seq[top[2]] == top[3]:
+                        break
+                    heappop(heap)
+                    n_stale += 1
+                if n_stale:
+                    stale_pops += n_stale
+                completion_flow = None
+                if tie:
+                    picked = self._peek_completion_heap()
+                    if picked is not None:
+                        flow_t = picked[0]
+                        completion_flow = picked[2]
+                    else:
+                        flow_t = inf
+                elif heap:
+                    t_top, flowid_top, fid_top, seq_top = heap[0]
+                    horizon = t_top + tw * max(1.0, abs(t_top))
+                    n = len(heap)
+                    second = heap[1][0] if n > 1 else inf
+                    if n > 2 and heap[2][0] < second:
+                        second = heap[2][0]
+                    if second > horizon:
+                        flow_t = self._settled_at + table.rem.item(
+                            fid_top
+                        ) / table.rate.item(fid_top)
+                        seq = self._push_seq
+                        self._push_seq = seq + 1
+                        entry_seq[fid_top] = seq
+                        heapreplace(heap, (flow_t, flowid_top, fid_top, seq))
+                        heap_pushes += 1
+                        completion_flow = flow_at[fid_top]
+                    else:
+                        picked = self._peek_completion_heap()
+                        assert picked is not None
+                        flow_t = picked[0]
+                        completion_flow = picked[2]
+                else:
+                    flow_t = inf
+                if flow_t == inf and timer_t == inf:
+                    break
+                # -- process (inlined _process / _finish) --------------------
+                processed = 1
+                if flow_t <= timer_t:
+                    self.now = flow_t
+                    flow = completion_flow
+                    assert flow is not None
+                    flow.remaining = 0.0
+                    table.rem[flow.fid] = 0.0
+                    callback = flows.pop(flow)
+                    fidr = table.release(flow)
+                    entry_seq[fidr] = -1
+                    pess_seq[fidr] = -1
+                    if tie:
+                        tie.pop(fidr, None)
+                    calloc.remove(flow)
+                    self._dirty = True
+                    self.completed_flows += 1
+                    finished += 1
+                    callback(flow)
+                    flow_events += 1
+                    run_len += 1
+                else:
+                    self.now = timer_t
+                    _, _, cb = heappop(timers)
+                    cb()
+                    timer_events += 1
+                    if timers and timers[0][0] == timer_t:
+                        budget = len(timers)
+                        can = self._can_coalesce
+                        while (
+                            processed <= budget
+                            and timers
+                            and timers[0][0] == timer_t
+                            and can(timer_t)
+                        ):
+                            _, _, cb2 = heappop(timers)
+                            cb2()
+                            timer_events += 1
+                            processed += 1
+                        if processed > 1:
+                            coalesced += processed - 1
+                    if run_len > 1:
+                        casc_runs += 1
+                        casc_events += run_len - 1
+                    run_len = 0
+                # -- sweep (inlined nothing-due peek) ------------------------
+                if fid_of:
+                    now = self.now
+                    while pess:
+                        e = pess[0]
+                        if pess_seq[e[1]] != e[2]:
+                            heappop(pess)
+                            continue
+                        if e[0] > now:
+                            break
+                        self._sweep()
+                        break
+                self.events_processed += processed
+                events += processed
+                if events > max_events:
+                    raise RuntimeError(
+                        f"exceeded {max_events} events; runaway simulation?"
+                    )
+        finally:
+            if run_len > 1:
+                casc_runs += 1
+                casc_events += run_len - 1
+            perf.solve_wall += solve_wall
+            perf.settle_wall += settle_wall
+            perf.scan_wall += scan_wall
+            perf.solves += solves
+            perf.settles += settles
+            perf.flows_settled += flows_settled
+            perf.solve_iterations += iters_acc
+            perf.component_solves += comp_solves
+            perf.component_flows_resolved += flows_resolved
+            perf.vectorized_solves += vec_solves
+            perf.memo_hits += memo_acc
+            perf.heap_pushes += heap_pushes
+            perf.stale_pops += stale_pops
+            perf.flow_events += flow_events
+            perf.timer_events += timer_events
+            perf.coalesced_events += coalesced
+            perf.flows_finished += finished
+            perf.fastforward_cascades += casc_runs
+            perf.cascade_events += casc_events
+            if size_max > perf.component_size_max:
+                perf.component_size_max = size_max
+            if comp_peak > perf.components:
+                perf.components = comp_peak
+            perf.run_wall += clock() - t0
+        self._sync_remaining()
         return self.now

@@ -58,6 +58,16 @@ class SimPerf:
     vectorized_solves: int = 0
     #: component solves dispatched to the shared-memory worker pool
     parallel_solves: int = 0
+    #: multi-flow component solves answered by the canonical-shape memo
+    #: (see repro.simulate.cascade) instead of re-entering a kernel
+    memo_hits: int = 0
+    #: fast-forwarded completion runs: maximal stretches of ≥ 2
+    #: consecutive completion events the fused engine loop processed
+    #: without returning to the general event loop
+    fastforward_cascades: int = 0
+    #: completion events beyond the first inside those runs (the events
+    #: whose per-event dispatch the fast-forward layer absorbed)
+    cascade_events: int = 0
     #: settle passes (bulk remaining updates at rate-epoch boundaries)
     settles: int = 0
     #: flow-remaining updates performed by those settle passes
@@ -85,43 +95,21 @@ class SimPerf:
 
     _extra: dict[str, float] = field(default_factory=dict, repr=False)
 
-    # -- deprecated aliases ---------------------------------------------------
-
-    @property
-    def heap_rebuilds(self) -> int:
-        """Deprecated alias for :attr:`prediction_rebuilds` (pre-PR-4 name)."""
-        return self.prediction_rebuilds
-
-    @heap_rebuilds.setter
-    def heap_rebuilds(self, value: int) -> None:
-        self.prediction_rebuilds = value
-
-    @property
-    def heap_pops(self) -> int:
-        """Deprecated alias for :attr:`stale_pops` (pre-PR-4 name)."""
-        return self.stale_pops
-
-    @heap_pops.setter
-    def heap_pops(self, value: int) -> None:
-        self.stale_pops = value
-
     def snapshot(self) -> dict[str, float]:
         """A plain-dict copy, JSON-ready (for RunResult / BENCH files).
 
-        Emits both the current counter names and the deprecated aliases
-        (``heap_rebuilds`` for ``prediction_rebuilds``, ``heap_pops`` for
-        ``stale_pops``) so existing readers keep working, plus the
-        derived ``component_size_mean``.
+        Emits the counter fields plus the derived
+        ``component_size_mean``.  The pre-PR-4 aliases (``heap_rebuilds``
+        / ``heap_pops``) are gone: read ``prediction_rebuilds`` /
+        ``stale_pops``.
         """
         solves = self.component_solves
         out = {
             "solves": self.solves,
             "solve_iterations": self.solve_iterations,
             "prediction_rebuilds": self.prediction_rebuilds,
-            "heap_rebuilds": self.prediction_rebuilds,
             "heap_pushes": self.heap_pushes,
             "stale_pops": self.stale_pops,
-            "heap_pops": self.stale_pops,
             "components": self.components,
             "component_solves": self.component_solves,
             "component_size_max": self.component_size_max,
@@ -131,6 +119,9 @@ class SimPerf:
             "component_flows_resolved": self.component_flows_resolved,
             "vectorized_solves": self.vectorized_solves,
             "parallel_solves": self.parallel_solves,
+            "memo_hits": self.memo_hits,
+            "fastforward_cascades": self.fastforward_cascades,
+            "cascade_events": self.cascade_events,
             "settles": self.settles,
             "flows_settled": self.flows_settled,
             "flow_events": self.flow_events,

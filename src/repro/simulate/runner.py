@@ -79,7 +79,10 @@ class StaticSource:
         return len(self._queues.get(rank, ()))
 
 
-@dataclass(frozen=True, slots=True)
+# Not frozen: one record is appended per completed read on the hot
+# path, and frozen-dataclass construction routes all nine fields
+# through object.__setattr__ (~4x the cost).  Treat as immutable.
+@dataclass(slots=True)
 class ReadRecord:
     """One chunk read, fully timed."""
 
@@ -319,7 +322,7 @@ class ParallelReadRun:
                 return
             outstanding.flow = self.sim.start_flow(
                 size,
-                list(path),
+                path,
                 lambda _flow: self._chunk_done(state, outstanding),
                 rate_cap=rate_cap,
             )
@@ -332,25 +335,27 @@ class ParallelReadRun:
         state.outstanding = None
         # Locality accounting counts completed reads only (an attempt
         # aborted by a node failure contributes no delivered bytes).
-        if plan.is_local:
+        local = plan.reader_node == plan.server_node
+        if local:
             self._local_bytes += plan.chunk.size
         else:
             self._remote_bytes += plan.chunk.size
+        now = self.sim.now
         self._records.append(
             ReadRecord(
-                seq=self._seq,
-                rank=state.rank,
-                task_id=state.current_task,
-                chunk=plan.chunk.id,
-                server_node=plan.server_node,
-                reader_node=plan.reader_node,
-                local=plan.is_local,
-                issue_time=outstanding.issue_time,
-                end_time=self.sim.now,
+                self._seq,
+                state.rank,
+                state.current_task,
+                plan.chunk.id,
+                plan.server_node,
+                plan.reader_node,
+                local,
+                outstanding.issue_time,
+                now,
             )
         )
         self._seq += 1
-        self._last_activity = self.sim.now
+        self._last_activity = now
         self._issue_next_chunk(state)
 
     # -- failure injection ---------------------------------------------------
@@ -393,18 +398,24 @@ class ParallelReadRun:
         delay = self._compute(state.rank, task_id, self.rng)
         if delay < 0:
             raise ValueError("compute model returned negative time")
+        if delay > 0:
 
-        def proceed() -> None:
+            def proceed() -> None:
+                self._last_activity = self.sim.now
+                if self.barrier:
+                    self._barrier_arrive()
+                else:
+                    self._begin_task(state)
+
+            self.sim.schedule(delay, proceed)
+        else:
+            # Inline `proceed` — the zero-compute case is the hot path
+            # and must not pay a closure per task.
             self._last_activity = self.sim.now
             if self.barrier:
                 self._barrier_arrive()
             else:
                 self._begin_task(state)
-
-        if delay > 0:
-            self.sim.schedule(delay, proceed)
-        else:
-            proceed()
 
     # -- barrier rounds -----------------------------------------------------------
 

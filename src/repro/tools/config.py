@@ -83,6 +83,7 @@ DEFAULT_PURE_MODULES: tuple[str, ...] = (
     "repro.core.mincostflow",
     "repro.core.multi_data",
     "repro.core.single_data",
+    "repro.simulate.cascade",
     "repro.simulate.components",
     "repro.simulate.flowtable",
     "repro.simulate.vectorized",
@@ -193,6 +194,13 @@ DEFAULT_COST_CONTRACTS: dict[str, str] = {
     "repro.simulate.flowtable.FlowTable.views": "O(1)",
     "repro.simulate.flowtable.FlowTable.settle": "O(n)",
     "repro.simulate.flowtable.FlowTable.sync_remaining": "O(n)",
+    # canonical solve-memo keys walk the member paths once; the memo
+    # itself is a dict probe either way (store's clear-on-full is
+    # amortized against max_entries inserts)
+    "repro.simulate.cascade.pair_key": "O(deg)",
+    "repro.simulate.cascade.component_key": "O(deg)",
+    "repro.simulate.cascade.SolveMemo.lookup": "O(1)",
+    "repro.simulate.cascade.SolveMemo.store": "O(1)",
 }
 
 #: OPS304 contract echo: bench counters whose growth across scales must
@@ -266,8 +274,10 @@ class LintConfig:
     #: modules where wall-clock reads are legitimate (see
     #: :data:`DEFAULT_WALLCLOCK_ALLOW`, the single source of truth).
     wallclock_allow: tuple[str, ...] = DEFAULT_WALLCLOCK_ALLOW
-    #: receiver attribute names whose ``.remove`` is O(small) by contract.
-    remove_allow: tuple[str, ...] = ("_alloc",)
+    #: receiver attribute names whose ``.remove`` is O(small) by contract
+    #: (the allocator handle: ``self._alloc`` in the general loop,
+    #: the ``calloc`` local in the engine's fused fast-forward loop).
+    remove_allow: tuple[str, ...] = ("_alloc", "calloc")
     #: function names that ARE the tolerance helpers (OPS004 is off inside).
     float_eq_helpers: tuple[str, ...] = ("isclose", "close_enough", "approx_equal")
     #: names of float-typed sim quantities for OPS004.

@@ -1,0 +1,270 @@
+"""Differential tests for the engine's cascade fast-forward loop.
+
+The fused loop (:meth:`repro.simulate.engine.Simulation._run_fast`) and
+the canonical solve memo (:mod:`repro.simulate.cascade`) carry a
+bit-for-bit identity contract: every emitted event — time, flow id,
+order, the 1e-9 tie-snap to the lowest flow id — must be byte-identical
+to the general per-event dispatcher.  These tests pin that contract
+three ways:
+
+* a scripted fuzz interleaving the hazards that could break it —
+  fast-forwarded completion cascades, same-timestamp timer waves,
+  flow starts/cancels *during* the fast-forwarded window, and FlowTable
+  slot recycling inside a cascade;
+* the golden experiment fixtures replayed with the fast-forward loop
+  disabled (``DEFAULT_FASTFORWARD = False``), asserting against the
+  same pinned digests the fast-forward engine reproduces;
+* the memo's canonical keys (pair/general agreement, cap sensitivity)
+  and the cascade telemetry counters.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.simulate.engine as engine_mod
+from repro.simulate import Simulation
+from repro.simulate.cascade import SolveMemo, component_key, pair_key
+from repro.simulate.flows import Flow
+from repro.simulate.resources import Resource
+
+
+def _grid_sim(ff: bool, n: int = 6) -> Simulation:
+    sim = Simulation(fastforward=ff)
+    for i in range(n):
+        sim.add_resource(Resource(f"r{i}", 10.0))
+    return sim
+
+
+def _fuzz_script(seed: int, waves: int = 120):
+    """A deterministic action script (built once, replayed per engine).
+
+    Timer times are drawn from a coarse grid so several waves land on
+    the *exact same* float timestamp (coalescing + tie-snap pressure);
+    sizes repeat so completions tie; paths overlap so components merge
+    and split while cascades run.
+    """
+    rng = random.Random(seed)
+    script = []
+    for _ in range(waves):
+        t = rng.choice((0.5, 1.0, 1.0, 1.5, 2.0, 2.0, 2.0, 3.0, 4.5)) * (
+            1 + rng.randrange(6)
+        )
+        kind = rng.random()
+        if kind < 0.55:
+            size = rng.choice((10.0, 20.0, 20.0, 40.0, 80.0))
+            k = rng.choice((1, 1, 2, 2, 3))
+            first = rng.randrange(6)
+            path = tuple(f"r{(first + j) % 6}" for j in range(k))
+            script.append(("start", t, size, path))
+        elif kind < 0.8:
+            script.append(("cancel", t, rng.randrange(1 << 30)))
+        else:
+            # chain: when the flow completing at this point finishes,
+            # its callback immediately starts a follow-up flow — the
+            # start lands *inside* a fast-forwarded cascade window and
+            # recycles the just-freed slot.
+            size = rng.choice((10.0, 20.0))
+            first = rng.randrange(6)
+            path = (f"r{first}", f"r{(first + 1) % 6}")
+            script.append(("chain", t, size, path))
+    return script
+
+
+def _run_script(seed: int, ff: bool):
+    """Replay one script; returns the completion/cancel event log."""
+    sim = _grid_sim(ff)
+    log: list[tuple] = []
+    active: list[Flow] = []
+    chain_next: list[tuple] = []
+    # flow_id is a process-global counter; log per-run ordinals so the
+    # two runs compare structurally.
+    ordinal: dict[int, int] = {}
+
+    def track(f: Flow) -> Flow:
+        ordinal[f.flow_id] = len(ordinal)
+        active.append(f)
+        return f
+
+    def finish(flow: Flow) -> None:
+        log.append(("done", repr(sim.now), ordinal[flow.flow_id]))
+        if flow in active:
+            active.remove(flow)
+        if chain_next:
+            size, path = chain_next.pop()
+            f2 = track(sim.start_flow(size, path, finish))
+            log.append(("chained", repr(sim.now), ordinal[f2.flow_id]))
+
+    def apply(action) -> None:
+        if action[0] == "start":
+            _, _, size, path = action
+            track(sim.start_flow(size, path, finish))
+        elif action[0] == "cancel":
+            if active:
+                victim = active.pop(action[2] % len(active))
+                sim.cancel_flow(victim)
+                log.append(("cancel", repr(sim.now), ordinal[victim.flow_id]))
+        else:
+            _, _, size, path = action
+            chain_next.append((size, path))
+
+    for action in _fuzz_script(seed):
+        sim.schedule(action[1], lambda a=action: apply(a))
+    sim.run()
+    return log, sim.perf
+
+
+class TestFuzzIdentity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_interleaved_trace_identity(self, seed):
+        """start/cancel/chain × same-timestamp waves × slot recycling:
+        the fast-forward trace equals the general dispatcher's, with
+        event times compared by repr (bit-for-bit)."""
+        log_ff, perf_ff = _run_script(seed, True)
+        log_gen, perf_gen = _run_script(seed, False)
+        assert log_ff == log_gen
+        # Same events, same per-kind counts either way.
+        assert perf_ff.flow_events == perf_gen.flow_events
+        assert perf_ff.timer_events == perf_gen.timer_events
+        assert perf_ff.flows_cancelled == perf_gen.flows_cancelled
+        # The general loop never counts cascades.
+        assert perf_gen.fastforward_cascades == 0
+        assert perf_gen.cascade_events == 0
+
+    def test_fuzz_exercises_the_hazards(self):
+        """The scripts actually cover what they claim to cover."""
+        cascades = cancels = chained = coalesced = 0
+        for seed in range(8):
+            log, perf = _run_script(seed, True)
+            cascades += perf.fastforward_cascades
+            coalesced += perf.coalesced_events
+            cancels += sum(1 for e in log if e[0] == "cancel")
+            chained += sum(1 for e in log if e[0] == "chained")
+        assert cascades > 0
+        assert coalesced > 0
+        assert cancels > 0
+        assert chained > 0
+
+
+class TestGoldenFastforwardOff:
+    """The pinned component-engine fixtures, replayed without the
+    fast-forward loop.  The regular golden suite runs them with it (the
+    default); equality against the same digests on both sides is the
+    on/off identity contract on every golden workload."""
+
+    @pytest.fixture(autouse=True)
+    def _general_dispatcher(self, monkeypatch):
+        monkeypatch.setattr(engine_mod, "DEFAULT_FASTFORWARD", False)
+
+    def test_fig7_bitwise_without_fastforward(self):
+        from tests.test_sim_golden import GOLDEN_COMPONENT, assert_exact
+
+        from repro.experiments.single_data import run_single_data_comparison
+
+        c = run_single_data_comparison(16, seed=9)
+        assert_exact(c.base, GOLDEN_COMPONENT["fig7_m16_s9_base"])
+        assert_exact(c.opass, GOLDEN_COMPONENT["fig7_m16_s9_opass"])
+
+    def test_faults_bitwise_without_fastforward(self):
+        from tests.test_sim_golden import GOLDEN_COMPONENT, _faults_run, assert_exact
+
+        assert_exact(_faults_run(), GOLDEN_COMPONENT["faults_8"])
+
+
+class TestCascadeCounters:
+    def test_cascade_run_on_staggered_completions(self):
+        """Distinct-size flows on one resource complete back-to-back with
+        no timers in between: one cascade run spanning all of them."""
+        sim = Simulation()
+        sim.add_resource(Resource("r", 30.0))
+        for size in (30.0, 60.0, 90.0):
+            sim.start_flow(size, ("r",), lambda f: None)
+        sim.run()
+        assert sim.perf.flows_finished == 3
+        assert sim.perf.fastforward_cascades == 1
+        # cascade_events counts events beyond the first of each run.
+        assert sim.perf.cascade_events == sim.perf.flow_events - 1
+
+    def test_general_loop_counts_nothing(self):
+        sim = Simulation(fastforward=False)
+        sim.add_resource(Resource("r", 30.0))
+        for size in (30.0, 60.0, 90.0):
+            sim.start_flow(size, ("r",), lambda f: None)
+        sim.run()
+        assert sim.perf.flows_finished == 3
+        assert sim.perf.fastforward_cascades == 0
+        assert sim.perf.cascade_events == 0
+
+    def test_bounded_run_uses_general_loop(self):
+        """run(until=...) must not enter the fused loop (it has no
+        horizon handling) — and still completes correctly."""
+        sim = Simulation()
+        sim.add_resource(Resource("r", 10.0))
+        done = []
+        sim.start_flow(50.0, ("r",), done.append)
+        sim.run(until=1.0)
+        assert not done and sim.now == 1.0
+        sim.run()
+        assert len(done) == 1
+        assert sim.perf.fastforward_cascades == 0
+
+
+class TestSolveMemo:
+    CAPS = {"a": (10.0, 0.0), "b": (5.0, 0.0), "c": (7.0, 0.0)}
+
+    def test_pair_and_general_keys_never_collide(self):
+        fa = Flow(10, ("a", "b"))
+        fb = Flow(10, ("b", "c"))
+        kp = pair_key(fa, fb, self.CAPS)
+        kg = component_key([fa, fb], self.CAPS)
+        # Different key spaces for the same structure: the allocator
+        # always routes k==2 through pair_key, so the spaces must
+        # simply be disjoint (no false sharing).
+        assert kp != kg
+
+    def test_name_independence(self):
+        caps = {"x": (10.0, 0.0), "y": (5.0, 0.0), "z": (7.0, 0.0)}
+        k1 = pair_key(Flow(10, ("a", "b")), Flow(10, ("b", "c")), self.CAPS)
+        k2 = pair_key(Flow(10, ("x", "y")), Flow(10, ("y", "z")), caps)
+        assert k1 == k2
+
+    def test_capacity_sensitivity_is_exact(self):
+        caps2 = dict(self.CAPS)
+        caps2["b"] = (5.0 + 1e-12, 0.0)
+        k1 = pair_key(Flow(10, ("a", "b")), Flow(10, ("b", "c")), self.CAPS)
+        k2 = pair_key(Flow(10, ("a", "b")), Flow(10, ("b", "c")), caps2)
+        assert k1 != k2
+
+    def test_rate_cap_in_key(self):
+        k1 = pair_key(Flow(10, ("a", "b")), Flow(10, ("b", "c")), self.CAPS)
+        k2 = pair_key(
+            Flow(10, ("a", "b")), Flow(10, ("b", "c"), rate_cap=3.0), self.CAPS
+        )
+        assert k1 != k2
+
+    def test_lookup_store_roundtrip_and_bound(self):
+        memo = SolveMemo(max_entries=2)
+        memo.store("k1", [1.0], 3)
+        assert memo.lookup("k1") == ([1.0], 3)
+        assert memo.lookup("nope") is None
+        memo.store("k2", [2.0], 1)
+        assert len(memo) == 2
+        # Full: the next store clears, then inserts.
+        memo.store("k3", [3.0], 1)
+        assert len(memo) == 1
+        assert memo.lookup("k1") is None
+        assert memo.lookup("k3") == ([3.0], 1)
+
+    def test_memo_hits_counted_in_perf(self):
+        """Structurally identical remote-pair components hit the memo."""
+        sim = Simulation()
+        for i in range(8):
+            sim.add_resource(Resource(f"d{i}", 10.0))
+            sim.add_resource(Resource(f"n{i}", 20.0))
+        for i in range(0, 8, 2):
+            sim.start_flow(40.0, (f"d{i}", f"n{i}"), lambda f: None)
+            sim.start_flow(40.0, (f"d{i}", f"n{i + 1}"), lambda f: None)
+        sim.run()
+        assert sim.perf.memo_hits > 0

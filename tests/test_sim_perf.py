@@ -59,8 +59,7 @@ class TestEngineCounters:
         assert sim.perf.solve_iterations >= 1
 
     def test_cache_modes_rebuild_per_epoch(self):
-        """The cache-scan engines rebuild predictions once per rate epoch
-        (and report it through the deprecated alias too)."""
+        """The cache-scan engines rebuild predictions once per rate epoch."""
         for allocator in ("incremental", "reference"):
             sim = Simulation(allocator=allocator)
             sim.add_resource(Resource("r", 10.0))
@@ -69,8 +68,21 @@ class TestEngineCounters:
                 sim.schedule(float(i + 1), lambda: None)
             drain(sim)
             assert sim.perf.prediction_rebuilds == 2
-            assert sim.perf.heap_rebuilds == 2
             assert sim.perf.heap_pushes == 0
+
+    def test_deprecated_aliases_removed(self):
+        """The pre-PR-4 alias names are gone from both API and snapshot."""
+        p = SimPerf()
+        assert not hasattr(p, "heap_rebuilds")
+        assert not hasattr(p, "heap_pops")
+        snap = p.snapshot()
+        assert "heap_rebuilds" not in snap
+        assert "heap_pops" not in snap
+        assert "prediction_rebuilds" in snap
+        assert "stale_pops" in snap
+        assert "memo_hits" in snap
+        assert "fastforward_cascades" in snap
+        assert "cascade_events" in snap
 
     def test_wall_clocks_accumulate(self):
         sim = Simulation()
